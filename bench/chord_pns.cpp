@@ -1,0 +1,118 @@
+// Generality check (paper Appendix): the landmark-number-keyed global
+// soft-state applied to Chord.
+//
+// Chord's finger table has the same selection freedom Pastry/eCAN have:
+// finger i may point at any node of [n+2^i, n+2^(i+1)). We compare routing
+// stretch with:
+//   * classic fingers (successor of the interval start, no proximity),
+//   * random member of the interval,
+//   * soft-state PNS (one landmark-number-keyed map lookup per table,
+//     RTT probes within a budget),
+//   * oracle-optimal PNS (closest member, "infinite probes").
+#include "common.hpp"
+
+#include "core/chord_selectors.hpp"
+#include "softstate/chord_maps.hpp"
+
+using namespace topo;
+
+namespace {
+
+struct ChordRun {
+  std::unique_ptr<overlay::ChordNetwork> chord;
+  std::unique_ptr<softstate::ChordMapService> maps;
+  core::ChordVectorStore vectors;
+};
+
+double measure(bench::World& world, ChordRun& run,
+               overlay::FingerSelector& selector, std::uint64_t seed,
+               std::size_t queries) {
+  run.chord->build_all_fingers(selector);
+  util::Rng rng(seed);
+  util::Samples stretch;
+  const auto live = run.chord->live_nodes();
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto from = live[rng.next_u64(live.size())];
+    const auto key = rng.next_u64(run.chord->ring_size());
+    const auto route = run.chord->route(from, key);
+    if (!route.success || route.path.size() < 2) continue;
+    double path_latency = 0.0;
+    for (std::size_t i = 1; i < route.path.size(); ++i)
+      path_latency += world.oracle->latency_ms(
+          run.chord->node(route.path[i - 1]).host,
+          run.chord->node(route.path[i]).host);
+    const double direct = world.oracle->latency_ms(
+        run.chord->node(from).host,
+        run.chord->node(route.path.back()).host);
+    if (direct <= 0.0) continue;
+    stretch.add(path_latency / direct);
+  }
+  return stretch.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("Appendix: global soft-state on Chord (PNS fingers)");
+
+  const std::uint64_t seed = bench::bench_seed();
+  const auto n = static_cast<std::size_t>(
+      util::env_int("NODES", bench::full_scale() ? 4096 : 1024));
+  const std::size_t queries = 2 * n;
+
+  util::Table table(
+      {"topology/latency", "classic", "random", "lmk+rtt (24 probes)",
+       "optimal"});
+
+  for (const auto& preset : {net::tsk_large(), net::tsk_small()}) {
+    for (const auto model :
+         {net::LatencyModel::kGtItmRandom, net::LatencyModel::kManual}) {
+      bench::World world(preset, model, 15, seed);
+
+      ChordRun run;
+      run.chord = std::make_unique<overlay::ChordNetwork>(30);
+      util::Rng rng(seed + 1);
+      std::vector<overlay::NodeId> nodes;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto host = static_cast<net::HostId>(
+            rng.next_u64(world.topology.host_count()));
+        nodes.push_back(run.chord->join_random(host, rng));
+      }
+      // Fingers must exist before publish can route; bootstrap classic.
+      core::ClassicFingerSelector classic;
+      run.chord->build_all_fingers(classic);
+      run.maps = std::make_unique<softstate::ChordMapService>(
+          *run.chord, *world.landmarks);
+      for (const auto id : nodes) {
+        run.vectors[id] = world.landmarks->measure(
+            *world.oracle, run.chord->node(id).host);
+        run.maps->publish(id, run.vectors[id], 0.0);
+      }
+
+      core::RandomFingerSelector random{util::Rng(seed + 2)};
+      core::SoftStateFingerSelector soft(*run.chord, *run.maps, *world.oracle,
+                                         run.vectors, 24, util::Rng(seed + 3));
+      core::OracleFingerSelector oracle_selector(*run.chord, *world.oracle);
+
+      const double classic_stretch =
+          measure(world, run, classic, seed + 4, queries);
+      const double random_stretch =
+          measure(world, run, random, seed + 4, queries);
+      const double soft_stretch =
+          measure(world, run, soft, seed + 4, queries);
+      const double optimal_stretch =
+          measure(world, run, oracle_selector, seed + 4, queries);
+
+      table.add_row({world.name(), util::Table::num(classic_stretch, 3),
+                     util::Table::num(random_stretch, 3),
+                     util::Table::num(soft_stretch, 3),
+                     util::Table::num(optimal_stretch, 3)});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nReading: the same landmark-number-keyed soft-state that\n"
+               "drives eCAN expressway selection cuts Chord's stretch toward\n"
+               "the optimal PNS line — the technique is overlay-agnostic, as\n"
+               "the paper claims.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared experiment drivers for the figure-reproduction benches.
+//
+// Every bench runs with no arguments at a scale that finishes in seconds to
+// a couple of minutes; environment variables scale it to the paper's full
+// setup:
+//   FULL=1     paper-scale sweeps (10k-host topologies are always used;
+//              FULL raises overlay sizes and query counts)
+//   SEED=n     alternate seed (printed by every bench)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selectors.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "proximity/nn_search.hpp"
+#include "sim/metrics.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace topo::bench {
+
+inline std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(util::env_int("SEED", 42));
+}
+
+inline bool full_scale() { return util::env_bool("FULL"); }
+
+/// A topology + latency assignment + oracle + landmark set.
+struct World {
+  net::TransitStubConfig preset;
+  net::LatencyModel latency_model;
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+
+  World(const net::TransitStubConfig& preset_in, net::LatencyModel model,
+        int landmark_count, std::uint64_t seed)
+      : preset(preset_in), latency_model(model) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(preset, rng);
+    net::assign_latencies(topology, model, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    proximity::LandmarkConfig config;
+    // Scale the landmark grid to the topology's latency regime.
+    config.scale_ms =
+        model == net::LatencyModel::kManual ? 80.0 : 350.0;
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, landmark_count, rng,
+                                              config));
+    warm_landmark_rows();
+  }
+
+  /// Pins the landmark hosts' Dijkstra rows so that measuring a landmark
+  /// vector for ANY host is O(m) row lookups instead of one Dijkstra per
+  /// host (the oracle resolves latency(from, to) via either endpoint's
+  /// cached row).
+  void warm_landmark_rows() { oracle->warm(landmarks->hosts()); }
+
+  std::string name() const {
+    return preset.name + "/" + net::latency_model_name(latency_model);
+  }
+};
+
+/// An eCAN built over `world` with published soft-state.
+struct OverlayInstance {
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  core::VectorStore vectors;
+  std::vector<overlay::NodeId> nodes;
+};
+
+inline OverlayInstance build_overlay(World& world, std::size_t n,
+                                     std::uint64_t seed,
+                                     softstate::MapConfig map_config = {}) {
+  OverlayInstance instance;
+  util::Rng rng(seed);
+  instance.ecan = std::make_unique<overlay::EcanNetwork>(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto host = static_cast<net::HostId>(
+        rng.next_u64(world.topology.host_count()));
+    instance.nodes.push_back(instance.ecan->join_random(host, rng));
+  }
+  instance.maps = std::make_unique<softstate::MapService>(
+      *instance.ecan, *world.landmarks, map_config);
+  for (const auto id : instance.nodes) {
+    instance.vectors[id] = world.landmarks->measure(
+        *world.oracle, instance.ecan->node(id).host);
+    instance.maps->publish(id, instance.vectors[id], 0.0);
+  }
+  return instance;
+}
+
+enum class SelectorKind { kRandom, kSoftState, kOracle };
+
+inline const char* selector_name(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRandom: return "random";
+    case SelectorKind::kSoftState: return "lmk+rtt";
+    case SelectorKind::kOracle: return "optimal";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<overlay::RepresentativeSelector> make_selector(
+    World& world, OverlayInstance& instance, SelectorKind kind,
+    std::size_t rtt_budget, std::uint64_t seed) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return std::make_unique<core::RandomSelector>(util::Rng(seed));
+    case SelectorKind::kOracle:
+      return std::make_unique<core::OracleSelector>(*instance.ecan,
+                                                    *world.oracle);
+    case SelectorKind::kSoftState:
+      return std::make_unique<core::SoftStateSelector>(
+          *instance.ecan, *instance.maps, *world.oracle, instance.vectors,
+          rtt_budget, util::Rng(seed));
+  }
+  return nullptr;
+}
+
+/// Builds tables with the selector and measures routing stretch with
+/// 2N queries ("measurements are made for twice the number of nodes").
+inline sim::RoutingSample run_stretch(World& world, OverlayInstance& instance,
+                                      SelectorKind kind,
+                                      std::size_t rtt_budget,
+                                      std::uint64_t seed,
+                                      std::size_t queries = 0) {
+  const auto selector =
+      make_selector(world, instance, kind, rtt_budget, seed + 1);
+  instance.ecan->build_all_tables(*selector);
+  if (queries == 0) queries = 2 * instance.nodes.size();
+  util::Rng rng(seed + 2);
+  return sim::measure_ecan_routing(*instance.ecan, *world.oracle, queries,
+                                   rng);
+}
+
+inline void print_preamble(const std::string& title) {
+  util::print_banner(std::cout, title);
+  std::printf("seed=%llu scale=%s\n",
+              static_cast<unsigned long long>(bench_seed()),
+              full_scale() ? "FULL (paper)" : "default (use FULL=1)");
+}
+
+}  // namespace topo::bench

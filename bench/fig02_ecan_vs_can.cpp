@@ -1,0 +1,69 @@
+// Figure 2 — "ecan compared with CAN with different d".
+//
+// Logical routing hops of plain CAN with dimensionality d = 2..5 versus a
+// 2-dimensional eCAN (expressways, curve "EXP" in the paper), as the
+// overlay grows from 1K to 8K nodes. The paper's shape: every CAN curve
+// grows as N^(1/d); the eCAN curve grows ~log N and sits far below them.
+#include "common.hpp"
+
+int main() {
+  using namespace topo;
+  bench::print_preamble(
+      "Figure 2: logical hops, CAN d=2..5 vs eCAN d=2 (EXP)");
+
+  const std::uint64_t seed = bench::bench_seed();
+  std::vector<std::size_t> sizes = {1024, 2048, 4096};
+  if (bench::full_scale()) sizes.push_back(8192);
+
+  util::Table table({"nodes", "CAN d=2", "CAN d=3", "CAN d=4", "CAN d=5",
+                     "EXP (eCAN d=2)"});
+
+  for (const std::size_t n : sizes) {
+    std::vector<std::string> row = {util::Table::integer(
+        static_cast<long long>(n))};
+
+    // Plain CAN at d = 2..5. Logical hops only: no topology needed, but we
+    // keep the same query discipline as the rest of the paper (2N random
+    // lookups from random sources).
+    for (std::size_t dims = 2; dims <= 5; ++dims) {
+      util::Rng rng(seed + dims);
+      overlay::CanNetwork can(dims);
+      for (std::size_t i = 0; i < n; ++i)
+        can.join_random(static_cast<net::HostId>(i), rng);
+      util::Samples hops;
+      const auto live = can.live_nodes();
+      for (std::size_t q = 0; q < 2 * n; ++q) {
+        const auto from = live[rng.next_u64(live.size())];
+        const auto route = can.route(from, geom::Point::random(dims, rng));
+        if (route.success) hops.add(static_cast<double>(route.hops()));
+      }
+      row.push_back(util::Table::num(hops.mean(), 2));
+    }
+
+    // eCAN d=2 with expressway tables (selection policy does not matter
+    // for hop counts; use random).
+    {
+      util::Rng rng(seed + 99);
+      overlay::EcanNetwork ecan(2);
+      for (std::size_t i = 0; i < n; ++i)
+        ecan.join_random(static_cast<net::HostId>(i), rng);
+      core::RandomSelector selector{util::Rng(seed + 100)};
+      ecan.build_all_tables(selector);
+      util::Samples hops;
+      const auto live = ecan.live_nodes();
+      for (std::size_t q = 0; q < 2 * n; ++q) {
+        const auto from = live[rng.next_u64(live.size())];
+        const auto route =
+            ecan.route_ecan(from, geom::Point::random(2, rng));
+        if (route.success) hops.add(static_cast<double>(route.hops()));
+      }
+      row.push_back(util::Table::num(hops.mean(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << table.to_string();
+  std::cout << "\nShape check (paper): EXP << CAN d=2 and grows ~log N; CAN\n"
+               "curves drop with d but all grow polynomially.\n";
+  return 0;
+}

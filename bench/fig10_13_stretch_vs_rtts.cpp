@@ -1,0 +1,80 @@
+// Figures 10-13 — routing stretch vs number of RTT measurements, for two
+// landmark counts plus the optimal (infinite-probes) line, over the four
+// (topology x latency-model) combinations:
+//
+//   Fig 10: tsk-large, GT-ITM latencies     Fig 11: tsk-large, manual
+//   Fig 12: tsk-small, GT-ITM latencies     Fig 13: tsk-small, manual
+//
+// Paper shape: stretch falls as probes increase and approaches the optimal
+// line; more landmarks help most with manually-set (regular) latencies and
+// large backbones; tsk-small sits closer to its optimal because choosing a
+// suboptimal route is cheaper in a small network.
+#include "common.hpp"
+
+using namespace topo;
+
+namespace {
+
+void run_figure(const std::string& label,
+                const net::TransitStubConfig& preset,
+                net::LatencyModel model) {
+  const std::uint64_t seed = bench::bench_seed();
+  const auto overlay_nodes = static_cast<std::size_t>(
+      util::env_int("NODES", bench::full_scale() ? 4096 : 1024));
+  const std::vector<int> landmark_counts = {10, 20};
+  const std::vector<std::size_t> budgets = {1, 2, 5, 10, 15, 20, 30};
+
+  util::Table table({"#RTTs", "landmarks=10", "landmarks=20", "optimal"});
+  std::vector<std::vector<double>> stretch(
+      budgets.size(), std::vector<double>(landmark_counts.size(), 0.0));
+  double optimal = 0.0;
+
+  for (std::size_t li = 0; li < landmark_counts.size(); ++li) {
+    bench::World world(preset, model, landmark_counts[li], seed);
+    bench::OverlayInstance instance =
+        bench::build_overlay(world, overlay_nodes, seed + 7);
+    for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+      // Same seed for every budget: the query workload is identical, so
+      // differences along the column are purely due to selection quality.
+      const auto sample =
+          bench::run_stretch(world, instance, bench::SelectorKind::kSoftState,
+                             budgets[bi], seed + 11);
+      stretch[bi][li] = sample.stretch.mean();
+    }
+    if (li == 0) {
+      const auto sample = bench::run_stretch(
+          world, instance, bench::SelectorKind::kOracle, 1, seed + 999);
+      optimal = sample.stretch.mean();
+    }
+  }
+
+  for (std::size_t bi = 0; bi < budgets.size(); ++bi)
+    table.add_row({util::Table::integer(static_cast<long long>(budgets[bi])),
+                   util::Table::num(stretch[bi][0], 3),
+                   util::Table::num(stretch[bi][1], 3),
+                   util::Table::num(optimal, 3)});
+
+  util::print_banner(std::cout, label);
+  std::printf("overlay=%zu nodes, queries=%zu\n", overlay_nodes,
+              2 * overlay_nodes);
+  std::cout << table.to_string();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "Figures 10-13: routing stretch vs #RTT measurements");
+  run_figure("Figure 10: tsk-large, GT-ITM latencies", net::tsk_large(),
+             net::LatencyModel::kGtItmRandom);
+  run_figure("Figure 11: tsk-large, manual latencies", net::tsk_large(),
+             net::LatencyModel::kManual);
+  run_figure("Figure 12: tsk-small, GT-ITM latencies", net::tsk_small(),
+             net::LatencyModel::kGtItmRandom);
+  run_figure("Figure 13: tsk-small, manual latencies", net::tsk_small(),
+             net::LatencyModel::kManual);
+  std::cout << "\nShape check (paper): stretch decreases with #RTTs toward\n"
+               "the optimal line; landmarks matter more on manual latencies\n"
+               "and the large backbone; tsk-small is closer to optimal.\n";
+  return 0;
+}

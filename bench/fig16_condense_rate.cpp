@@ -1,0 +1,68 @@
+// Figure 16 — effect of the map condense rate: entries per node (dashed
+// line in the paper) and routing stretch (solid line) as the map's
+// footprint within its hosting zone varies.
+//
+// Paper shape: spreading the map over more of the zone cuts entries/node
+// roughly linearly, while stretch stays flat as long as roughly a few tens
+// of entries remain per hosting node ("as long as there are about [X]
+// entries on each node, the performance impact is negligible").
+#include "common.hpp"
+
+using namespace topo;
+
+int main() {
+  bench::print_preamble("Figure 16: map condense rate");
+
+  const std::uint64_t seed = bench::bench_seed();
+  const auto overlay_nodes = static_cast<std::size_t>(
+      util::env_int("NODES", bench::full_scale() ? 4096 : 1024));
+
+  // tsk-large with manual latencies, as in the paper's Figure 16.
+  bench::World world(net::tsk_large(), net::LatencyModel::kManual, 15, seed);
+
+  // The sweep: condense_rate is the fraction of the hosting zone's volume
+  // the map occupies. Small rate = concentrated map (many entries/node);
+  // rate 1 with more map_bits = maximally spread. The paper's "reduction
+  // rate" axis corresponds to increasing spread left to right.
+  struct Config {
+    double condense_rate;
+    int map_bits;
+  };
+  const std::vector<Config> sweep = {
+      {0.015625, 2}, {0.0625, 3}, {0.25, 4}, {1.0, 4}, {1.0, 6}, {1.0, 8}};
+
+  util::Table table({"spread (condense_rate x bits)", "map entries/node",
+                     "max entries/node", "stretch"});
+  for (const Config& config : sweep) {
+    softstate::MapConfig map_config;
+    map_config.condense_rate = config.condense_rate;
+    map_config.map_bits = config.map_bits;
+    map_config.lookup_ring_ttl = 4;  // condensed maps need the ring search
+    bench::OverlayInstance instance =
+        bench::build_overlay(world, overlay_nodes, seed + 1, map_config);
+    const auto sample =
+        bench::run_stretch(world, instance, bench::SelectorKind::kSoftState,
+                           10, seed + 3);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%.4g x %d bits",
+                  config.condense_rate, config.map_bits);
+    // Entries per *hosting* node: nodes actually storing map pieces.
+    std::size_t hosting = 0;
+    for (const auto id : instance.nodes)
+      if (instance.maps->store_size(id) > 0) ++hosting;
+    const double entries_per_hosting =
+        hosting == 0 ? 0.0
+                     : static_cast<double>(instance.maps->total_entries()) /
+                           static_cast<double>(hosting);
+    table.add_row({label, util::Table::num(entries_per_hosting, 1),
+                   util::Table::integer(static_cast<long long>(
+                       instance.maps->max_entries_per_node())),
+                   util::Table::num(sample.stretch.mean(), 3)});
+    world.oracle->clear_cache();
+    world.warm_landmark_rows();
+  }
+  std::cout << table.to_string();
+  std::cout << "\nShape check (paper): entries/node falls as the map spreads;\n"
+               "stretch stays roughly flat until pieces become too sparse.\n";
+  return 0;
+}

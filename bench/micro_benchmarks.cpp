@@ -1,0 +1,245 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: Hilbert
+// curve transforms, Dijkstra / RTT oracle, CAN & eCAN routing, soft-state
+// map operations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/chord_selectors.hpp"
+#include "core/pastry_selectors.hpp"
+#include "core/selectors.hpp"
+#include "geom/hilbert.hpp"
+#include "net/latency.hpp"
+#include "net/shortest_path.hpp"
+#include "net/transit_stub.hpp"
+#include "softstate/map_service.hpp"
+#include "util/rng.hpp"
+
+namespace topo {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64(1000003));
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  const auto dims = static_cast<int>(state.range(0));
+  const auto bits = static_cast<int>(state.range(1));
+  const geom::HilbertCurve curve(dims, bits);
+  util::Rng rng(2);
+  std::vector<std::uint32_t> coords(static_cast<std::size_t>(dims));
+  for (auto& c : coords)
+    c = static_cast<std::uint32_t>(rng.next_u64(1ULL << bits));
+  for (auto _ : state) benchmark::DoNotOptimize(curve.index(coords));
+}
+BENCHMARK(BM_HilbertIndex)->Args({2, 8})->Args({15, 6})->Args({30, 8});
+
+void BM_HilbertCoords(benchmark::State& state) {
+  const auto dims = static_cast<int>(state.range(0));
+  const auto bits = static_cast<int>(state.range(1));
+  const geom::HilbertCurve curve(dims, bits);
+  const util::BigUint index(0x123456789ABCDEFULL);
+  for (auto _ : state) benchmark::DoNotOptimize(curve.coords(index));
+}
+BENCHMARK(BM_HilbertCoords)->Args({2, 8})->Args({15, 6})->Args({30, 8});
+
+struct NetFixture {
+  net::Topology topology;
+  NetFixture() {
+    util::Rng rng(3);
+    topology = net::generate_transit_stub(net::tsk_large(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kGtItmRandom, rng);
+  }
+  static NetFixture& instance() {
+    static NetFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_Dijkstra10kHosts(benchmark::State& state) {
+  const auto& topology = NetFixture::instance().topology;
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const auto source =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    benchmark::DoNotOptimize(net::dijkstra(topology, source));
+  }
+}
+BENCHMARK(BM_Dijkstra10kHosts)->Unit(benchmark::kMillisecond);
+
+void BM_OracleCachedLatency(benchmark::State& state) {
+  const auto& topology = NetFixture::instance().topology;
+  net::RttOracle oracle(topology);
+  oracle.latency_ms(0, 1);  // warm
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto to =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    benchmark::DoNotOptimize(oracle.latency_ms(0, to));
+  }
+}
+BENCHMARK(BM_OracleCachedLatency);
+
+struct OverlayFixture {
+  overlay::EcanNetwork ecan{2};
+  OverlayFixture() {
+    util::Rng rng(6);
+    for (int i = 0; i < 4096; ++i)
+      ecan.join_random(static_cast<net::HostId>(i), rng);
+    core::RandomSelector selector{util::Rng(7)};
+    ecan.build_all_tables(selector);
+  }
+  static OverlayFixture& instance() {
+    static OverlayFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_CanJoinLeave(benchmark::State& state) {
+  overlay::CanNetwork can(2);
+  util::Rng rng(8);
+  for (int i = 0; i < 1024; ++i)
+    can.join_random(static_cast<net::HostId>(i), rng);
+  net::HostId next = 2048;
+  for (auto _ : state) {
+    const auto id = can.join_random(next++, rng);
+    can.leave(id);
+  }
+}
+BENCHMARK(BM_CanJoinLeave);
+
+void BM_CanGreedyRoute4k(benchmark::State& state) {
+  auto& ecan = OverlayFixture::instance().ecan;
+  const auto live = ecan.live_nodes();
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const auto from = live[rng.next_u64(live.size())];
+    benchmark::DoNotOptimize(
+        ecan.route(from, geom::Point::random(2, rng)));
+  }
+}
+BENCHMARK(BM_CanGreedyRoute4k);
+
+void BM_EcanExpresswayRoute4k(benchmark::State& state) {
+  auto& ecan = OverlayFixture::instance().ecan;
+  const auto live = ecan.live_nodes();
+  util::Rng rng(10);
+  for (auto _ : state) {
+    const auto from = live[rng.next_u64(live.size())];
+    benchmark::DoNotOptimize(
+        ecan.route_ecan(from, geom::Point::random(2, rng)));
+  }
+}
+BENCHMARK(BM_EcanExpresswayRoute4k);
+
+struct MapFixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  std::vector<overlay::NodeId> nodes;
+  std::vector<proximity::LandmarkVector> vectors;
+
+  MapFixture() {
+    util::Rng rng(11);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 15, rng, {}));
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (int i = 0; i < 1024; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(ecan->join_random(host, rng));
+    }
+    maps = std::make_unique<softstate::MapService>(*ecan, *landmarks,
+                                                   softstate::MapConfig{});
+    for (const auto id : nodes) {
+      vectors.push_back(landmarks->measure(*oracle, ecan->node(id).host));
+      maps->publish(id, vectors.back(), 0.0);
+    }
+  }
+  static MapFixture& instance() {
+    static MapFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_MapPublish(benchmark::State& state) {
+  auto& f = MapFixture::instance();
+  util::Rng rng(12);
+  for (auto _ : state) {
+    const std::size_t i = rng.next_u64(f.nodes.size());
+    benchmark::DoNotOptimize(
+        f.maps->publish(f.nodes[i], f.vectors[i], 0.0));
+  }
+}
+BENCHMARK(BM_MapPublish);
+
+void BM_MapLookup(benchmark::State& state) {
+  auto& f = MapFixture::instance();
+  util::Rng rng(13);
+  for (auto _ : state) {
+    const std::size_t i = rng.next_u64(f.nodes.size());
+    const auto id = f.nodes[i];
+    const int level = std::max(1, f.ecan->node_level(id));
+    if (f.ecan->node_level(id) < 1) continue;
+    const auto cell = f.ecan->cell_of_node(id, level);
+    benchmark::DoNotOptimize(
+        f.maps->lookup(id, f.vectors[i], level, cell, 0.0));
+  }
+}
+BENCHMARK(BM_MapLookup);
+
+struct RingFixture {
+  overlay::ChordNetwork chord{30};
+  overlay::PastryNetwork pastry{32, 4};
+  RingFixture() {
+    util::Rng rng(14);
+    core::ClassicFingerSelector fingers;
+    core::FirstSlotSelector slots;
+    for (int i = 0; i < 4096; ++i) {
+      chord.join_random(static_cast<net::HostId>(i), rng);
+      pastry.join_random(static_cast<net::HostId>(i), rng);
+    }
+    chord.build_all_fingers(fingers);
+    pastry.build_all_tables(slots);
+  }
+  static RingFixture& instance() {
+    static RingFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_ChordRoute4k(benchmark::State& state) {
+  auto& chord = RingFixture::instance().chord;
+  const auto live = chord.live_nodes();
+  util::Rng rng(15);
+  for (auto _ : state) {
+    const auto from = live[rng.next_u64(live.size())];
+    benchmark::DoNotOptimize(
+        chord.route(from, rng.next_u64(chord.ring_size())));
+  }
+}
+BENCHMARK(BM_ChordRoute4k);
+
+void BM_PastryRoute4k(benchmark::State& state) {
+  auto& pastry = RingFixture::instance().pastry;
+  const auto live = pastry.live_nodes();
+  util::Rng rng(16);
+  for (auto _ : state) {
+    const auto from = live[rng.next_u64(live.size())];
+    benchmark::DoNotOptimize(
+        pastry.route(from, rng.next_u64(pastry.ring_size())));
+  }
+}
+BENCHMARK(BM_PastryRoute4k);
+
+}  // namespace
+}  // namespace topo
+
+BENCHMARK_MAIN();

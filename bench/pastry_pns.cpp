@@ -1,0 +1,112 @@
+// Generality check #2 (paper Section 5.1): prefix-region maps on Pastry.
+//
+// "For Pastry, a region is a set of nodes sharing a particular prefix ...
+// there is one map for each nodeId prefix." Every routing-table slot is
+// selected by consulting the slot's prefix-region map keyed by the node's
+// landmark number, then RTT-probing the top candidates — the identical
+// machinery that drives eCAN expressway selection.
+#include "common.hpp"
+
+#include "core/pastry_selectors.hpp"
+#include "softstate/pastry_maps.hpp"
+
+using namespace topo;
+
+namespace {
+
+struct PastryRun {
+  std::unique_ptr<overlay::PastryNetwork> pastry;
+  std::unique_ptr<softstate::PastryMapService> maps;
+  core::PastryVectorStore vectors;
+};
+
+double measure(bench::World& world, PastryRun& run,
+               overlay::RoutingSlotSelector& selector, std::uint64_t seed,
+               std::size_t queries) {
+  run.pastry->build_all_tables(selector);
+  util::Rng rng(seed);
+  util::Samples stretch;
+  const auto live = run.pastry->live_nodes();
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto from = live[rng.next_u64(live.size())];
+    const auto key = rng.next_u64(run.pastry->ring_size());
+    const auto route = run.pastry->route(from, key);
+    if (!route.success || route.path.size() < 2) continue;
+    double path_latency = 0.0;
+    for (std::size_t i = 1; i < route.path.size(); ++i)
+      path_latency += world.oracle->latency_ms(
+          run.pastry->node(route.path[i - 1]).host,
+          run.pastry->node(route.path[i]).host);
+    const double direct = world.oracle->latency_ms(
+        run.pastry->node(from).host,
+        run.pastry->node(route.path.back()).host);
+    if (direct <= 0.0) continue;
+    stretch.add(path_latency / direct);
+  }
+  return stretch.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "Section 5.1: prefix-region soft-state maps on Pastry");
+
+  const std::uint64_t seed = bench::bench_seed();
+  const auto n = static_cast<std::size_t>(
+      util::env_int("NODES", bench::full_scale() ? 4096 : 1024));
+  const std::size_t queries = 2 * n;
+
+  util::Table table({"topology/latency", "first-in-region", "random",
+                     "lmk+rtt (10 probes)", "optimal"});
+
+  for (const auto& preset : {net::tsk_large(), net::tsk_small()}) {
+    for (const auto model :
+         {net::LatencyModel::kGtItmRandom, net::LatencyModel::kManual}) {
+      bench::World world(preset, model, 15, seed);
+
+      PastryRun run;
+      run.pastry = std::make_unique<overlay::PastryNetwork>(32, 4);
+      util::Rng rng(seed + 1);
+      std::vector<overlay::NodeId> nodes;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto host = static_cast<net::HostId>(
+            rng.next_u64(world.topology.host_count()));
+        nodes.push_back(run.pastry->join_random(host, rng));
+      }
+      core::FirstSlotSelector first;
+      run.pastry->build_all_tables(first);  // bootstrap tables for publish
+      run.maps = std::make_unique<softstate::PastryMapService>(
+          *run.pastry, *world.landmarks);
+      for (const auto id : nodes) {
+        run.vectors[id] = world.landmarks->measure(
+            *world.oracle, run.pastry->node(id).host);
+        run.maps->publish(id, run.vectors[id], 0.0);
+      }
+
+      core::RandomSlotSelector random{util::Rng(seed + 2)};
+      core::SoftStateSlotSelector soft(*run.pastry, *run.maps, *world.oracle,
+                                       run.vectors, 10, util::Rng(seed + 3));
+      core::OracleSlotSelector oracle_selector(*run.pastry, *world.oracle);
+
+      const double first_stretch =
+          measure(world, run, first, seed + 4, queries);
+      const double random_stretch =
+          measure(world, run, random, seed + 4, queries);
+      const double soft_stretch =
+          measure(world, run, soft, seed + 4, queries);
+      const double optimal_stretch =
+          measure(world, run, oracle_selector, seed + 4, queries);
+
+      table.add_row({world.name(), util::Table::num(first_stretch, 3),
+                     util::Table::num(random_stretch, 3),
+                     util::Table::num(soft_stretch, 3),
+                     util::Table::num(optimal_stretch, 3)});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nReading: per-prefix soft-state maps give Pastry most of\n"
+               "the optimal-PNS win at ~10 probes per slot — the paper's\n"
+               "claim that the technique carries over verbatim.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Section 1 taxonomy — Castro et al. divide proximity exploitation into
+// three techniques; the paper argues proximity-neighbor selection (PNS) is
+// superior. We compare all three on identical workloads:
+//
+//   1. geographic layout   — node positions constrained by landmark
+//                            ordering (Topologically-Aware CAN); random
+//                            representatives, plain expressway routing;
+//   2. proximity routing   — uniform layout, random representatives, each
+//                            hop forwards to the lowest-RTT candidate that
+//                            makes progress;
+//   3. proximity-neighbor  — uniform layout, representatives selected
+//      selection (PNS)       through the global soft-state (the paper);
+//
+// plus the no-proximity baseline and the PNS+proximity-routing combination.
+#include "common.hpp"
+
+#include "overlay/tacan.hpp"
+
+using namespace topo;
+
+int main() {
+  bench::print_preamble(
+      "Section 1 taxonomy: layout vs proximity routing vs PNS");
+
+  const std::uint64_t seed = bench::bench_seed();
+  const auto n = static_cast<std::size_t>(
+      util::env_int("NODES", bench::full_scale() ? 4096 : 1024));
+  const std::size_t queries = 2 * n;
+
+  util::Table table({"technique", "stretch", "logical hops",
+                     "zone gini (balance)"});
+
+  bench::World world(net::tsk_large(), net::LatencyModel::kGtItmRandom, 15,
+                     seed);
+
+  // --- Shared measurement helper over an eCAN --------------------------
+  enum class RoutingMode { kPlain, kProximity };
+  auto measure = [&](overlay::EcanNetwork& ecan, RoutingMode mode) {
+    util::Rng rng(seed + 5);
+    util::Samples stretch;
+    util::Samples hops;
+    const auto live = ecan.live_nodes();
+    for (std::size_t q = 0; q < queries; ++q) {
+      const auto from = live[rng.next_u64(live.size())];
+      const geom::Point key = geom::Point::random(2, rng);
+      const overlay::RouteResult route =
+          mode == RoutingMode::kProximity
+              ? ecan.route_ecan_proximity(from, key, *world.oracle)
+              : ecan.route_ecan(from, key);
+      if (!route.success || route.path.size() < 2) continue;
+      const double direct = world.oracle->latency_ms(
+          ecan.node(from).host, ecan.node(route.path.back()).host);
+      if (direct <= 0.0) continue;
+      stretch.add(
+          sim::path_latency_ms(ecan, *world.oracle, route.path) / direct);
+      hops.add(static_cast<double>(route.hops()));
+    }
+    return std::make_pair(stretch.mean(), hops.mean());
+  };
+  auto add_row = [&](const char* name, double stretch, double hops,
+                     double gini) {
+    table.add_row({name, util::Table::num(stretch, 3),
+                   util::Table::num(hops, 2), util::Table::num(gini, 3)});
+  };
+
+  // Shared host sample so every technique sees the same node population.
+  util::Rng host_rng(seed + 1);
+  std::vector<net::HostId> hosts;
+  for (std::size_t i = 0; i < n; ++i)
+    hosts.push_back(static_cast<net::HostId>(
+        host_rng.next_u64(world.topology.host_count())));
+
+  // --- 0. no proximity at all ------------------------------------------
+  {
+    overlay::EcanNetwork ecan(2);
+    util::Rng rng(seed + 2);
+    for (const auto host : hosts) ecan.join_random(host, rng);
+    core::RandomSelector selector{util::Rng(seed + 3)};
+    ecan.build_all_tables(selector);
+    const auto [stretch, hops] = measure(ecan, RoutingMode::kPlain);
+    add_row("none (random everything)", stretch, hops,
+            overlay::measure_imbalance(ecan).volume_gini);
+  }
+
+  // --- 1. geographic layout (Topologically-Aware CAN) ------------------
+  {
+    overlay::EcanNetwork ecan(2);
+    util::Rng rng(seed + 2);
+    const std::size_t bins = proximity::factorial(4);
+    for (const auto host : hosts) {
+      // Bin by the ordering of the 4 nearest-ranked landmarks.
+      const auto vector = world.landmarks->measure(*world.oracle, host);
+      std::vector<double> head(vector.begin(), vector.begin() + 4);
+      proximity::LandmarkSet head_set(
+          {world.landmarks->hosts().begin(),
+           world.landmarks->hosts().begin() + 4},
+          world.landmarks->config());
+      const auto order = head_set.ordering(head);
+      overlay::join_binned(ecan, host, proximity::ordering_rank(order), bins,
+                           rng);
+    }
+    core::RandomSelector selector{util::Rng(seed + 3)};
+    ecan.build_all_tables(selector);
+    const auto [stretch, hops] = measure(ecan, RoutingMode::kPlain);
+    add_row("geographic layout (TACAN)", stretch, hops,
+            overlay::measure_imbalance(ecan).volume_gini);
+  }
+
+  // --- 2./3./combo over a uniform-layout soft-state overlay -------------
+  {
+    overlay::EcanNetwork ecan(2);
+    util::Rng rng(seed + 2);
+    std::vector<overlay::NodeId> nodes;
+    for (const auto host : hosts) nodes.push_back(ecan.join_random(host, rng));
+    softstate::MapService maps(ecan, *world.landmarks, {});
+    core::VectorStore vectors;
+    for (const auto id : nodes) {
+      vectors[id] =
+          world.landmarks->measure(*world.oracle, ecan.node(id).host);
+      maps.publish(id, vectors[id], 0.0);
+    }
+
+    core::RandomSelector random_selector{util::Rng(seed + 3)};
+    ecan.build_all_tables(random_selector);
+    {
+      const auto [stretch, hops] = measure(ecan, RoutingMode::kProximity);
+      add_row("proximity routing", stretch, hops,
+              overlay::measure_imbalance(ecan).volume_gini);
+    }
+
+    core::SoftStateSelector soft_selector(ecan, maps, *world.oracle, vectors,
+                                          10, util::Rng(seed + 4));
+    ecan.build_all_tables(soft_selector);
+    {
+      const auto [stretch, hops] = measure(ecan, RoutingMode::kPlain);
+      add_row("PNS via global soft-state", stretch, hops,
+              overlay::measure_imbalance(ecan).volume_gini);
+    }
+    {
+      const auto [stretch, hops] = measure(ecan, RoutingMode::kProximity);
+      add_row("PNS + proximity routing", stretch, hops,
+              overlay::measure_imbalance(ecan).volume_gini);
+    }
+  }
+
+  std::cout << table.to_string();
+  std::cout << "\nShape check (paper): PNS dominates — geographic layout\n"
+               "skews the space (gini) and proximity routing alone is\n"
+               "limited by its candidate set (cheap hops, but more of\n"
+               "them). Once PNS has made every table entry close, greedy\n"
+               "latency-chasing adds hops without saving latency.\n";
+  return 0;
+}

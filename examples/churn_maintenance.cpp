@@ -1,0 +1,102 @@
+// Churn & maintenance — the paper's Section 5.2 machinery as a running
+// system: nodes join and leave continuously; soft-state TTLs, republish
+// timers, publish/subscribe notifications and lazy repair keep the overlay
+// topology-aware without any global sweep.
+//
+//   $ ./build/examples/churn_maintenance
+#include <cstdio>
+
+#include "core/soft_state_overlay.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace topo;
+
+  util::Rng rng(13);
+  net::Topology topology =
+      net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+
+  core::SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  config.map.ttl_ms = 30'000.0;           // 30 s soft-state lifetime
+  config.republish_interval_ms = 10'000.0; // refreshed every 10 s
+  core::SoftStateOverlay overlay(topology, config);
+
+  std::vector<overlay::NodeId> live;
+  for (int i = 0; i < 80; ++i)
+    live.push_back(overlay.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+
+  // Measure through the facade's lookup: real traffic repairs broken
+  // expressway entries on first use (the paper's reactive maintenance).
+  auto report = [&](const char* phase) {
+    util::Rng measure_rng(1234);  // same workload every epoch
+    util::Samples stretch;
+    for (int q = 0; q < 150; ++q) {
+      const auto from = live[measure_rng.next_u64(live.size())];
+      const geom::Point key = geom::Point::random(2, measure_rng);
+      const overlay::RouteResult route = overlay.lookup(from, key);
+      if (!route.success || route.path.size() < 2) continue;
+      const double direct = overlay.oracle().latency_ms(
+          overlay.ecan().node(from).host,
+          overlay.ecan().node(route.path.back()).host);
+      if (direct <= 0.0) continue;
+      stretch.add(sim::path_latency_ms(overlay.ecan(), overlay.oracle(),
+                                       route.path) /
+                  direct);
+    }
+    sim::RoutingSample sample;
+    sample.stretch = stretch;
+    std::printf(
+        "%-28s nodes=%-4zu entries=%-5zu stretch=%.2f reselections=%llu "
+        "notifications=%llu lazy-repairs=%llu\n",
+        phase, overlay.ecan().size(), overlay.maps().total_entries(),
+        sample.stretch.mean(),
+        static_cast<unsigned long long>(overlay.stats().reselections),
+        static_cast<unsigned long long>(
+            overlay.pubsub().stats().notifications),
+        static_cast<unsigned long long>(overlay.ecan().lazy_repairs()));
+  };
+  report("initial");
+
+  // Epoch 1: heavy churn. Half graceful departures, half crashes; new
+  // nodes replace them. Virtual time advances so timers run.
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t pick = rng.next_u64(live.size());
+    if (rng.next_bool(0.5))
+      overlay.leave(live[pick]);
+    else
+      overlay.crash(live[pick]);
+    live.erase(live.begin() + static_cast<long>(pick));
+    live.push_back(overlay.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+    overlay.run_for(1'000.0);
+  }
+  report("after churn (40 swaps)");
+
+  // Epoch 2: quiet period — republish keeps records alive, crashed nodes'
+  // stale records time out, pub/sub has already patched tables.
+  overlay.run_for(60'000.0);
+  report("after 60 s quiet");
+
+  // Epoch 3: mass crash of a quarter of the network, then recovery.
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t pick = rng.next_u64(live.size());
+    overlay.crash(live[pick]);
+    live.erase(live.begin() + static_cast<long>(pick));
+  }
+  report("right after 20 crashes");
+  overlay.run_for(60'000.0);
+  report("60 s later (decayed)");
+
+  std::printf(
+      "\nThe stretch stays near its pre-churn level throughout: departures\n"
+      "are scrubbed proactively (leave) or decay via TTL (crash), watchers\n"
+      "are notified to re-select, and routing repairs entries on first\n"
+      "use. No global sweep ever runs.\n");
+  return 0;
+}

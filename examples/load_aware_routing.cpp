@@ -1,0 +1,94 @@
+// Load-aware neighbor selection — the paper's Section 6: nodes publish
+// load and capacity alongside proximity; neighbors are chosen by trading
+// network distance against utilization, and QoS subscriptions re-select
+// when the chosen neighbor saturates.
+//
+//   $ ./build/examples/load_aware_routing
+#include <cstdio>
+
+#include "core/soft_state_overlay.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+int main() {
+  using namespace topo;
+
+  util::Rng rng(17);
+  net::Topology topology =
+      net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+
+  core::SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 12;
+  config.load_weight = 4.0;     // a saturated node looks 5x farther
+  config.load_threshold = 0.8;  // notify when a neighbor crosses 80%
+  core::SoftStateOverlay overlay(topology, config);
+
+  // Heterogeneous fleet: a few beefy nodes, many constrained ones.
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 80; ++i) {
+    const auto id = overlay.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count())));
+    overlay.set_capacity(id, i % 10 == 0 ? 10.0 : 1.0);
+    nodes.push_back(id);
+  }
+
+  // The load probe models measured utilization. Start idle.
+  std::vector<double> load(nodes.size(), 0.1);
+  overlay.set_load_probe([&](overlay::NodeId id) {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (nodes[i] == id) return load[i];
+    return 0.0;
+  });
+
+  auto count_table_refs = [&](overlay::NodeId target) {
+    std::size_t refs = 0;
+    for (const auto id : overlay.ecan().live_nodes()) {
+      const int levels = overlay.ecan().node_level(id);
+      for (int h = 1; h <= levels; ++h)
+        for (std::size_t dim = 0; dim < 2; ++dim)
+          for (int dir = 0; dir < 2; ++dir)
+            if (overlay.ecan().table_entry(id, h, dim, dir) == target)
+              ++refs;
+    }
+    return refs;
+  };
+
+  // Pick a node that several tables point at, then saturate it.
+  overlay::NodeId hotspot = nodes[0];
+  std::size_t best_refs = 0;
+  for (const auto id : nodes) {
+    const std::size_t refs = count_table_refs(id);
+    if (refs > best_refs) {
+      best_refs = refs;
+      hotspot = id;
+    }
+  }
+  std::printf("hotspot node %u is referenced by %zu expressway entries\n",
+              hotspot, best_refs);
+
+  // Saturate it and republish (in a deployment the periodic republish
+  // carries the fresh load figure; we force one for determinism).
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i] == hotspot) load[i] = 0.97;
+  const auto notifications_before =
+      overlay.pubsub().stats().notifications;
+  overlay.republish_now(hotspot);
+
+  const std::size_t refs_after = count_table_refs(hotspot);
+  std::printf(
+      "after publishing load=0.97: %llu QoS notifications fired,\n"
+      "references to the hotspot dropped %zu -> %zu\n",
+      static_cast<unsigned long long>(overlay.pubsub().stats().notifications -
+                                      notifications_before),
+      best_refs, refs_after);
+
+  std::printf(
+      "\nSubscribers watching the hotspot were notified that it crossed\n"
+      "their 80%% threshold and re-selected using the load-aware score\n"
+      "rtt * (1 + %.0f * load/capacity); distant-but-idle neighbors now\n"
+      "carry the traffic (Section 6 of the paper).\n",
+      config.load_weight);
+  return 0;
+}

@@ -1,0 +1,154 @@
+// One proximity substrate, three overlays — the paper's generality claim
+// as a demo: the same landmark infrastructure and the same global
+// soft-state idea drive proximity-neighbor selection on eCAN (Cartesian
+// zones), Chord (successor ring) and Pastry (prefix routing).
+//
+//   $ ./build/examples/multi_overlay
+#include <cstdio>
+
+#include "core/chord_selectors.hpp"
+#include "core/pastry_selectors.hpp"
+#include "core/selectors.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/metrics.hpp"
+#include "softstate/chord_maps.hpp"
+#include "softstate/map_service.hpp"
+#include "softstate/pastry_maps.hpp"
+
+int main() {
+  using namespace topo;
+
+  util::Rng rng(23);
+  net::Topology topology =
+      net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(topology, net::LatencyModel::kGtItmRandom, rng);
+  net::RttOracle oracle(topology);
+
+  // One landmark set shared by every overlay: each node measures its RTT
+  // vector once and reuses it everywhere.
+  const auto landmarks =
+      proximity::LandmarkSet::choose_random(topology, 8, rng, {});
+  oracle.warm(landmarks.hosts());
+
+  const std::size_t n = 200;
+  std::vector<net::HostId> hosts;
+  for (std::size_t i = 0; i < n; ++i)
+    hosts.push_back(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count())));
+
+  std::printf("%-8s %-22s %-22s\n", "overlay", "random/classic stretch",
+              "soft-state PNS stretch");
+
+  // ---- eCAN ------------------------------------------------------------
+  {
+    overlay::EcanNetwork ecan(2);
+    std::vector<overlay::NodeId> nodes;
+    for (const auto host : hosts) nodes.push_back(ecan.join_random(host, rng));
+    softstate::MapService maps(ecan, landmarks, {});
+    core::VectorStore vectors;
+    for (const auto id : nodes) {
+      vectors[id] = landmarks.measure(oracle, ecan.node(id).host);
+      maps.publish(id, vectors[id], 0.0);
+    }
+    core::RandomSelector random{util::Rng(1)};
+    ecan.build_all_tables(random);
+    util::Rng m1(2);
+    const double baseline =
+        sim::measure_ecan_routing(ecan, oracle, 300, m1).stretch.mean();
+    core::SoftStateSelector soft(ecan, maps, oracle, vectors, 10,
+                                 util::Rng(3));
+    ecan.build_all_tables(soft);
+    util::Rng m2(2);
+    const double pns =
+        sim::measure_ecan_routing(ecan, oracle, 300, m2).stretch.mean();
+    std::printf("%-8s %-22.3f %-22.3f\n", "eCAN", baseline, pns);
+  }
+
+  // ---- Chord -----------------------------------------------------------
+  {
+    overlay::ChordNetwork chord(24);
+    std::vector<overlay::NodeId> nodes;
+    for (const auto host : hosts)
+      nodes.push_back(chord.join_random(host, rng));
+    core::ClassicFingerSelector classic;
+    chord.build_all_fingers(classic);
+    softstate::ChordMapService maps(chord, landmarks);
+    core::ChordVectorStore vectors;
+    for (const auto id : nodes) {
+      vectors[id] = landmarks.measure(oracle, chord.node(id).host);
+      maps.publish(id, vectors[id], 0.0);
+    }
+    auto measure = [&] {
+      util::Rng m(4);
+      util::Samples stretch;
+      const auto live = chord.live_nodes();
+      for (int q = 0; q < 300; ++q) {
+        const auto from = live[m.next_u64(live.size())];
+        const auto route = chord.route(from, m.next_u64(chord.ring_size()));
+        if (!route.success || route.path.size() < 2) continue;
+        double path = 0.0;
+        for (std::size_t i = 1; i < route.path.size(); ++i)
+          path += oracle.latency_ms(chord.node(route.path[i - 1]).host,
+                                    chord.node(route.path[i]).host);
+        const double direct = oracle.latency_ms(
+            chord.node(from).host, chord.node(route.path.back()).host);
+        if (direct > 0.0) stretch.add(path / direct);
+      }
+      return stretch.mean();
+    };
+    const double baseline = measure();
+    core::SoftStateFingerSelector soft(chord, maps, oracle, vectors, 16,
+                                       util::Rng(5));
+    chord.build_all_fingers(soft);
+    std::printf("%-8s %-22.3f %-22.3f\n", "Chord", baseline, measure());
+  }
+
+  // ---- Pastry ----------------------------------------------------------
+  {
+    overlay::PastryNetwork pastry(24, 4);
+    std::vector<overlay::NodeId> nodes;
+    for (const auto host : hosts)
+      nodes.push_back(pastry.join_random(host, rng));
+    core::FirstSlotSelector first;
+    pastry.build_all_tables(first);
+    softstate::PastryMapService maps(pastry, landmarks);
+    core::PastryVectorStore vectors;
+    for (const auto id : nodes) {
+      vectors[id] = landmarks.measure(oracle, pastry.node(id).host);
+      maps.publish(id, vectors[id], 0.0);
+    }
+    auto measure = [&] {
+      util::Rng m(6);
+      util::Samples stretch;
+      const auto live = pastry.live_nodes();
+      for (int q = 0; q < 300; ++q) {
+        const auto from = live[m.next_u64(live.size())];
+        const auto route =
+            pastry.route(from, m.next_u64(pastry.ring_size()));
+        if (!route.success || route.path.size() < 2) continue;
+        double path = 0.0;
+        for (std::size_t i = 1; i < route.path.size(); ++i)
+          path += oracle.latency_ms(pastry.node(route.path[i - 1]).host,
+                                    pastry.node(route.path[i]).host);
+        const double direct = oracle.latency_ms(
+            pastry.node(from).host, pastry.node(route.path.back()).host);
+        if (direct > 0.0) stretch.add(path / direct);
+      }
+      return stretch.mean();
+    };
+    const double baseline = measure();
+    core::SoftStateSlotSelector soft(pastry, maps, oracle, vectors, 10,
+                                     util::Rng(7));
+    pastry.build_all_tables(soft);
+    std::printf("%-8s %-22.3f %-22.3f\n", "Pastry", baseline, measure());
+  }
+
+  std::printf(
+      "\nEvery overlay keeps its own structure (zones / ring / prefixes);\n"
+      "the landmark vectors, landmark numbers and soft-state maps are the\n"
+      "same machinery throughout — 'generic for overlay networks such as\n"
+      "Pastry, Chord, and eCAN, where there exists flexibility in\n"
+      "selecting routing neighbors' (paper, conclusion).\n");
+  return 0;
+}

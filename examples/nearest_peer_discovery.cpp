@@ -1,0 +1,83 @@
+// Nearest-peer discovery — the paper's Section 4 workload as an
+// application: a client wants the physically closest member of a service
+// (think: CDN edge selection, game-server matchmaking, mirror selection).
+//
+// Compares three strategies a real deployment could use:
+//   * probe-everything (ground truth, O(n) RTT measurements),
+//   * expanding-ring search over the overlay (the pre-paper baseline),
+//   * landmark clustering + a handful of RTT probes (the paper).
+//
+//   $ ./build/examples/nearest_peer_discovery
+#include <cstdio>
+#include <limits>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "proximity/nn_search.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace topo;
+
+  util::Rng rng(11);
+  net::Topology topology =
+      net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(topology, net::LatencyModel::kGtItmRandom, rng);
+  net::RttOracle oracle(topology);
+
+  // The service: 40 replica hosts scattered over the network, each having
+  // measured its landmark vector against 8 shared landmarks.
+  const proximity::LandmarkSet landmarks =
+      proximity::LandmarkSet::choose_random(topology, 8, rng, {});
+  proximity::ProximityDatabase replicas;
+  for (int i = 0; i < 40; ++i) {
+    const auto host =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    replicas.push_back(
+        proximity::ProximityRecord{host, landmarks.measure(oracle, host)});
+  }
+
+  // An overlay of all hosts, for the expanding-ring baseline.
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < topology.host_count(); ++h)
+    can.join_random(h, rng);
+
+  std::printf("%-10s %-28s %-28s %-22s\n", "client", "probe-everything",
+              "expanding-ring (10 probes)", "lmk+rtt (10 probes)");
+  for (int c = 0; c < 5; ++c) {
+    const auto client =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+
+    // Ground truth: probe every replica.
+    net::HostId best_host = net::kInvalidHost;
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (const auto& replica : replicas) {
+      const double rtt = oracle.latency_ms(client, replica.host);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best_host = replica.host;
+      }
+    }
+
+    // Expanding-ring search with the same probe budget as the hybrid.
+    const auto ring_curve = proximity::ers_best_rtt_curve(
+        can, oracle, client, can.live_nodes()[rng.next_u64(can.size())], 10,
+        rng);
+
+    // The paper: rank replicas by landmark-vector distance, probe top 10.
+    const auto client_vector = landmarks.measure(oracle, client);
+    const auto hybrid = proximity::hybrid_nn_search(oracle, client,
+                                                    client_vector, replicas,
+                                                    10);
+
+    std::printf(
+        "host %-5u %8.2f ms (40 probes)      %8.2f ms                  "
+        "%8.2f ms (host %u)\n",
+        client, best_rtt, ring_curve.back(), hybrid.rtt_ms, hybrid.host);
+    (void)best_host;
+  }
+  std::printf(
+      "\nThe hybrid column tracks ground truth at a quarter of the probes;\n"
+      "the expanding ring, probing blindly, usually lands far away.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart — the public API in one page.
+//
+// Builds a small simulated internet, brings up a topology-aware overlay
+// with global soft-state, and shows the effect on routing latency.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/soft_state_overlay.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace topo;
+
+  // 1. A simulated physical network: GT-ITM-style transit-stub topology
+  //    (~126 hosts here; use net::tsk_large() for the paper's 10k).
+  util::Rng rng(7);
+  net::Topology topology =
+      net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+  std::printf("topology: %zu hosts, %zu links\n", topology.host_count(),
+              topology.link_count());
+
+  // 2. The topology-aware overlay. The config mirrors the paper's Table 2:
+  //    landmark count, RTT probe budget, map condense rate, soft-state TTL.
+  core::SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 10;
+  core::SoftStateOverlay overlay(topology, config);
+
+  // 3. Nodes join: each measures its landmark vector, takes a random zone,
+  //    publishes its proximity record into the global soft-state, selects
+  //    physically-close expressway neighbors through the maps, and
+  //    subscribes for changes.
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 100; ++i)
+    nodes.push_back(overlay.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+  std::printf("overlay: %zu nodes, %zu soft-state entries, %zu subs\n",
+              overlay.ecan().size(), overlay.maps().total_entries(),
+              overlay.pubsub().active_subscriptions());
+
+  // 4. The DHT itself: keys are points in the unit square; values live at
+  //    the key's owner and reach it over topology-aware expressways.
+  const geom::Point key = geom::Point::random(2, rng);
+  const overlay::RouteResult route =
+      overlay.put(nodes[0], key, "hello overlay");
+  std::printf("put %s: %zu overlay hops, stored at node %u\n",
+              key.to_string().c_str(), route.hops(), route.path.back());
+  std::printf("get from another node: \"%s\"\n",
+              overlay.get(nodes[50], key).value_or("<missing>").c_str());
+
+  // 5. Measure the routing stretch (path latency / direct latency).
+  util::Rng measure_rng(99);
+  const sim::RoutingSample sample = sim::measure_ecan_routing(
+      overlay.ecan(), overlay.oracle(), 200, measure_rng);
+  std::printf("stretch over 200 random lookups: mean %.2f, p90 %.2f\n",
+              sample.stretch.mean(), sample.stretch.percentile(90));
+
+  // 6. Soft-state in action: advance virtual time; records are republished
+  //    before their TTL expires, so the maps stay warm.
+  overlay.run_for(120'000.0);  // 2 virtual minutes
+  std::printf("after 2 virtual minutes: %zu entries (%llu republishes)\n",
+              overlay.maps().total_entries(),
+              static_cast<unsigned long long>(overlay.stats().republishes));
+
+  // 7. Graceful departure scrubs the maps; a crash decays via TTL instead.
+  overlay.leave(nodes[1]);
+  overlay.crash(nodes[2]);
+  std::printf("after 1 leave + 1 crash: %zu nodes alive, lookups still ok: %s\n",
+              overlay.ecan().size(),
+              overlay.lookup(nodes[0], geom::Point::random(2, rng)).success
+                  ? "yes"
+                  : "no");
+  return 0;
+}

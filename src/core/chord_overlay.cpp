@@ -1,0 +1,96 @@
+#include "core/chord_overlay.hpp"
+
+namespace topo::core {
+
+ChordSoftStateOverlay::ChordSoftStateOverlay(const net::Topology& topology,
+                                             ChordSystemConfig config)
+    : config_(config),
+      rng_(config.seed),
+      oracle_(topology),
+      landmarks_(proximity::LandmarkSet::choose_random(
+          topology, config.landmark_count, rng_, config.landmark)),
+      chord_(config.id_bits) {
+  oracle_.warm(landmarks_.hosts());
+  softstate::ChordMapConfig map_config;
+  map_config.ttl_ms = config_.ttl_ms;
+  maps_ = std::make_unique<softstate::ChordMapService>(chord_, landmarks_,
+                                                       map_config);
+  selector_ = std::make_unique<SoftStateFingerSelector>(
+      chord_, *maps_, oracle_, vectors_, config_.rtt_budget, rng_.fork());
+}
+
+overlay::NodeId ChordSoftStateOverlay::join(net::HostId host) {
+  // 1. Landmark measurement.
+  const proximity::LandmarkVector vector = landmarks_.measure(oracle_, host);
+
+  // 2. Random ring id (no geographic constraint, as for eCAN).
+  const overlay::NodeId id = chord_.join_random(host, rng_);
+  vectors_[id] = vector;
+
+  // 3. The new node is now the successor for part of its old successor's
+  //    range: that node re-homes its store (records that still belong to
+  //    it stay put).
+  const overlay::NodeId successor = chord_.successor_node(id);
+  if (successor != id) maps_->rehome_from(successor);
+
+  // 4. Publish and select fingers through the map.
+  maps_->publish(id, vector, events_.now());
+  chord_.build_fingers(id, *selector_);
+
+  schedule_republish(id);
+  ++stats_.joins;
+  return id;
+}
+
+void ChordSoftStateOverlay::leave(overlay::NodeId id) {
+  TO_EXPECTS(chord_.alive(id));
+  // Proactive update: scrub own records, hand hosted records over.
+  maps_->remove_everywhere(id);
+  const overlay::NodeId successor = chord_.successor_node(id);
+  chord_.leave(id);
+  vectors_.erase(id);
+  if (successor != id && chord_.alive(successor))
+    maps_->rehome_from(id);
+  else
+    maps_->drop_store(id);  // last node out: nowhere to hand the state
+  ++stats_.leaves;
+}
+
+void ChordSoftStateOverlay::crash(overlay::NodeId id) {
+  TO_EXPECTS(chord_.alive(id));
+  chord_.leave(id);
+  vectors_.erase(id);
+  // Hosted records die with the node (they decay back via republish);
+  // records pointing at the dead node are scrubbed lazily by the selector
+  // and its fingers repair on first use.
+  maps_->drop_store(id);
+  ++stats_.crashes;
+}
+
+overlay::RouteResult ChordSoftStateOverlay::lookup(overlay::NodeId from,
+                                                   overlay::ChordId key) {
+  return chord_.route_repair(from, key, *selector_);
+}
+
+void ChordSoftStateOverlay::run_for(sim::Time ms) {
+  events_.run_until(events_.now() + ms);
+  maps_->expire_before(events_.now());
+}
+
+void ChordSoftStateOverlay::republish_now(overlay::NodeId id) {
+  if (!chord_.alive(id)) return;
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return;
+  maps_->publish(id, it->second, events_.now());
+  ++stats_.republishes;
+}
+
+void ChordSoftStateOverlay::schedule_republish(overlay::NodeId id) {
+  events_.schedule_in(config_.republish_interval_ms, [this, id] {
+    if (!chord_.alive(id)) return;
+    republish_now(id);
+    schedule_republish(id);
+  });
+}
+
+}  // namespace topo::core

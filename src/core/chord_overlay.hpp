@@ -1,0 +1,78 @@
+// ChordSoftStateOverlay — the dynamic facade for the Chord port
+// (Appendix): the same join / republish / TTL / reactive-repair lifecycle
+// SoftStateOverlay gives eCAN, over the landmark-number-keyed ring map.
+//
+// Join: measure landmarks, take a random ring id, migrate the records the
+// new id becomes responsible for, publish, select fingers through the map
+// with RTT probes. Leave: scrub proactively and hand stored records to
+// the successor. Crash: hosted records vanish; everything pointing at the
+// dead node repairs lazily or decays via TTL.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/chord_selectors.hpp"
+#include "sim/event_queue.hpp"
+
+namespace topo::core {
+
+struct ChordSystemConfig {
+  int id_bits = 30;
+  int landmark_count = 15;
+  proximity::LandmarkConfig landmark;
+  std::size_t rtt_budget = 16;
+  sim::Time ttl_ms = 60'000.0;
+  sim::Time republish_interval_ms = 30'000.0;
+  std::uint64_t seed = 42;
+};
+
+struct ChordSystemStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t republishes = 0;
+};
+
+class ChordSoftStateOverlay {
+ public:
+  ChordSoftStateOverlay(const net::Topology& topology,
+                        ChordSystemConfig config);
+
+  ChordSoftStateOverlay(const ChordSoftStateOverlay&) = delete;
+  ChordSoftStateOverlay& operator=(const ChordSoftStateOverlay&) = delete;
+
+  overlay::NodeId join(net::HostId host);
+  void leave(overlay::NodeId id);
+  void crash(overlay::NodeId id);
+
+  /// Key lookup with reactive finger repair.
+  overlay::RouteResult lookup(overlay::NodeId from, overlay::ChordId key);
+
+  void run_for(sim::Time ms);
+  void republish_now(overlay::NodeId id);
+
+  overlay::ChordNetwork& chord() { return chord_; }
+  softstate::ChordMapService& maps() { return *maps_; }
+  net::RttOracle& oracle() { return oracle_; }
+  const proximity::LandmarkSet& landmarks() const { return landmarks_; }
+  sim::EventQueue& events() { return events_; }
+  const ChordVectorStore& vectors() const { return vectors_; }
+  const ChordSystemStats& stats() const { return stats_; }
+
+ private:
+  void schedule_republish(overlay::NodeId id);
+
+  ChordSystemConfig config_;
+  util::Rng rng_;
+  net::RttOracle oracle_;
+  proximity::LandmarkSet landmarks_;
+  overlay::ChordNetwork chord_;
+  std::unique_ptr<softstate::ChordMapService> maps_;
+  std::unique_ptr<SoftStateFingerSelector> selector_;
+  sim::EventQueue events_;
+  ChordVectorStore vectors_;
+  ChordSystemStats stats_;
+};
+
+}  // namespace topo::core

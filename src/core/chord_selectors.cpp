@@ -1,0 +1,82 @@
+#include "core/chord_selectors.hpp"
+
+#include <limits>
+
+namespace topo::core {
+
+overlay::NodeId OracleFingerSelector::select(
+    overlay::NodeId for_node, int,
+    std::span<const overlay::NodeId> candidates) {
+  TO_EXPECTS(!candidates.empty());
+  const net::HostId from = chord_->node(for_node).host;
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const overlay::NodeId candidate : candidates) {
+    const double latency =
+        oracle_->latency_ms(from, chord_->node(candidate).host);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+overlay::NodeId SoftStateFingerSelector::select(
+    overlay::NodeId for_node, int finger_index,
+    std::span<const overlay::NodeId> candidates) {
+  TO_EXPECTS(!candidates.empty());
+  (void)finger_index;
+
+  // Refresh the cached map lookup when switching to a new node's table.
+  if (cached_for_ != for_node) {
+    cached_.clear();
+    cached_for_ = for_node;
+    probes_spent_ = 0;
+    const auto vector_it = vectors_->find(for_node);
+    if (vector_it != vectors_->end()) {
+      ++map_lookups_;
+      softstate::ChordLookupMeta meta;
+      for (auto& entry :
+           maps_->lookup(for_node, vector_it->second, 0.0, &meta)) {
+        if (!chord_->alive(entry.node)) {
+          maps_->report_dead(meta.owner, entry.node);  // lazy deletion
+          continue;
+        }
+        cached_.push_back(CachedCandidate{std::move(entry), -1.0});
+      }
+    }
+  }
+
+  // Candidates from the map that fall in this finger's interval, in
+  // landmark-distance order (the cache is already sorted); probe each at
+  // most once, sharing the per-table budget.
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_rtt = std::numeric_limits<double>::infinity();
+  const net::HostId from = chord_->node(for_node).host;
+  const auto [lo, hi] = chord_->finger_interval(for_node, finger_index);
+  for (CachedCandidate& candidate : cached_) {
+    if (!chord_->alive(candidate.entry.node)) continue;
+    // Interval membership is decided by the candidate's actual ring id
+    // (entry.key is where the record is *stored*, not where the node is).
+    if (!chord_->in_arc(chord_->node(candidate.entry.node).id, lo, hi))
+      continue;
+    if (candidate.rtt_ms < 0.0) {
+      if (probes_spent_ >= rtt_budget_) continue;
+      candidate.rtt_ms = oracle_->probe_rtt(from, candidate.entry.host);
+      ++probes_spent_;
+    }
+    if (candidate.rtt_ms < best_rtt) {
+      best_rtt = candidate.rtt_ms;
+      best = candidate.entry.node;
+    }
+  }
+
+  if (best == overlay::kInvalidNode) {
+    // No known-close candidate in this interval: classic Chord choice.
+    return candidates.front();
+  }
+  return best;
+}
+
+}  // namespace topo::core

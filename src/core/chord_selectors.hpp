@@ -1,0 +1,104 @@
+// Finger-selection strategies for Chord (mirroring core/selectors.hpp):
+//
+//   * ClassicFingerSelector  — the original protocol: successor(n + 2^i),
+//                              i.e. the first node in the interval;
+//   * RandomFingerSelector   — uniform member of the interval (the same
+//                              baseline Figures 14-15 use for eCAN);
+//   * OracleFingerSelector   — physically closest member (optimal PNS);
+//   * SoftStateFingerSelector — the paper: one lookup into the
+//                              landmark-number-keyed ring map per table
+//                              build, candidates filtered per interval and
+//                              RTT-probed within a budget.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/chord.hpp"
+#include "softstate/chord_maps.hpp"
+#include "util/rng.hpp"
+
+namespace topo::core {
+
+class ClassicFingerSelector final : public overlay::FingerSelector {
+ public:
+  overlay::NodeId select(overlay::NodeId, int,
+                         std::span<const overlay::NodeId> candidates) override {
+    return candidates.front();  // ring order: successor of interval start
+  }
+};
+
+class RandomFingerSelector final : public overlay::FingerSelector {
+ public:
+  explicit RandomFingerSelector(util::Rng rng) : rng_(rng) {}
+
+  overlay::NodeId select(overlay::NodeId, int,
+                         std::span<const overlay::NodeId> candidates) override {
+    return candidates[rng_.next_u64(candidates.size())];
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class OracleFingerSelector final : public overlay::FingerSelector {
+ public:
+  OracleFingerSelector(const overlay::ChordNetwork& chord,
+                       net::RttOracle& oracle)
+      : chord_(&chord), oracle_(&oracle) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int,
+                         std::span<const overlay::NodeId> candidates) override;
+
+ private:
+  const overlay::ChordNetwork* chord_;
+  net::RttOracle* oracle_;
+};
+
+/// Chord landmark vectors, measured at join time (same role as
+/// core::VectorStore for the CAN family).
+using ChordVectorStore =
+    std::unordered_map<overlay::NodeId, proximity::LandmarkVector>;
+
+class SoftStateFingerSelector final : public overlay::FingerSelector {
+ public:
+  SoftStateFingerSelector(overlay::ChordNetwork& chord,
+                          softstate::ChordMapService& maps,
+                          net::RttOracle& oracle,
+                          const ChordVectorStore& vectors,
+                          std::size_t rtt_budget, util::Rng rng)
+      : chord_(&chord),
+        maps_(&maps),
+        oracle_(&oracle),
+        vectors_(&vectors),
+        rtt_budget_(rtt_budget),
+        rng_(rng) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int finger_index,
+                         std::span<const overlay::NodeId> candidates) override;
+
+  /// Map lookups performed (one per table build thanks to caching).
+  std::uint64_t map_lookups() const { return map_lookups_; }
+
+ private:
+  struct CachedCandidate {
+    softstate::ChordMapEntry entry;
+    double rtt_ms = -1.0;  // probed lazily, at most once per table build
+  };
+
+  overlay::ChordNetwork* chord_;
+  softstate::ChordMapService* maps_;
+  net::RttOracle* oracle_;
+  const ChordVectorStore* vectors_;
+  std::size_t rtt_budget_;
+  util::Rng rng_;
+
+  // One cached map lookup per node whose table is being built; selections
+  // for that node's fingers share it (and its probe budget).
+  overlay::NodeId cached_for_ = overlay::kInvalidNode;
+  std::vector<CachedCandidate> cached_;
+  std::size_t probes_spent_ = 0;
+  std::uint64_t map_lookups_ = 0;
+};
+
+}  // namespace topo::core

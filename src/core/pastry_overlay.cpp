@@ -1,0 +1,87 @@
+#include "core/pastry_overlay.hpp"
+
+namespace topo::core {
+
+PastrySoftStateOverlay::PastrySoftStateOverlay(const net::Topology& topology,
+                                               PastrySystemConfig config)
+    : config_(config),
+      rng_(config.seed),
+      oracle_(topology),
+      landmarks_(proximity::LandmarkSet::choose_random(
+          topology, config.landmark_count, rng_, config.landmark)),
+      pastry_(config.id_bits, config.digit_bits, config.leaf_set_half) {
+  oracle_.warm(landmarks_.hosts());
+  softstate::PastryMapConfig map_config;
+  map_config.ttl_ms = config_.ttl_ms;
+  maps_ = std::make_unique<softstate::PastryMapService>(pastry_, landmarks_,
+                                                        map_config);
+  selector_ = std::make_unique<SoftStateSlotSelector>(
+      pastry_, *maps_, oracle_, vectors_, config_.rtt_budget, rng_.fork());
+}
+
+overlay::NodeId PastrySoftStateOverlay::join(net::HostId host) {
+  const proximity::LandmarkVector vector = landmarks_.measure(oracle_, host);
+  const overlay::NodeId id = pastry_.join_random(host, rng_);
+  vectors_[id] = vector;
+
+  // The new node takes over the keys numerically closest to its id from
+  // its ring neighbors: both re-home (records still theirs stay put).
+  for (const overlay::NodeId neighbor : pastry_.leaf_set(id))
+    maps_->rehome_from(neighbor);
+
+  maps_->publish(id, vector, events_.now());
+  pastry_.build_table(id, *selector_);
+
+  schedule_republish(id);
+  ++stats_.joins;
+  return id;
+}
+
+void PastrySoftStateOverlay::leave(overlay::NodeId id) {
+  TO_EXPECTS(pastry_.alive(id));
+  maps_->remove_everywhere(id);
+  const bool last = pastry_.size() == 1;
+  pastry_.leave(id);
+  vectors_.erase(id);
+  if (last)
+    maps_->drop_store(id);
+  else
+    maps_->rehome_from(id);
+  ++stats_.leaves;
+}
+
+void PastrySoftStateOverlay::crash(overlay::NodeId id) {
+  TO_EXPECTS(pastry_.alive(id));
+  pastry_.leave(id);
+  vectors_.erase(id);
+  maps_->drop_store(id);
+  ++stats_.crashes;
+}
+
+overlay::RouteResult PastrySoftStateOverlay::lookup(overlay::NodeId from,
+                                                    overlay::PastryId key) {
+  return pastry_.route_repair(from, key, *selector_);
+}
+
+void PastrySoftStateOverlay::run_for(sim::Time ms) {
+  events_.run_until(events_.now() + ms);
+  maps_->expire_before(events_.now());
+}
+
+void PastrySoftStateOverlay::republish_now(overlay::NodeId id) {
+  if (!pastry_.alive(id)) return;
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return;
+  maps_->publish(id, it->second, events_.now());
+  ++stats_.republishes;
+}
+
+void PastrySoftStateOverlay::schedule_republish(overlay::NodeId id) {
+  events_.schedule_in(config_.republish_interval_ms, [this, id] {
+    if (!pastry_.alive(id)) return;
+    republish_now(id);
+    schedule_republish(id);
+  });
+}
+
+}  // namespace topo::core

@@ -1,0 +1,73 @@
+// PastrySoftStateOverlay — dynamic facade for the Pastry port (§5.1):
+// join / publish-into-prefix-maps / slot selection / republish / TTL /
+// reactive repair, mirroring SoftStateOverlay (eCAN) and
+// ChordSoftStateOverlay.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/pastry_selectors.hpp"
+#include "sim/event_queue.hpp"
+
+namespace topo::core {
+
+struct PastrySystemConfig {
+  int id_bits = 32;
+  int digit_bits = 4;
+  int leaf_set_half = 4;
+  int landmark_count = 15;
+  proximity::LandmarkConfig landmark;
+  std::size_t rtt_budget = 10;
+  sim::Time ttl_ms = 60'000.0;
+  sim::Time republish_interval_ms = 30'000.0;
+  std::uint64_t seed = 42;
+};
+
+struct PastrySystemStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t republishes = 0;
+};
+
+class PastrySoftStateOverlay {
+ public:
+  PastrySoftStateOverlay(const net::Topology& topology,
+                         PastrySystemConfig config);
+
+  PastrySoftStateOverlay(const PastrySoftStateOverlay&) = delete;
+  PastrySoftStateOverlay& operator=(const PastrySoftStateOverlay&) = delete;
+
+  overlay::NodeId join(net::HostId host);
+  void leave(overlay::NodeId id);
+  void crash(overlay::NodeId id);
+
+  overlay::RouteResult lookup(overlay::NodeId from, overlay::PastryId key);
+
+  void run_for(sim::Time ms);
+  void republish_now(overlay::NodeId id);
+
+  overlay::PastryNetwork& pastry() { return pastry_; }
+  softstate::PastryMapService& maps() { return *maps_; }
+  net::RttOracle& oracle() { return oracle_; }
+  const proximity::LandmarkSet& landmarks() const { return landmarks_; }
+  const PastryVectorStore& vectors() const { return vectors_; }
+  const PastrySystemStats& stats() const { return stats_; }
+
+ private:
+  void schedule_republish(overlay::NodeId id);
+
+  PastrySystemConfig config_;
+  util::Rng rng_;
+  net::RttOracle oracle_;
+  proximity::LandmarkSet landmarks_;
+  overlay::PastryNetwork pastry_;
+  std::unique_ptr<softstate::PastryMapService> maps_;
+  std::unique_ptr<SoftStateSlotSelector> selector_;
+  sim::EventQueue events_;
+  PastryVectorStore vectors_;
+  PastrySystemStats stats_;
+};
+
+}  // namespace topo::core

@@ -1,0 +1,63 @@
+#include "core/pastry_selectors.hpp"
+
+#include <limits>
+
+namespace topo::core {
+
+overlay::NodeId OracleSlotSelector::select(
+    overlay::NodeId for_node, int, int,
+    std::span<const overlay::NodeId> candidates) {
+  TO_EXPECTS(!candidates.empty());
+  const net::HostId from = pastry_->node(for_node).host;
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const overlay::NodeId candidate : candidates) {
+    const double latency =
+        oracle_->latency_ms(from, pastry_->node(candidate).host);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+overlay::NodeId SoftStateSlotSelector::select(
+    overlay::NodeId for_node, int row, int column,
+    std::span<const overlay::NodeId> candidates) {
+  TO_EXPECTS(!candidates.empty());
+  const auto vector_it = vectors_->find(for_node);
+  if (vector_it == vectors_->end())
+    return candidates[rng_.next_u64(candidates.size())];
+
+  // The slot's prefix region has a map; the region of slot (row, column)
+  // is a prefix of length row+1.
+  const auto [lo, hi] =
+      pastry_->slot_range(pastry_->node(for_node).id, row, column);
+  softstate::PastryLookupMeta meta;
+  const auto entries = maps_->lookup(for_node, vector_it->second, row + 1,
+                                     lo, hi, 0.0, &meta);
+
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_rtt = std::numeric_limits<double>::infinity();
+  std::size_t probes = 0;
+  const net::HostId from = pastry_->node(for_node).host;
+  for (const auto& entry : entries) {
+    if (probes >= rtt_budget_) break;
+    if (!pastry_->alive(entry.node)) {
+      maps_->report_dead(meta.owner, entry.node);  // lazy deletion
+      continue;
+    }
+    const double rtt = oracle_->probe_rtt(from, entry.host);
+    ++probes;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = entry.node;
+    }
+  }
+  if (best == overlay::kInvalidNode)
+    return candidates[rng_.next_u64(candidates.size())];
+  return best;
+}
+
+}  // namespace topo::core

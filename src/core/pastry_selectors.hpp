@@ -1,0 +1,85 @@
+// Routing-slot selection strategies for Pastry (the third overlay family,
+// mirroring core/selectors.hpp and core/chord_selectors.hpp):
+//
+//   * FirstSlotSelector     — lowest id in the region (no proximity);
+//   * RandomSlotSelector    — uniform member (baseline);
+//   * OracleSlotSelector    — physically closest member (optimal PNS);
+//   * SoftStateSlotSelector — the paper: consult the prefix region's map
+//                             keyed by the node's landmark number, probe
+//                             the top candidates, keep the closest.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/pastry.hpp"
+#include "softstate/pastry_maps.hpp"
+#include "util/rng.hpp"
+
+namespace topo::core {
+
+class FirstSlotSelector final : public overlay::RoutingSlotSelector {
+ public:
+  overlay::NodeId select(overlay::NodeId, int, int,
+                         std::span<const overlay::NodeId> candidates) override {
+    return candidates.front();
+  }
+};
+
+class RandomSlotSelector final : public overlay::RoutingSlotSelector {
+ public:
+  explicit RandomSlotSelector(util::Rng rng) : rng_(rng) {}
+
+  overlay::NodeId select(overlay::NodeId, int, int,
+                         std::span<const overlay::NodeId> candidates) override {
+    return candidates[rng_.next_u64(candidates.size())];
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class OracleSlotSelector final : public overlay::RoutingSlotSelector {
+ public:
+  OracleSlotSelector(const overlay::PastryNetwork& pastry,
+                     net::RttOracle& oracle)
+      : pastry_(&pastry), oracle_(&oracle) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int, int,
+                         std::span<const overlay::NodeId> candidates) override;
+
+ private:
+  const overlay::PastryNetwork* pastry_;
+  net::RttOracle* oracle_;
+};
+
+using PastryVectorStore =
+    std::unordered_map<overlay::NodeId, proximity::LandmarkVector>;
+
+class SoftStateSlotSelector final : public overlay::RoutingSlotSelector {
+ public:
+  SoftStateSlotSelector(overlay::PastryNetwork& pastry,
+                        softstate::PastryMapService& maps,
+                        net::RttOracle& oracle,
+                        const PastryVectorStore& vectors,
+                        std::size_t rtt_budget, util::Rng rng)
+      : pastry_(&pastry),
+        maps_(&maps),
+        oracle_(&oracle),
+        vectors_(&vectors),
+        rtt_budget_(rtt_budget),
+        rng_(rng) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int row, int column,
+                         std::span<const overlay::NodeId> candidates) override;
+
+ private:
+  overlay::PastryNetwork* pastry_;
+  softstate::PastryMapService* maps_;
+  net::RttOracle* oracle_;
+  const PastryVectorStore* vectors_;
+  std::size_t rtt_budget_;
+  util::Rng rng_;
+};
+
+}  // namespace topo::core

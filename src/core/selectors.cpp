@@ -1,0 +1,96 @@
+#include "core/selectors.hpp"
+
+#include <limits>
+
+#include "geom/zone.hpp"
+
+namespace topo::core {
+
+overlay::NodeId RandomSelector::select(
+    overlay::NodeId for_node, int level, const geom::Zone& cell,
+    std::span<const overlay::NodeId> members) {
+  (void)for_node;
+  (void)level;
+  (void)cell;
+  TO_EXPECTS(!members.empty());
+  return members[rng_.next_u64(members.size())];
+}
+
+overlay::NodeId OracleSelector::select(
+    overlay::NodeId for_node, int level, const geom::Zone& cell,
+    std::span<const overlay::NodeId> members) {
+  (void)level;
+  (void)cell;
+  TO_EXPECTS(!members.empty());
+  const net::HostId from = can_->node(for_node).host;
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const overlay::NodeId member : members) {
+    const double latency = oracle_->latency_ms(from, can_->node(member).host);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = member;
+    }
+  }
+  return best;
+}
+
+overlay::NodeId SoftStateSelector::select(
+    overlay::NodeId for_node, int level, const geom::Zone& cell,
+    std::span<const overlay::NodeId> members) {
+  TO_EXPECTS(!members.empty());
+  last_ = SelectionInfo{};
+
+  const auto vector_it = vectors_->find(for_node);
+  if (vector_it == vectors_->end()) {
+    // Node has not measured landmarks (bootstrap): random fallback.
+    last_.fell_back_to_random = true;
+    last_.chosen = members[rng_.next_u64(members.size())];
+    return last_.chosen;
+  }
+  const proximity::LandmarkVector& my_vector = vector_it->second;
+
+  // Cell coordinates from the cell zone's low corner.
+  std::vector<std::uint32_t> coords(ecan_->dims());
+  for (std::size_t d = 0; d < ecan_->dims(); ++d)
+    coords[d] = geom::grid_coord(cell.lo(d), level);
+
+  softstate::LookupResult meta;
+  const auto entries =
+      maps_->lookup_entries(for_node, my_vector, level, coords, now(), &meta);
+  last_.candidates = entries.size();
+
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_score = std::numeric_limits<double>::infinity();
+  double best_distance = 0.0;
+  for (const softstate::MapEntry& entry : entries) {
+    if (last_.probes >= rtt_budget_) break;
+    if (!ecan_->alive(entry.node)) {
+      // Lazy deletion: found un-reachable after being handed out.
+      maps_->report_dead(meta.owner, entry.node);
+      continue;
+    }
+    const double rtt =
+        oracle_->probe_rtt(ecan_->node(for_node).host, entry.host);
+    ++last_.probes;
+    const double s = score(entry, rtt);
+    if (s < best_score) {
+      best_score = s;
+      best = entry.node;
+      best_distance = proximity::vector_distance(entry.vector, my_vector);
+    }
+  }
+
+  if (best == overlay::kInvalidNode) {
+    // Empty or fully-stale map piece: the node has no information and
+    // falls back to a random member, exactly like the baseline system.
+    last_.fell_back_to_random = true;
+    best = members[rng_.next_u64(members.size())];
+    best_distance = std::numeric_limits<double>::infinity();
+  }
+  last_.chosen = best;
+  last_.landmark_distance = best_distance;
+  return best;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,135 @@
+// The proximity-neighbor-selection strategies the paper compares
+// (Section 5.3), as RepresentativeSelector implementations:
+//
+//   * RandomSelector       — "routing neighbor is selected randomly", the
+//                            baseline of Figures 14-15;
+//   * OracleSelector       — "the optimal value corresponds to the results
+//                            when the number of RTT measurements is
+//                            infinity": the physically closest member;
+//   * SoftStateSelector    — the paper's system: consult the global
+//                            soft-state map keyed by the node's landmark
+//                            number, RTT-probe the top candidates, keep the
+//                            closest. Budget 1 degenerates to landmark
+//                            clustering alone;
+//   * LoadAwareSelector    — Section 6: trade network distance against
+//                            published load/capacity.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/selector.hpp"
+#include "sim/event_queue.hpp"
+#include "softstate/map_service.hpp"
+#include "util/rng.hpp"
+
+namespace topo::core {
+
+/// Landmark vectors of every live node, measured at join time and shared
+/// by the selectors that model information a node legitimately has.
+using VectorStore =
+    std::unordered_map<overlay::NodeId, proximity::LandmarkVector>;
+
+class RandomSelector final : public overlay::RepresentativeSelector {
+ public:
+  explicit RandomSelector(util::Rng rng) : rng_(rng) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int level,
+                         const geom::Zone& cell,
+                         std::span<const overlay::NodeId> members) override;
+
+ private:
+  util::Rng rng_;
+};
+
+class OracleSelector final : public overlay::RepresentativeSelector {
+ public:
+  OracleSelector(const overlay::CanNetwork& can, net::RttOracle& oracle)
+      : can_(&can), oracle_(&oracle) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int level,
+                         const geom::Zone& cell,
+                         std::span<const overlay::NodeId> members) override;
+
+ private:
+  const overlay::CanNetwork* can_;
+  net::RttOracle* oracle_;
+};
+
+/// Bookkeeping of the most recent soft-state selection, used by the facade
+/// to parameterize the follow-up subscription.
+struct SelectionInfo {
+  overlay::NodeId chosen = overlay::kInvalidNode;
+  double landmark_distance = 0.0;  // landmark-space distance to chosen
+  std::size_t probes = 0;
+  std::size_t candidates = 0;
+  bool fell_back_to_random = false;
+};
+
+class SoftStateSelector : public overlay::RepresentativeSelector {
+ public:
+  /// `clock` may be null (static experiments run at t=0).
+  SoftStateSelector(overlay::EcanNetwork& ecan, softstate::MapService& maps,
+                    net::RttOracle& oracle, const VectorStore& vectors,
+                    std::size_t rtt_budget, util::Rng rng,
+                    const sim::EventQueue* clock = nullptr)
+      : ecan_(&ecan),
+        maps_(&maps),
+        oracle_(&oracle),
+        vectors_(&vectors),
+        rtt_budget_(rtt_budget),
+        rng_(rng),
+        clock_(clock) {}
+
+  overlay::NodeId select(overlay::NodeId for_node, int level,
+                         const geom::Zone& cell,
+                         std::span<const overlay::NodeId> members) override;
+
+  const SelectionInfo& last_selection() const { return last_; }
+  void set_rtt_budget(std::size_t budget) { rtt_budget_ = budget; }
+  std::size_t rtt_budget() const { return rtt_budget_; }
+
+ protected:
+  /// Score to minimize; the base class uses the probed RTT alone.
+  virtual double score(const softstate::MapEntry& entry, double rtt_ms) const {
+    (void)entry;
+    return rtt_ms;
+  }
+
+  sim::Time now() const { return clock_ == nullptr ? 0.0 : clock_->now(); }
+
+  overlay::EcanNetwork* ecan_;
+  softstate::MapService* maps_;
+  net::RttOracle* oracle_;
+  const VectorStore* vectors_;
+  std::size_t rtt_budget_;
+  util::Rng rng_;
+  const sim::EventQueue* clock_;
+  SelectionInfo last_;
+};
+
+/// Section 6: rank candidates by RTT inflated by their load; a node at
+/// full load looks (1 + load_weight) times farther than it is.
+class LoadAwareSelector final : public SoftStateSelector {
+ public:
+  LoadAwareSelector(overlay::EcanNetwork& ecan, softstate::MapService& maps,
+                    net::RttOracle& oracle, const VectorStore& vectors,
+                    std::size_t rtt_budget, double load_weight,
+                    util::Rng rng, const sim::EventQueue* clock = nullptr)
+      : SoftStateSelector(ecan, maps, oracle, vectors, rtt_budget, rng,
+                          clock),
+        load_weight_(load_weight) {}
+
+ protected:
+  double score(const softstate::MapEntry& entry, double rtt_ms) const override {
+    const double utilization =
+        entry.capacity > 0.0 ? entry.load / entry.capacity : 1.0;
+    return rtt_ms * (1.0 + load_weight_ * utilization);
+  }
+
+ private:
+  double load_weight_;
+};
+
+}  // namespace topo::core

@@ -1,0 +1,307 @@
+#include "core/soft_state_overlay.hpp"
+
+namespace topo::core {
+
+SoftStateOverlay::SoftStateOverlay(const net::Topology& topology,
+                                   SystemConfig config)
+    : config_(config),
+      rng_(config.seed),
+      oracle_(topology),
+      landmarks_(proximity::LandmarkSet::choose_random(
+          topology, config.landmark_count, rng_, config.landmark)),
+      ecan_(config.dims, config.max_level) {
+  maps_ = std::make_unique<softstate::MapService>(ecan_, landmarks_,
+                                                  config.map);
+  pubsub_ = std::make_unique<pubsub::PubSubService>(ecan_, *maps_);
+  pubsub_->set_handler(
+      [this](overlay::NodeId subscriber, const pubsub::Notification& n) {
+        on_notification(subscriber, n);
+      });
+  if (config_.load_weight > 0.0) {
+    selector_ = std::make_unique<LoadAwareSelector>(
+        ecan_, *maps_, oracle_, vectors_, config_.rtt_budget,
+        config_.load_weight, rng_.fork(), &events_);
+  } else {
+    selector_ = std::make_unique<SoftStateSelector>(
+        ecan_, *maps_, oracle_, vectors_, config_.rtt_budget, rng_.fork(),
+        &events_);
+  }
+}
+
+overlay::NodeId SoftStateOverlay::join(net::HostId host) {
+  // 1. Landmark measurement.
+  const proximity::LandmarkVector vector = landmarks_.measure(oracle_, host);
+
+  // 2. Uniform-layout eCAN join (no geographic constraint).
+  overlay::NodeId split_peer = overlay::kInvalidNode;
+  const overlay::NodeId id =
+      ecan_.join(host, geom::Point::random(config_.dims, rng_), &split_peer);
+  vectors_[id] = vector;
+  if (split_peer != overlay::kInvalidNode) {
+    maps_->migrate_after_join(id, split_peer);
+    migrate_objects_after_split(id, split_peer);
+  }
+
+  // 3. Publish the proximity record into every enclosing zone's map.
+  const double capacity =
+      capacities_.count(id) != 0 ? capacities_[id] : 1.0;
+  maps_->publish(id, vector, events_.now(), /*load=*/0.0, capacity);
+
+  // 4. Proximity-neighbor selection via the global soft state.
+  ecan_.build_table(id, *selector_);
+  if (split_peer != overlay::kInvalidNode) {
+    // The split peer's zone shrank: deeper levels appeared.
+    ecan_.build_table(split_peer, *selector_);
+  }
+
+  // 5. Subscriptions on the consulted maps.
+  if (config_.subscribe_on_join) {
+    subscribe_entries(id);
+    if (split_peer != overlay::kInvalidNode) {
+      unsubscribe_all(split_peer);
+      subscribe_entries(split_peer);
+    }
+  }
+
+  schedule_republish(id);
+  ++stats_.joins;
+  return id;
+}
+
+void SoftStateOverlay::leave(overlay::NodeId id) {
+  TO_EXPECTS(ecan_.alive(id));
+  unsubscribe_all(id);
+
+  // Proactive map update: scrub the departing node's records first so
+  // re-selections triggered below can never hand it out.
+  maps_->remove_everywhere(id);
+  std::vector<softstate::StoredEntry> hosted = maps_->extract_store(id);
+
+  const auto report = ecan_.leave(id);
+  vectors_.erase(id);
+  maps_->rehome(std::move(hosted));
+  if (ecan_.size() > 0)
+    migrate_objects_from(id);  // stored application objects follow the zone
+  else
+    objects_.erase(id);
+
+  // Zone changes from the takeover: migrate the swapped node's store and
+  // refresh both nodes' tables and subscriptions.
+  for (const overlay::NodeId changed : {report.taker, report.moved}) {
+    if (changed == overlay::kInvalidNode || !ecan_.alive(changed)) continue;
+    maps_->rehome(maps_->extract_store(changed));
+    migrate_objects_from(changed);
+    ecan_.build_table(changed, *selector_);
+    if (config_.subscribe_on_join) {
+      unsubscribe_all(changed);
+      subscribe_entries(changed);
+    }
+  }
+
+  // Watchers of the departed representative re-select now.
+  pubsub_->notify_departure(id);
+  ++stats_.leaves;
+}
+
+void SoftStateOverlay::crash(overlay::NodeId id) {
+  TO_EXPECTS(ecan_.alive(id));
+  unsubscribe_all(id);
+  // Hosted map state AND stored application objects die with the node.
+  (void)maps_->extract_store(id);
+  objects_.erase(id);
+
+  const auto report = ecan_.leave(id);  // models the CAN takeover protocol
+  vectors_.erase(id);
+
+  for (const overlay::NodeId changed : {report.taker, report.moved}) {
+    if (changed == overlay::kInvalidNode || !ecan_.alive(changed)) continue;
+    maps_->rehome(maps_->extract_store(changed));
+    migrate_objects_from(changed);
+    ecan_.build_table(changed, *selector_);
+    if (config_.subscribe_on_join) {
+      unsubscribe_all(changed);
+      subscribe_entries(changed);
+    }
+  }
+  // No proactive scrub and no notifications: records pointing at the dead
+  // node are discovered and deleted lazily, tables repair on first use.
+  ++stats_.crashes;
+}
+
+overlay::RouteResult SoftStateOverlay::lookup(overlay::NodeId from,
+                                              const geom::Point& key) {
+  return ecan_.route_ecan_repair(from, key, *selector_);
+}
+
+overlay::RouteResult SoftStateOverlay::put(overlay::NodeId from,
+                                           const geom::Point& key,
+                                           std::string value) {
+  overlay::RouteResult route = lookup(from, key);
+  if (!route.success) return route;
+  auto& store = objects_[route.path.back()];
+  for (StoredObject& object : store) {
+    if (object.key == key) {
+      object.value = std::move(value);  // overwrite semantics
+      return route;
+    }
+  }
+  store.push_back(StoredObject{key, std::move(value)});
+  return route;
+}
+
+std::optional<std::string> SoftStateOverlay::get(
+    overlay::NodeId from, const geom::Point& key,
+    overlay::RouteResult* route) {
+  overlay::RouteResult local_route = lookup(from, key);
+  if (route != nullptr) *route = local_route;
+  if (!local_route.success) return std::nullopt;
+  const auto it = objects_.find(local_route.path.back());
+  if (it == objects_.end()) return std::nullopt;
+  for (const StoredObject& object : it->second)
+    if (object.key == key) return object.value;
+  return std::nullopt;
+}
+
+std::size_t SoftStateOverlay::object_count(overlay::NodeId node) const {
+  const auto it = objects_.find(node);
+  return it == objects_.end() ? 0 : it->second.size();
+}
+
+std::size_t SoftStateOverlay::total_objects() const {
+  std::size_t total = 0;
+  for (const auto& [node, store] : objects_) {
+    (void)node;
+    total += store.size();
+  }
+  return total;
+}
+
+void SoftStateOverlay::migrate_objects_from(overlay::NodeId node) {
+  const auto it = objects_.find(node);
+  if (it == objects_.end()) return;
+  std::vector<StoredObject> moving = std::move(it->second);
+  objects_.erase(it);
+  for (StoredObject& object : moving) {
+    const overlay::NodeId owner = ecan_.owner_of(object.key);
+    objects_[owner].push_back(std::move(object));
+  }
+}
+
+void SoftStateOverlay::migrate_objects_after_split(
+    overlay::NodeId joined, overlay::NodeId split_peer) {
+  const auto it = objects_.find(split_peer);
+  if (it == objects_.end()) return;
+  const geom::Zone& new_zone = ecan_.node(joined).zone;
+  auto& target = objects_[joined];
+  std::erase_if(it->second, [&](StoredObject& object) {
+    if (!new_zone.contains(object.key)) return false;
+    target.push_back(std::move(object));
+    return true;
+  });
+}
+
+void SoftStateOverlay::run_for(sim::Time ms) {
+  events_.run_until(events_.now() + ms);
+  maps_->expire_before(events_.now());
+}
+
+void SoftStateOverlay::set_capacity(overlay::NodeId id, double capacity) {
+  TO_EXPECTS(capacity > 0.0);
+  capacities_[id] = capacity;
+}
+
+void SoftStateOverlay::republish_now(overlay::NodeId id) {
+  if (!ecan_.alive(id)) return;
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return;
+  const double load = load_probe_ ? load_probe_(id) : 0.0;
+  const double capacity =
+      capacities_.count(id) != 0 ? capacities_[id] : 1.0;
+  maps_->publish(id, it->second, events_.now(), load, capacity);
+  ++stats_.republishes;
+}
+
+void SoftStateOverlay::schedule_republish(overlay::NodeId id) {
+  events_.schedule_in(config_.republish_interval_ms, [this, id] {
+    if (!ecan_.alive(id)) return;  // departed: stop the refresh chain
+    republish_now(id);
+    schedule_republish(id);
+  });
+}
+
+void SoftStateOverlay::subscribe_entries(overlay::NodeId id) {
+  const auto vector_it = vectors_.find(id);
+  if (vector_it == vectors_.end()) return;
+  const int levels = ecan_.node_level(id);
+  auto& records = subs_[id];
+  for (int h = 1; h <= levels; ++h) {
+    const auto my_cell = ecan_.cell_of_node(id, h);
+    for (std::size_t dim = 0; dim < ecan_.dims(); ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const overlay::NodeId rep = ecan_.table_entry(id, h, dim, dir);
+        if (rep == overlay::kInvalidNode) continue;
+        const auto adj = ecan_.adjacent_cell(my_cell, h, dim, dir);
+
+        pubsub::Subscription subscription;
+        subscription.subscriber = id;
+        subscription.vector = vector_it->second;
+        subscription.level = h;
+        subscription.cell_key = ecan_.pack_cell(h, adj);
+        subscription.closer_margin = config_.closer_margin;
+        subscription.load_threshold = config_.load_threshold;
+        subscription.watched = rep;
+        const auto rep_vector = vectors_.find(rep);
+        subscription.current_best_distance =
+            rep_vector == vectors_.end()
+                ? std::numeric_limits<double>::infinity()
+                : proximity::vector_distance(vector_it->second,
+                                             rep_vector->second);
+        const pubsub::SubscriptionId sub_id =
+            pubsub_->subscribe(std::move(subscription));
+        records.push_back(SubRecord{sub_id, h, dim, dir});
+      }
+    }
+  }
+}
+
+void SoftStateOverlay::unsubscribe_all(overlay::NodeId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  for (const SubRecord& record : it->second)
+    pubsub_->unsubscribe(record.id);
+  subs_.erase(it);
+}
+
+void SoftStateOverlay::on_notification(
+    overlay::NodeId subscriber, const pubsub::Notification& notification) {
+  if (!ecan_.alive(subscriber)) return;
+  const auto it = subs_.find(subscriber);
+  if (it == subs_.end()) return;
+  const auto record_it =
+      std::find_if(it->second.begin(), it->second.end(),
+                   [&](const SubRecord& r) {
+                     return r.id == notification.subscription;
+                   });
+  if (record_it == it->second.end()) return;
+
+  // Demand-driven re-selection of exactly the affected entry.
+  if (record_it->level > ecan_.node_level(subscriber)) return;
+  ecan_.refresh_entry(subscriber, record_it->level, record_it->dim,
+                      record_it->dir, *selector_);
+  ++stats_.reselections;
+  const SelectionInfo& info = selector_->last_selection();
+
+  // The triggering candidate has now been evaluated; lower the
+  // notification threshold to cover it even when it lost the RTT probe,
+  // otherwise the same record re-triggers on every republish.
+  double threshold = info.landmark_distance;
+  const auto my_vector = vectors_.find(subscriber);
+  if (!notification.entry.vector.empty() && my_vector != vectors_.end()) {
+    threshold = std::min(
+        threshold, proximity::vector_distance(notification.entry.vector,
+                                              my_vector->second));
+  }
+  pubsub_->update_watch(notification.subscription, info.chosen, threshold);
+}
+
+}  // namespace topo::core

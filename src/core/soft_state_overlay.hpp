@@ -1,0 +1,184 @@
+// SoftStateOverlay — the public facade tying the whole system together:
+// the paper's topology-aware overlay with global soft-state.
+//
+// A node joining the system:
+//   1. measures its RTT to the landmark set (landmark vector),
+//   2. joins the eCAN at a uniformly random point (no geographic layout —
+//      the paper's key departure from Topologically-Aware CAN),
+//   3. publishes its proximity record into the map of every high-order
+//      zone it belongs to, keyed by its landmark number,
+//   4. selects its expressway representatives by consulting those maps and
+//      RTT-probing the top candidates (proximity-neighbor selection),
+//   5. subscribes to the consulted maps so it is notified when a closer
+//      candidate appears, its representative departs, or the
+//      representative's load crosses a threshold (Section 6).
+//
+// Maintenance is soft-state: records expire unless republished; departed
+// nodes are scrubbed lazily when handed out and found unreachable; routing
+// repairs broken expressway entries on the spot via the same maps.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/selectors.hpp"
+#include "net/rtt_oracle.hpp"
+#include "net/graph.hpp"
+#include "overlay/ecan.hpp"
+#include "proximity/landmarks.hpp"
+#include "pubsub/pubsub.hpp"
+#include "sim/event_queue.hpp"
+#include "softstate/map_service.hpp"
+#include "util/rng.hpp"
+
+namespace topo::core {
+
+struct SystemConfig {
+  std::size_t dims = 2;
+  int landmark_count = 15;
+  proximity::LandmarkConfig landmark;
+  softstate::MapConfig map;
+  std::size_t rtt_budget = 10;
+
+  /// Soft-state refresh: every node republishes its record at this period;
+  /// must be < map.ttl_ms or records decay between refreshes.
+  sim::Time republish_interval_ms = 30'000.0;
+
+  bool subscribe_on_join = true;
+  double closer_margin = 0.95;
+
+  /// > 0 enables the Section 6 load-aware selector with this weight.
+  double load_weight = 0.0;
+  /// Load threshold for QoS subscriptions (fraction of capacity).
+  double load_threshold = std::numeric_limits<double>::infinity();
+
+  int max_level = 14;
+  std::uint64_t seed = 42;
+};
+
+struct SystemStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t reselections = 0;  // pub/sub-driven entry refreshes
+  std::uint64_t republishes = 0;
+};
+
+class SoftStateOverlay {
+ public:
+  SoftStateOverlay(const net::Topology& topology, SystemConfig config);
+
+  SoftStateOverlay(const SoftStateOverlay&) = delete;
+  SoftStateOverlay& operator=(const SoftStateOverlay&) = delete;
+
+  // -- Membership --------------------------------------------------------
+
+  /// Full join protocol (steps 1-5 above). Returns the overlay node id.
+  overlay::NodeId join(net::HostId host);
+
+  /// Graceful departure: proactive map update, watcher notification, state
+  /// handoff, zone merge.
+  void leave(overlay::NodeId id);
+
+  /// Ungraceful departure: the node vanishes. Its hosted map pieces are
+  /// lost (they decay back via republish), records pointing at it are
+  /// scrubbed lazily, broken expressway entries repair on first use.
+  void crash(overlay::NodeId id);
+
+  // -- Use ---------------------------------------------------------------
+
+  /// DHT lookup with reactive repair of broken expressway entries.
+  overlay::RouteResult lookup(overlay::NodeId from, const geom::Point& key);
+
+  // -- Application storage: the "storage space that maps keys to values"
+  //    the DHT exists for. Objects live at the key's owner and follow zone
+  //    ownership through joins and graceful leaves; a crash loses the
+  //    crashed node's objects (no replication — the paper's systems layer
+  //    its own replication on top).
+
+  /// Stores `value` under `key` at the key's owner; returns the routed
+  /// path (path.back() is the storing node).
+  overlay::RouteResult put(overlay::NodeId from, const geom::Point& key,
+                           std::string value);
+
+  /// Fetches the value under `key`, if present. `route` (optional)
+  /// receives the lookup path.
+  std::optional<std::string> get(overlay::NodeId from,
+                                 const geom::Point& key,
+                                 overlay::RouteResult* route = nullptr);
+
+  /// Objects currently stored on a node / in total.
+  std::size_t object_count(overlay::NodeId node) const;
+  std::size_t total_objects() const;
+
+  /// Advances the virtual clock: republish timers and TTL expiry run.
+  void run_for(sim::Time ms);
+
+  /// Section 6: install a per-node load probe; the value is published with
+  /// each republish and drives load-threshold subscriptions.
+  using LoadProbe = std::function<double(overlay::NodeId)>;
+  void set_load_probe(LoadProbe probe) { load_probe_ = std::move(probe); }
+  void set_capacity(overlay::NodeId id, double capacity);
+
+  /// Force an immediate republish (tests / examples).
+  void republish_now(overlay::NodeId id);
+
+  // -- Component access ---------------------------------------------------
+
+  overlay::EcanNetwork& ecan() { return ecan_; }
+  const overlay::EcanNetwork& ecan() const { return ecan_; }
+  softstate::MapService& maps() { return *maps_; }
+  pubsub::PubSubService& pubsub() { return *pubsub_; }
+  net::RttOracle& oracle() { return oracle_; }
+  const proximity::LandmarkSet& landmarks() const { return landmarks_; }
+  sim::EventQueue& events() { return events_; }
+  SoftStateSelector& selector() { return *selector_; }
+  const VectorStore& vectors() const { return vectors_; }
+  const SystemConfig& config() const { return config_; }
+  const SystemStats& stats() const { return stats_; }
+
+ private:
+  void subscribe_entries(overlay::NodeId id);
+  void unsubscribe_all(overlay::NodeId id);
+  void on_notification(overlay::NodeId subscriber,
+                       const pubsub::Notification& notification);
+  void schedule_republish(overlay::NodeId id);
+
+  SystemConfig config_;
+  util::Rng rng_;
+  net::RttOracle oracle_;
+  proximity::LandmarkSet landmarks_;
+  overlay::EcanNetwork ecan_;
+  std::unique_ptr<softstate::MapService> maps_;
+  std::unique_ptr<pubsub::PubSubService> pubsub_;
+  sim::EventQueue events_;
+  VectorStore vectors_;
+  std::unordered_map<overlay::NodeId, double> capacities_;
+  std::unique_ptr<SoftStateSelector> selector_;
+  LoadProbe load_probe_;
+
+  struct SubRecord {
+    pubsub::SubscriptionId id = 0;
+    int level = 0;
+    std::size_t dim = 0;
+    int dir = 0;
+  };
+  std::unordered_map<overlay::NodeId, std::vector<SubRecord>> subs_;
+
+  struct StoredObject {
+    geom::Point key;
+    std::string value;
+  };
+  std::unordered_map<overlay::NodeId, std::vector<StoredObject>> objects_;
+
+  /// Moves objects to the current owner of their key (zone changes).
+  void migrate_objects_from(overlay::NodeId node);
+  void migrate_objects_after_split(overlay::NodeId joined,
+                                   overlay::NodeId split_peer);
+
+  SystemStats stats_;
+};
+
+}  // namespace topo::core

@@ -1,0 +1,37 @@
+#include "geom/point.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace topo::geom {
+
+double Point::torus_delta(double a, double b) {
+  double d = b - a;
+  if (d > 0.5) d -= 1.0;
+  if (d <= -0.5) d += 1.0;
+  return d;
+}
+
+double Point::torus_distance(const Point& o) const {
+  TO_EXPECTS(dims_ == o.dims_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const double d = torus_delta(coords_[i], o.coords_[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Point::to_string() const {
+  std::string out = "(";
+  char buf[32];
+  for (std::size_t i = 0; i < dims_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f", i == 0 ? "" : ", ",
+                  coords_[i]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace topo::geom

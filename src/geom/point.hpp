@@ -1,0 +1,63 @@
+// Points on the unit d-torus [0,1)^d, the key space of CAN/eCAN.
+//
+// Overlay dimensionality is small (the paper uses d=2, compares up to d=5),
+// so Point is a fixed-capacity inline array — no heap traffic on the
+// routing hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace topo::geom {
+
+class Point {
+ public:
+  static constexpr std::size_t kMaxDims = 8;
+
+  Point() = default;
+  explicit Point(std::size_t dims) : dims_(dims) {
+    TO_EXPECTS(dims >= 1 && dims <= kMaxDims);
+  }
+
+  static Point random(std::size_t dims, util::Rng& rng) {
+    Point p(dims);
+    for (std::size_t i = 0; i < dims; ++i) p[i] = rng.next_double();
+    return p;
+  }
+
+  std::size_t dims() const { return dims_; }
+
+  double& operator[](std::size_t i) {
+    TO_EXPECTS(i < dims_);
+    return coords_[i];
+  }
+  double operator[](std::size_t i) const {
+    TO_EXPECTS(i < dims_);
+    return coords_[i];
+  }
+
+  bool operator==(const Point& o) const {
+    if (dims_ != o.dims_) return false;
+    for (std::size_t i = 0; i < dims_; ++i)
+      if (coords_[i] != o.coords_[i]) return false;
+    return true;
+  }
+
+  /// Shortest signed distance from a to b along one torus axis, in (-0.5, 0.5].
+  static double torus_delta(double a, double b);
+
+  /// Euclidean distance on the torus.
+  double torus_distance(const Point& o) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kMaxDims> coords_{};
+  std::size_t dims_ = 0;
+};
+
+}  // namespace topo::geom

@@ -1,0 +1,144 @@
+#include "geom/zone.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topo::geom {
+
+namespace {
+
+// Two half-open ranges on the unit torus.
+bool ranges_overlap(double alo, double ahi, double blo, double bhi) {
+  return alo < bhi && blo < ahi;
+}
+
+bool ranges_abut(double alo, double ahi, double blo, double bhi) {
+  if (ahi == blo || bhi == alo) return true;
+  // Wraparound: one range ends at 1.0 and the other starts at 0.0.
+  if (ahi == 1.0 && blo == 0.0) return true;
+  if (bhi == 1.0 && alo == 0.0) return true;
+  return false;
+}
+
+}  // namespace
+
+Zone Zone::whole(std::size_t dims) {
+  Zone z;
+  z.lo_ = Point(dims);
+  z.hi_ = Point(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    z.lo_[d] = 0.0;
+    z.hi_[d] = 1.0;
+  }
+  return z;
+}
+
+Zone Zone::grid_cell_containing(const Point& p, int level) {
+  TO_EXPECTS(level >= 0 && level < 31);
+  Zone z;
+  z.lo_ = Point(p.dims());
+  z.hi_ = Point(p.dims());
+  const double cell = std::ldexp(1.0, -level);  // 2^-level
+  for (std::size_t d = 0; d < p.dims(); ++d) {
+    const auto idx = grid_coord(p[d], level);
+    z.lo_[d] = static_cast<double>(idx) * cell;
+    z.hi_[d] = z.lo_[d] + cell;
+  }
+  return z;
+}
+
+double Zone::volume() const {
+  double v = 1.0;
+  for (std::size_t d = 0; d < dims(); ++d) v *= side(d);
+  return v;
+}
+
+bool Zone::contains(const Point& p) const {
+  TO_EXPECTS(p.dims() == dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    if (p[d] < lo_[d] || p[d] >= hi_[d]) return false;
+  return true;
+}
+
+bool Zone::contains(const Zone& z) const {
+  TO_EXPECTS(z.dims() == dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    if (z.lo_[d] < lo_[d] || z.hi_[d] > hi_[d]) return false;
+  return true;
+}
+
+Point Zone::center() const {
+  Point c(dims());
+  for (std::size_t d = 0; d < dims(); ++d) c[d] = (lo_[d] + hi_[d]) / 2.0;
+  return c;
+}
+
+std::pair<Zone, Zone> Zone::split(std::size_t dim) const {
+  TO_EXPECTS(dim < dims());
+  Zone first = *this;
+  Zone second = *this;
+  const double mid = (lo_[dim] + hi_[dim]) / 2.0;
+  first.hi_[dim] = mid;
+  second.lo_[dim] = mid;
+  return {first, second};
+}
+
+std::size_t Zone::longest_dim() const {
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < dims(); ++d)
+    if (side(d) > side(best)) best = d;
+  return best;
+}
+
+bool Zone::is_can_neighbor(const Zone& o) const {
+  TO_EXPECTS(o.dims() == dims());
+  std::size_t abutting = 0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    const bool overlap = ranges_overlap(lo_[d], hi_[d], o.lo_[d], o.hi_[d]);
+    if (overlap) continue;
+    if (ranges_abut(lo_[d], hi_[d], o.lo_[d], o.hi_[d])) {
+      ++abutting;
+    } else {
+      return false;  // separated along this axis
+    }
+  }
+  return abutting == 1;
+}
+
+double Zone::distance_to(const Point& p) const {
+  TO_EXPECTS(p.dims() == dims());
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    // Distance from p[d] to [lo, hi) along the torus axis: zero if inside,
+    // else the smaller of the two wrap-aware gaps to the interval ends.
+    if (p[d] >= lo_[d] && p[d] < hi_[d]) continue;
+    const double to_lo = std::abs(Point::torus_delta(p[d], lo_[d]));
+    const double to_hi = std::abs(Point::torus_delta(p[d], hi_[d]));
+    const double gap = std::min(to_lo, to_hi);
+    sum += gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Zone::to_string() const {
+  std::string out = "[";
+  char buf[64];
+  for (std::size_t d = 0; d < dims(); ++d) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f..%.4f", d == 0 ? "" : " x ",
+                  lo_[d], hi_[d]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+std::uint32_t grid_coord(double x, int level) {
+  TO_EXPECTS(x >= 0.0 && x < 1.0);
+  TO_EXPECTS(level >= 0 && level < 31);
+  const auto cells = static_cast<std::uint32_t>(1u << level);
+  auto idx = static_cast<std::uint32_t>(x * static_cast<double>(cells));
+  // Guard against floating-point edge where x*cells rounds up to cells.
+  return std::min(idx, cells - 1);
+}
+
+}  // namespace topo::geom

@@ -1,0 +1,64 @@
+// Axis-aligned zones (boxes) of the unit d-torus.
+//
+// CAN zones are produced by repeated binary splits of [0,1)^d, so bounds
+// are dyadic and splits are exact. Zones are half-open: [lo, hi) per axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "geom/point.hpp"
+
+namespace topo::geom {
+
+class Zone {
+ public:
+  Zone() = default;
+
+  /// The whole space [0,1)^d.
+  static Zone whole(std::size_t dims);
+
+  /// Cell of the regular 2^level-per-axis grid containing `p`.
+  static Zone grid_cell_containing(const Point& p, int level);
+
+  std::size_t dims() const { return lo_.dims(); }
+  double lo(std::size_t d) const { return lo_[d]; }
+  double hi(std::size_t d) const { return hi_[d]; }
+
+  double side(std::size_t d) const { return hi_[d] - lo_[d]; }
+  double volume() const;
+
+  bool contains(const Point& p) const;
+  bool contains(const Zone& z) const;
+
+  Point center() const;
+
+  /// Splits in half along `dim`; first half keeps the lower range.
+  std::pair<Zone, Zone> split(std::size_t dim) const;
+
+  /// The dimension with the longest side (ties -> lowest dim); CAN splits
+  /// along this to keep zones roughly cubical.
+  std::size_t longest_dim() const;
+
+  /// CAN neighbor test on the torus: overlap in all-but-one axis and abut
+  /// along exactly one axis (possibly across the wrap).
+  bool is_can_neighbor(const Zone& o) const;
+
+  /// Torus distance from `p` to the closest point of this zone.
+  double distance_to(const Point& p) const;
+
+  bool operator==(const Zone& o) const { return lo_ == o.lo_ && hi_ == o.hi_; }
+
+  std::string to_string() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// Grid coordinate of scalar x in [0,1) at grid level `level`
+/// (2^level cells per axis).
+std::uint32_t grid_coord(double x, int level);
+
+}  // namespace topo::geom

@@ -1,0 +1,69 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace topo::net {
+
+HostId Topology::add_host(HostInfo info) {
+  TO_EXPECTS(!frozen_);
+  hosts_.push_back(info);
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Topology::add_link(HostId a, HostId b, LinkClass link_class) {
+  TO_EXPECTS(!frozen_);
+  TO_EXPECTS(a < hosts_.size() && b < hosts_.size());
+  TO_EXPECTS(a != b);
+  links_.push_back(Link{a, b, link_class, 0.0});
+}
+
+void Topology::freeze() {
+  TO_EXPECTS(!frozen_);
+  offsets_.assign(hosts_.size() + 1, 0);
+  for (const Link& link : links_) {
+    ++offsets_[link.a + 1];
+    ++offsets_[link.b + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i)
+    offsets_[i] += offsets_[i - 1];
+  adjacency_.resize(2 * links_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t li = 0; li < links_.size(); ++li) {
+    const Link& link = links_[li];
+    adjacency_[cursor[link.a]++] = Neighbor{link.b, li};
+    adjacency_[cursor[link.b]++] = Neighbor{link.a, li};
+  }
+  frozen_ = true;
+}
+
+std::vector<HostId> Topology::hosts_of_kind(HostKind kind) const {
+  std::vector<HostId> out;
+  for (HostId id = 0; id < hosts_.size(); ++id)
+    if (hosts_[id].kind == kind) out.push_back(id);
+  return out;
+}
+
+bool Topology::is_connected() const {
+  TO_EXPECTS(frozen_);
+  if (hosts_.empty()) return true;
+  std::vector<bool> visited(hosts_.size(), false);
+  std::queue<HostId> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  std::size_t seen = 1;
+  while (!frontier.empty()) {
+    const HostId current = frontier.front();
+    frontier.pop();
+    for (const Neighbor& nb : neighbors(current)) {
+      if (!visited[nb.host]) {
+        visited[nb.host] = true;
+        ++seen;
+        frontier.push(nb.host);
+      }
+    }
+  }
+  return seen == hosts_.size();
+}
+
+}  // namespace topo::net

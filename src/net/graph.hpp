@@ -1,0 +1,97 @@
+// The simulated physical network: an undirected weighted graph with
+// transit-stub structure annotations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace topo::net {
+
+using HostId = std::uint32_t;
+constexpr HostId kInvalidHost = ~0u;
+
+/// Role of a host in the transit-stub hierarchy.
+enum class HostKind : std::uint8_t { kTransit, kStub };
+
+/// Class of a physical link; latency models assign weights per class.
+enum class LinkClass : std::uint8_t {
+  kInterTransit,  // transit nodes in different transit domains
+  kIntraTransit,  // transit nodes in the same transit domain
+  kTransitStub,   // transit node <-> stub host
+  kIntraStub,     // stub hosts in the same stub domain
+};
+
+struct HostInfo {
+  HostKind kind = HostKind::kStub;
+  std::int32_t transit_domain = -1;  // enclosing transit domain
+  std::int32_t stub_domain = -1;     // -1 for transit nodes
+};
+
+struct Link {
+  HostId a = kInvalidHost;
+  HostId b = kInvalidHost;
+  LinkClass link_class = LinkClass::kIntraStub;
+  double latency_ms = 0.0;
+};
+
+/// Immutable-after-build undirected graph in CSR form.
+class Topology {
+ public:
+  /// Builder-style construction: add hosts and links, then freeze().
+  HostId add_host(HostInfo info);
+  void add_link(HostId a, HostId b, LinkClass link_class);
+
+  /// Build the CSR adjacency. Must be called exactly once, after which the
+  /// structure is immutable (latencies may still be (re)assigned).
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const HostInfo& host(HostId id) const {
+    TO_EXPECTS(id < hosts_.size());
+    return hosts_[id];
+  }
+
+  std::span<const Link> links() const { return links_; }
+  Link& mutable_link(std::size_t i) {
+    TO_EXPECTS(i < links_.size());
+    return links_[i];
+  }
+
+  struct Neighbor {
+    HostId host;
+    std::uint32_t link_index;  // into links()
+  };
+
+  std::span<const Neighbor> neighbors(HostId id) const {
+    TO_EXPECTS(frozen_);
+    TO_EXPECTS(id < hosts_.size());
+    return {adjacency_.data() + offsets_[id],
+            offsets_[id + 1] - offsets_[id]};
+  }
+
+  double link_latency(std::uint32_t link_index) const {
+    TO_EXPECTS(link_index < links_.size());
+    return links_[link_index].latency_ms;
+  }
+
+  /// All hosts of a given kind.
+  std::vector<HostId> hosts_of_kind(HostKind kind) const;
+
+  /// True iff every host can reach every other host.
+  bool is_connected() const;
+
+ private:
+  std::vector<HostInfo> hosts_;
+  std::vector<Link> links_;
+  std::vector<std::size_t> offsets_;   // size host_count()+1
+  std::vector<Neighbor> adjacency_;    // size 2*link_count()
+  bool frozen_ = false;
+};
+
+}  // namespace topo::net

@@ -1,0 +1,59 @@
+#include "net/latency.hpp"
+
+namespace topo::net {
+
+const char* latency_model_name(LatencyModel model) {
+  switch (model) {
+    case LatencyModel::kGtItmRandom: return "gtitm";
+    case LatencyModel::kManual: return "manual";
+  }
+  return "?";
+}
+
+void assign_latencies(Topology& topology, LatencyModel model, util::Rng& rng,
+                      const ManualLatencies& manual,
+                      const GtItmRandomLatencies& random) {
+  for (std::size_t i = 0; i < topology.link_count(); ++i) {
+    Link& link = topology.mutable_link(i);
+    switch (model) {
+      case LatencyModel::kManual:
+        switch (link.link_class) {
+          case LinkClass::kInterTransit:
+            link.latency_ms = manual.inter_transit_ms;
+            break;
+          case LinkClass::kIntraTransit:
+            link.latency_ms = manual.intra_transit_ms;
+            break;
+          case LinkClass::kTransitStub:
+            link.latency_ms = manual.transit_stub_ms;
+            break;
+          case LinkClass::kIntraStub:
+            link.latency_ms = manual.intra_stub_ms;
+            break;
+        }
+        break;
+      case LatencyModel::kGtItmRandom:
+        switch (link.link_class) {
+          case LinkClass::kInterTransit:
+            link.latency_ms =
+                rng.next_double(random.inter_transit_lo, random.inter_transit_hi);
+            break;
+          case LinkClass::kIntraTransit:
+            link.latency_ms =
+                rng.next_double(random.intra_transit_lo, random.intra_transit_hi);
+            break;
+          case LinkClass::kTransitStub:
+            link.latency_ms =
+                rng.next_double(random.transit_stub_lo, random.transit_stub_hi);
+            break;
+          case LinkClass::kIntraStub:
+            link.latency_ms =
+                rng.next_double(random.intra_stub_lo, random.intra_stub_hi);
+            break;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace topo::net

@@ -1,0 +1,61 @@
+#include "net/rtt_oracle.hpp"
+
+#include "net/shortest_path.hpp"
+
+namespace topo::net {
+
+const std::vector<double>& RttOracle::row(HostId source) {
+  auto it = rows_.find(source);
+  if (it == rows_.end()) {
+    ++dijkstra_runs_;
+    it = rows_.emplace(source, dijkstra(*topology_, source)).first;
+  }
+  return it->second;
+}
+
+double RttOracle::latency_ms(HostId from, HostId to) {
+  TO_EXPECTS(from < topology_->host_count());
+  TO_EXPECTS(to < topology_->host_count());
+  if (from == to) return 0.0;
+  // Prefer whichever endpoint is already cached; otherwise cache `from`.
+  auto it = rows_.find(from);
+  if (it != rows_.end()) return it->second[to];
+  it = rows_.find(to);
+  if (it != rows_.end()) return it->second[from];
+  return row(from)[to];
+}
+
+HostId RttOracle::probe_nearest(HostId from,
+                                std::span<const HostId> candidates) {
+  HostId best = kInvalidHost;
+  double best_rtt = 0.0;
+  for (const HostId candidate : candidates) {
+    const double rtt = probe_rtt(from, candidate);  // noise-aware
+    if (best == kInvalidHost || rtt < best_rtt) {
+      best = candidate;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+HostId RttOracle::nearest(HostId from, std::span<const HostId> candidates) {
+  HostId best = kInvalidHost;
+  double best_latency = 0.0;
+  for (const HostId candidate : candidates) {
+    const double l = latency_ms(from, candidate);
+    if (best == kInvalidHost || l < best_latency) {
+      best = candidate;
+      best_latency = l;
+    }
+  }
+  return best;
+}
+
+void RttOracle::clear_cache() { rows_.clear(); }
+
+void RttOracle::warm(std::span<const HostId> sources) {
+  for (const HostId source : sources) (void)row(source);
+}
+
+}  // namespace topo::net

@@ -1,0 +1,82 @@
+// Cached round-trip-time oracle.
+//
+// Every latency the simulation observes — overlay hop costs, landmark
+// measurements, explicit RTT probes — goes through this class. It memoizes
+// Dijkstra rows per source so repeated queries from the same host are O(1),
+// and it separately counts *probes*: latency queries that model actual
+// network measurements a real node would have to perform (as opposed to the
+// simulator's own bookkeeping, which uses `latency_ms`). The probe counter
+// is what the paper's "number of RTT measurements" axes report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace topo::net {
+
+class RttOracle {
+ public:
+  explicit RttOracle(const Topology& topology) : topology_(&topology) {}
+
+  const Topology& topology() const { return *topology_; }
+
+  /// Simulator-side latency lookup (free; not counted as a probe).
+  double latency_ms(HostId from, HostId to);
+
+  /// A modeled network measurement: counted, and — unlike the simulator's
+  /// own bookkeeping — subject to the configured measurement noise, the
+  /// way a real ping sample jitters around the propagation latency.
+  double probe_rtt(HostId from, HostId to) {
+    ++probe_count_;
+    double rtt = latency_ms(from, to);
+    if (noise_fraction_ > 0.0)
+      rtt *= 1.0 + noise_rng_.next_double(-noise_fraction_, noise_fraction_);
+    return rtt;
+  }
+
+  /// Enables multiplicative measurement noise: each probe is scaled by a
+  /// uniform factor in [1-f, 1+f]. This is what the Section 5.4 SVD
+  /// optimization is designed to suppress; the ablation bench exercises
+  /// both regimes.
+  void set_measurement_noise(double fraction, std::uint64_t seed) {
+    TO_EXPECTS(fraction >= 0.0 && fraction < 1.0);
+    noise_fraction_ = fraction;
+    noise_rng_ = util::Rng(seed);
+  }
+  double measurement_noise() const { return noise_fraction_; }
+
+  /// Among `candidates`, the host with smallest latency from `from`,
+  /// charged as one probe per candidate. Empty candidates -> kInvalidHost.
+  HostId probe_nearest(HostId from, std::span<const HostId> candidates);
+
+  /// The true nearest host to `from` within `candidates` (oracle; free).
+  HostId nearest(HostId from, std::span<const HostId> candidates);
+
+  std::uint64_t probe_count() const { return probe_count_; }
+  void reset_probe_count() { probe_count_ = 0; }
+
+  std::uint64_t dijkstra_runs() const { return dijkstra_runs_; }
+
+  /// Drop all cached rows (memory control for long sweeps).
+  void clear_cache();
+
+  /// Precompute & pin rows for the given sources (bulk experiments).
+  void warm(std::span<const HostId> sources);
+
+ private:
+  const std::vector<double>& row(HostId source);
+
+  const Topology* topology_;
+  std::unordered_map<HostId, std::vector<double>> rows_;
+  std::uint64_t probe_count_ = 0;
+  std::uint64_t dijkstra_runs_ = 0;
+  double noise_fraction_ = 0.0;
+  util::Rng noise_rng_{0};
+};
+
+}  // namespace topo::net

@@ -1,0 +1,78 @@
+#include "net/shortest_path.hpp"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace topo::net {
+
+namespace {
+
+std::vector<double> dijkstra_impl(const Topology& topology, HostId source,
+                                  double radius_ms) {
+  TO_EXPECTS(source < topology.host_count());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(topology.host_count(), kInf);
+  using Item = std::pair<double, HostId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (d > radius_ms) break;
+    for (const Topology::Neighbor& nb : topology.neighbors(u)) {
+      const double nd = d + topology.link_latency(nb.link_index);
+      if (nd < dist[nb.host]) {
+        dist[nb.host] = nd;
+        heap.emplace(nd, nb.host);
+      }
+    }
+  }
+  if (radius_ms < kInf) {
+    for (double& d : dist)
+      if (d > radius_ms) d = kInf;
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<double> dijkstra(const Topology& topology, HostId source) {
+  return dijkstra_impl(topology, source,
+                       std::numeric_limits<double>::infinity());
+}
+
+std::vector<double> dijkstra_within(const Topology& topology, HostId source,
+                                    double radius_ms) {
+  TO_EXPECTS(radius_ms >= 0.0);
+  return dijkstra_impl(topology, source, radius_ms);
+}
+
+std::vector<HostId> hosts_within_hops(const Topology& topology, HostId source,
+                                      int hop_radius) {
+  TO_EXPECTS(source < topology.host_count());
+  TO_EXPECTS(hop_radius >= 0);
+  std::vector<int> hops(topology.host_count(), -1);
+  std::vector<HostId> result;
+  std::queue<HostId> frontier;
+  hops[source] = 0;
+  frontier.push(source);
+  result.push_back(source);
+  while (!frontier.empty()) {
+    const HostId u = frontier.front();
+    frontier.pop();
+    if (hops[u] == hop_radius) continue;
+    for (const Topology::Neighbor& nb : topology.neighbors(u)) {
+      if (hops[nb.host] < 0) {
+        hops[nb.host] = hops[u] + 1;
+        result.push_back(nb.host);
+        frontier.push(nb.host);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace topo::net

@@ -1,0 +1,25 @@
+// Single-source shortest paths over the physical topology.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace topo::net {
+
+/// Dijkstra from `source`; returns one latency per host (ms).
+/// Unreachable hosts get +infinity (never happens for our generators, which
+/// guarantee connectivity).
+std::vector<double> dijkstra(const Topology& topology, HostId source);
+
+/// Dijkstra truncated at `radius_ms`: hosts farther than the radius keep
+/// +infinity. Used by expanding-ring search simulation.
+std::vector<double> dijkstra_within(const Topology& topology, HostId source,
+                                    double radius_ms);
+
+/// Hosts within `hop_radius` underlay hops of `source` (BFS), including the
+/// source itself. Expanding-ring search floods by hop count.
+std::vector<HostId> hosts_within_hops(const Topology& topology, HostId source,
+                                      int hop_radius);
+
+}  // namespace topo::net

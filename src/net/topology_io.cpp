@@ -1,0 +1,120 @@
+#include "net/topology_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace topo::net {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw std::runtime_error("malformed topology file: " + detail);
+}
+
+/// Next non-comment, non-empty line.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_topology(const Topology& topology, std::ostream& out) {
+  out.precision(17);  // doubles round-trip exactly
+  out << "topo-overlay-topology v1\n";
+  out << "hosts " << topology.host_count() << "\n";
+  for (HostId h = 0; h < topology.host_count(); ++h) {
+    const HostInfo& info = topology.host(h);
+    out << "h " << static_cast<int>(info.kind) << ' ' << info.transit_domain
+        << ' ' << info.stub_domain << '\n';
+  }
+  out << "links " << topology.link_count() << "\n";
+  for (const Link& link : topology.links()) {
+    out << "l " << link.a << ' ' << link.b << ' '
+        << static_cast<int>(link.link_class) << ' ' << link.latency_ms
+        << '\n';
+  }
+}
+
+void save_topology_file(const Topology& topology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_topology(topology, out);
+}
+
+Topology load_topology(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line) || line.rfind("topo-overlay-topology v1", 0) != 0)
+    malformed("missing or wrong header");
+
+  if (!next_line(in, line)) malformed("missing hosts section");
+  std::size_t host_count = 0;
+  {
+    std::istringstream s(line);
+    std::string tag;
+    if (!(s >> tag >> host_count) || tag != "hosts")
+      malformed("bad hosts line: " + line);
+  }
+
+  Topology topology;
+  for (std::size_t i = 0; i < host_count; ++i) {
+    if (!next_line(in, line)) malformed("truncated hosts section");
+    std::istringstream s(line);
+    std::string tag;
+    int kind = 0;
+    HostInfo info;
+    if (!(s >> tag >> kind >> info.transit_domain >> info.stub_domain) ||
+        tag != "h" || kind < 0 || kind > 1)
+      malformed("bad host line: " + line);
+    info.kind = static_cast<HostKind>(kind);
+    topology.add_host(info);
+  }
+
+  if (!next_line(in, line)) malformed("missing links section");
+  std::size_t link_count = 0;
+  {
+    std::istringstream s(line);
+    std::string tag;
+    if (!(s >> tag >> link_count) || tag != "links")
+      malformed("bad links line: " + line);
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(link_count);
+  for (std::size_t i = 0; i < link_count; ++i) {
+    if (!next_line(in, line)) malformed("truncated links section");
+    std::istringstream s(line);
+    std::string tag;
+    HostId a = kInvalidHost;
+    HostId b = kInvalidHost;
+    int link_class = 0;
+    double latency = 0.0;
+    if (!(s >> tag >> a >> b >> link_class >> latency) || tag != "l" ||
+        link_class < 0 || link_class > 3)
+      malformed("bad link line: " + line);
+    if (a >= host_count || b >= host_count || a == b)
+      malformed("link endpoints out of range: " + line);
+    if (latency < 0.0) malformed("negative latency: " + line);
+    topology.add_link(a, b, static_cast<LinkClass>(link_class));
+    latencies.push_back(latency);
+  }
+
+  topology.freeze();
+  for (std::size_t i = 0; i < latencies.size(); ++i)
+    topology.mutable_link(i).latency_ms = latencies[i];
+  return topology;
+}
+
+Topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_topology(in);
+}
+
+}  // namespace topo::net

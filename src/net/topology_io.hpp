@@ -1,0 +1,28 @@
+// Plain-text serialization of topologies, so experiments can be pinned to
+// an exact network (the role GT-ITM's output files play for the paper) and
+// shared between the CLI tools, benches and external scripts.
+//
+// Format (line-oriented, '#' comments allowed):
+//   topo-overlay-topology v1
+//   hosts <n>
+//   h <kind:0|1> <transit_domain> <stub_domain>     (n lines, id = order)
+//   links <m>
+//   l <a> <b> <class:0..3> <latency_ms>             (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/graph.hpp"
+
+namespace topo::net {
+
+void save_topology(const Topology& topology, std::ostream& out);
+void save_topology_file(const Topology& topology, const std::string& path);
+
+/// Parses a topology; throws std::runtime_error on malformed input.
+/// The returned topology is frozen.
+Topology load_topology(std::istream& in);
+Topology load_topology_file(const std::string& path);
+
+}  // namespace topo::net

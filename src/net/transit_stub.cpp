@@ -1,0 +1,145 @@
+#include "net/transit_stub.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace topo::net {
+
+namespace {
+
+/// Connect `members` into a random connected subgraph: a random spanning
+/// tree (random attachment) plus `extra_factor * |members|` expected extra
+/// edges, skipping duplicates opportunistically (a duplicate simply yields
+/// one fewer extra edge, which matches GT-ITM's probabilistic density).
+void connect_random(Topology& topology, const std::vector<HostId>& members,
+                    LinkClass link_class, double extra_factor,
+                    util::Rng& rng) {
+  if (members.size() < 2) return;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    const std::size_t parent = rng.next_u64(i);
+    topology.add_link(members[i], members[parent], link_class);
+  }
+  const auto extras = static_cast<std::size_t>(
+      extra_factor * static_cast<double>(members.size()));
+  for (std::size_t e = 0; e < extras; ++e) {
+    const std::size_t i = rng.next_u64(members.size());
+    const std::size_t j = rng.next_u64(members.size());
+    if (i == j) continue;
+    topology.add_link(members[i], members[j], link_class);
+  }
+}
+
+}  // namespace
+
+TransitStubConfig tsk_large() {
+  TransitStubConfig config;
+  config.transit_domains = 8;
+  config.transit_nodes_per_domain = 4;
+  config.stub_domains_per_transit = 8;
+  config.hosts_per_stub = 39;
+  config.name = "tsk-large";
+  return config;  // 32 transit + 9984 stub hosts
+}
+
+TransitStubConfig tsk_small() {
+  TransitStubConfig config;
+  config.transit_domains = 2;
+  config.transit_nodes_per_domain = 4;
+  config.stub_domains_per_transit = 8;
+  config.hosts_per_stub = 156;
+  config.name = "tsk-small";
+  return config;  // 8 transit + 9984 stub hosts
+}
+
+TransitStubConfig tsk_tiny() {
+  TransitStubConfig config;
+  config.transit_domains = 3;
+  config.transit_nodes_per_domain = 2;
+  config.stub_domains_per_transit = 2;
+  config.hosts_per_stub = 10;
+  config.name = "tsk-tiny";
+  return config;  // 6 transit + 120 stub hosts
+}
+
+Topology generate_transit_stub(const TransitStubConfig& config,
+                               util::Rng& rng) {
+  TO_EXPECTS(config.transit_domains >= 1);
+  TO_EXPECTS(config.transit_nodes_per_domain >= 1);
+  TO_EXPECTS(config.stub_domains_per_transit >= 0);
+  TO_EXPECTS(config.hosts_per_stub >= 1);
+
+  Topology topology;
+
+  // 1. Transit nodes, domain by domain.
+  std::vector<std::vector<HostId>> transit(
+      static_cast<std::size_t>(config.transit_domains));
+  for (int d = 0; d < config.transit_domains; ++d) {
+    auto& domain = transit[static_cast<std::size_t>(d)];
+    for (int t = 0; t < config.transit_nodes_per_domain; ++t)
+      domain.push_back(
+          topology.add_host(HostInfo{HostKind::kTransit, d, -1}));
+    connect_random(topology, domain, LinkClass::kIntraTransit,
+                   config.intra_domain_extra_edges, rng);
+  }
+
+  // 2. Domain-level backbone: spanning tree over domains plus extras. Each
+  // domain-level edge is realized by linking random transit nodes of the
+  // two domains.
+  auto link_domains = [&](std::size_t d1, std::size_t d2) {
+    const HostId a = transit[d1][rng.next_u64(transit[d1].size())];
+    const HostId b = transit[d2][rng.next_u64(transit[d2].size())];
+    topology.add_link(a, b, LinkClass::kInterTransit);
+  };
+  for (std::size_t d = 1; d < transit.size(); ++d)
+    link_domains(d, rng.next_u64(d));
+  const auto extra_backbone = static_cast<std::size_t>(
+      config.inter_domain_extra_edges *
+      static_cast<double>(config.transit_domains));
+  for (std::size_t e = 0; e < extra_backbone && transit.size() > 1; ++e) {
+    const std::size_t d1 = rng.next_u64(transit.size());
+    const std::size_t d2 = rng.next_u64(transit.size());
+    if (d1 == d2) continue;
+    link_domains(d1, d2);
+  }
+
+  // 3. Stub domains.
+  std::vector<HostId> all_transit;
+  for (const auto& domain : transit)
+    all_transit.insert(all_transit.end(), domain.begin(), domain.end());
+
+  int stub_domain_id = 0;
+  for (int d = 0; d < config.transit_domains; ++d) {
+    for (const HostId transit_node : transit[static_cast<std::size_t>(d)]) {
+      for (int s = 0; s < config.stub_domains_per_transit; ++s) {
+        std::vector<HostId> stub_hosts;
+        for (int h = 0; h < config.hosts_per_stub; ++h)
+          stub_hosts.push_back(topology.add_host(
+              HostInfo{HostKind::kStub, d, stub_domain_id}));
+        connect_random(topology, stub_hosts, LinkClass::kIntraStub, 0.3,
+                       rng);
+        // Access link: random stub host homes to the transit node.
+        const HostId gateway =
+            stub_hosts[rng.next_u64(stub_hosts.size())];
+        topology.add_link(gateway, transit_node, LinkClass::kTransitStub);
+        if (rng.next_bool(config.stub_multihome_probability) &&
+            all_transit.size() > 1) {
+          HostId second = transit_node;
+          while (second == transit_node)
+            second = all_transit[rng.next_u64(all_transit.size())];
+          const HostId gateway2 =
+              stub_hosts[rng.next_u64(stub_hosts.size())];
+          topology.add_link(gateway2, second, LinkClass::kTransitStub);
+        }
+        ++stub_domain_id;
+      }
+    }
+  }
+
+  topology.freeze();
+  TO_ENSURES(topology.is_connected());
+  TO_ENSURES(static_cast<int>(topology.host_count()) ==
+             config.total_hosts());
+  return topology;
+}
+
+}  // namespace topo::net

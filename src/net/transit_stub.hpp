@@ -1,0 +1,67 @@
+// GT-ITM-style transit-stub topology generation.
+//
+// The paper evaluates on two ~10,000-host transit-stub topologies generated
+// with GT-ITM (Zegura et al., "How to model an internetwork"). GT-ITM is not
+// redistributable here, so we implement the same generative family:
+//
+//   * `transit_domains` transit domains whose domain-level backbone is a
+//     random connected graph (spanning tree + extra edges);
+//   * each transit domain holds `transit_nodes_per_domain` transit nodes,
+//     again a random connected graph;
+//   * every transit node attaches `stub_domains_per_transit` stub domains;
+//   * each stub domain holds `hosts_per_stub` hosts forming a random
+//     connected graph, and is homed to its transit node via one access link
+//     (plus optional extra multi-homing links).
+//
+// The two presets mirror the paper's tsk-large (big backbone, sparse stubs)
+// and tsk-small (small backbone, dense stubs).
+#pragma once
+
+#include <string>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace topo::net {
+
+struct TransitStubConfig {
+  int transit_domains = 8;
+  int transit_nodes_per_domain = 4;
+  int stub_domains_per_transit = 8;
+  int hosts_per_stub = 39;
+
+  /// Probability of each extra (non-tree) edge inside a random connected
+  /// graph, as edge density beyond the spanning tree: expected extra edges =
+  /// extra_edge_factor * node_count.
+  double intra_domain_extra_edges = 0.4;
+  /// Expected number of extra inter-domain backbone edges beyond the
+  /// domain-level spanning tree, per domain.
+  double inter_domain_extra_edges = 0.5;
+  /// Probability that a stub domain is multi-homed with a second transit
+  /// link (GT-ITM supports this; the paper leaves it at default).
+  double stub_multihome_probability = 0.0;
+
+  std::string name = "custom";
+
+  int total_hosts() const {
+    const int transit = transit_domains * transit_nodes_per_domain;
+    const int stubs =
+        transit * stub_domains_per_transit * hosts_per_stub;
+    return transit + stubs;
+  }
+};
+
+/// Paper preset: large backbone, sparse edge network (~10k hosts).
+TransitStubConfig tsk_large();
+/// Paper preset: small backbone, dense edge network (~10k hosts).
+TransitStubConfig tsk_small();
+
+/// Scaled-down variants for unit tests and the quickstart example.
+TransitStubConfig tsk_tiny();
+
+/// Generates a connected transit-stub topology. Latencies are left at zero;
+/// apply a net::LatencyModel afterwards. Deterministic given `rng`.
+Topology generate_transit_stub(const TransitStubConfig& config,
+                               util::Rng& rng);
+
+}  // namespace topo::net

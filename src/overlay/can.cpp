@@ -1,0 +1,314 @@
+#include "overlay/can.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace topo::overlay {
+
+namespace {
+
+// Does subtree zone `z` touch (overlap or abut, torus-aware) query zone `q`
+// in every axis? Used to prune the partition-tree walk that finds the
+// owners geometrically adjacent to a zone.
+bool touches(const geom::Zone& z, const geom::Zone& q) {
+  for (std::size_t d = 0; d < z.dims(); ++d) {
+    const bool overlap = z.lo(d) < q.hi(d) && q.lo(d) < z.hi(d);
+    const bool abut = z.hi(d) == q.lo(d) || q.hi(d) == z.lo(d) ||
+                      (z.hi(d) == 1.0 && q.lo(d) == 0.0) ||
+                      (q.hi(d) == 1.0 && z.lo(d) == 0.0);
+    if (!overlap && !abut) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CanNetwork::CanNetwork(std::size_t dims) : dims_(dims) {
+  TO_EXPECTS(dims >= 1 && dims <= geom::Point::kMaxDims);
+}
+
+int CanNetwork::leaf_containing(const geom::Point& p) const {
+  TO_EXPECTS(!tree_.empty());
+  int current = 0;
+  while (!tree_[static_cast<std::size_t>(current)].is_leaf()) {
+    const TreeNode& t = tree_[static_cast<std::size_t>(current)];
+    const int lo_child = t.child[0];
+    current = tree_[static_cast<std::size_t>(lo_child)].zone.contains(p)
+                  ? lo_child
+                  : t.child[1];
+  }
+  return current;
+}
+
+NodeId CanNetwork::join(net::HostId host, const geom::Point& at,
+                        NodeId* split_peer) {
+  TO_EXPECTS(at.dims() == dims_);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(CanNode{host, geom::Zone(), {}, true});
+  leaf_of_node_.push_back(-1);
+  ++live_count_;
+
+  if (tree_.empty()) {
+    tree_.push_back(TreeNode{geom::Zone::whole(dims_), 0, -1, {-1, -1}, id});
+    leaf_of_node_[id] = 0;
+    nodes_[id].zone = tree_[0].zone;
+    if (split_peer != nullptr) *split_peer = kInvalidNode;
+    on_join(id, kInvalidNode);
+    return id;
+  }
+
+  const int leaf = leaf_containing(at);
+  const NodeId peer = tree_[static_cast<std::size_t>(leaf)].owner;
+  split_leaf(leaf, id, at);
+  set_neighbors_after_split(peer, id);
+  if (split_peer != nullptr) *split_peer = peer;
+  on_join(id, peer);
+  return id;
+}
+
+NodeId CanNetwork::join_random(net::HostId host, util::Rng& rng) {
+  return join(host, geom::Point::random(dims_, rng));
+}
+
+void CanNetwork::split_leaf(int leaf, NodeId new_owner,
+                            const geom::Point& at) {
+  auto& t = tree_[static_cast<std::size_t>(leaf)];
+  const NodeId old_owner = t.owner;
+  const std::size_t dim = t.zone.longest_dim();
+  const auto [lo_zone, hi_zone] = t.zone.split(dim);
+
+  const auto lo_index = static_cast<int>(tree_.size());
+  tree_.push_back(TreeNode{lo_zone, 0, leaf, {-1, -1}, kInvalidNode});
+  const auto hi_index = static_cast<int>(tree_.size());
+  tree_.push_back(TreeNode{hi_zone, 0, leaf, {-1, -1}, kInvalidNode});
+
+  auto& parent = tree_[static_cast<std::size_t>(leaf)];  // re-fetch: push_back
+  parent.split_dim = dim;
+  parent.child[0] = lo_index;
+  parent.child[1] = hi_index;
+  parent.owner = kInvalidNode;
+
+  // The joiner takes the half containing its chosen point.
+  const bool joiner_takes_lo =
+      tree_[static_cast<std::size_t>(lo_index)].zone.contains(at);
+  const int joiner_leaf = joiner_takes_lo ? lo_index : hi_index;
+  const int old_leaf = joiner_takes_lo ? hi_index : lo_index;
+
+  tree_[static_cast<std::size_t>(joiner_leaf)].owner = new_owner;
+  tree_[static_cast<std::size_t>(old_leaf)].owner = old_owner;
+  leaf_of_node_[new_owner] = joiner_leaf;
+  leaf_of_node_[old_owner] = old_leaf;
+  nodes_[new_owner].zone = tree_[static_cast<std::size_t>(joiner_leaf)].zone;
+  nodes_[old_owner].zone = tree_[static_cast<std::size_t>(old_leaf)].zone;
+}
+
+std::vector<NodeId> CanNetwork::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(live_count_);
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].alive) out.push_back(id);
+  return out;
+}
+
+NodeId CanNetwork::owner_of(const geom::Point& p) const {
+  TO_EXPECTS(!tree_.empty());
+  return tree_[static_cast<std::size_t>(leaf_containing(p))].owner;
+}
+
+void CanNetwork::set_neighbors_after_split(NodeId old_node, NodeId new_node) {
+  // Recompute the two affected neighbor lists from geometry (tree walk),
+  // then patch the symmetric sides.
+  auto update = [&](NodeId n) {
+    std::vector<NodeId> fresh;
+    // Walk the tree collecting live leaf owners whose zones CAN-neighbor n.
+    const geom::Zone& q = nodes_[n].zone;
+    std::vector<int> stack = {0};
+    while (!stack.empty()) {
+      const int idx = stack.back();
+      stack.pop_back();
+      const TreeNode& t = tree_[static_cast<std::size_t>(idx)];
+      if (!touches(t.zone, q)) continue;
+      if (t.is_leaf()) {
+        if (t.owner != n && t.owner != kInvalidNode &&
+            nodes_[t.owner].alive && q.is_can_neighbor(nodes_[t.owner].zone))
+          fresh.push_back(t.owner);
+      } else {
+        stack.push_back(t.child[0]);
+        stack.push_back(t.child[1]);
+      }
+    }
+    std::sort(fresh.begin(), fresh.end());
+    auto& mine = nodes_[n].neighbors;
+    std::sort(mine.begin(), mine.end());
+    // Removed neighbors: drop `n` from their lists.
+    for (const NodeId v : mine)
+      if (!std::binary_search(fresh.begin(), fresh.end(), v))
+        std::erase(nodes_[v].neighbors, n);
+    // Added neighbors: insert `n` into their lists.
+    for (const NodeId v : fresh)
+      if (!std::binary_search(mine.begin(), mine.end(), v))
+        nodes_[v].neighbors.push_back(n);
+    mine = std::move(fresh);
+  };
+  update(old_node);
+  update(new_node);
+}
+
+void CanNetwork::rewire_after_merge(NodeId surviving) {
+  set_neighbors_after_split(surviving, surviving);  // single-node update
+}
+
+void CanNetwork::remove_from_neighbors(NodeId gone) {
+  for (const NodeId v : nodes_[gone].neighbors)
+    std::erase(nodes_[v].neighbors, gone);
+  nodes_[gone].neighbors.clear();
+}
+
+int CanNetwork::deepest_buddy_parent(int root) const {
+  // DFS for the deepest internal node whose children are both leaves.
+  int best = -1;
+  int best_depth = -1;
+  std::vector<std::pair<int, int>> stack = {{root, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& t = tree_[static_cast<std::size_t>(idx)];
+    if (t.is_leaf()) continue;
+    const bool both_leaves =
+        tree_[static_cast<std::size_t>(t.child[0])].is_leaf() &&
+        tree_[static_cast<std::size_t>(t.child[1])].is_leaf();
+    if (both_leaves) {
+      if (depth > best_depth) {
+        best_depth = depth;
+        best = idx;
+      }
+    } else {
+      stack.emplace_back(t.child[0], depth + 1);
+      stack.emplace_back(t.child[1], depth + 1);
+    }
+  }
+  return best;
+}
+
+void CanNetwork::merge_buddies(int parent_index, NodeId surviving) {
+  auto& parent = tree_[static_cast<std::size_t>(parent_index)];
+  TO_EXPECTS(!parent.is_leaf());
+  TO_EXPECTS(tree_[static_cast<std::size_t>(parent.child[0])].is_leaf());
+  TO_EXPECTS(tree_[static_cast<std::size_t>(parent.child[1])].is_leaf());
+  parent.child[0] = -1;
+  parent.child[1] = -1;
+  parent.owner = surviving;
+  leaf_of_node_[surviving] = parent_index;
+  nodes_[surviving].zone = parent.zone;
+}
+
+CanNetwork::LeaveReport CanNetwork::leave(NodeId id) {
+  TO_EXPECTS(alive(id));
+  const int leaf = leaf_of_node_[id];
+  NodeId taker = kInvalidNode;
+  NodeId moved = kInvalidNode;
+
+  remove_from_neighbors(id);
+  nodes_[id].alive = false;
+  leaf_of_node_[id] = -1;
+  --live_count_;
+
+  const TreeNode& l = tree_[static_cast<std::size_t>(leaf)];
+  if (l.parent < 0) {
+    // Last node: the partition tree becomes empty.
+    tree_.clear();
+    on_leave(id, kInvalidNode, kInvalidNode);
+    return {};
+  }
+
+  const int parent = l.parent;
+  const TreeNode& p = tree_[static_cast<std::size_t>(parent)];
+  const int buddy = p.child[0] == leaf ? p.child[1] : p.child[0];
+
+  if (tree_[static_cast<std::size_t>(buddy)].is_leaf()) {
+    // Buddy takes over the merged (parent) zone.
+    taker = tree_[static_cast<std::size_t>(buddy)].owner;
+    merge_buddies(parent, taker);
+    rewire_after_merge(taker);
+  } else {
+    // Deepest buddy pair under the buddy subtree: one of them hands its
+    // zone to its own buddy and takes over the departed zone (CAN's
+    // defragmented takeover, keeping one zone per node).
+    const int q = deepest_buddy_parent(buddy);
+    TO_ASSERT(q >= 0);
+    const auto& qt = tree_[static_cast<std::size_t>(q)];
+    moved = tree_[static_cast<std::size_t>(qt.child[0])].owner;
+    taker = tree_[static_cast<std::size_t>(qt.child[1])].owner;
+    merge_buddies(q, taker);
+    // `moved` takes the departed leaf.
+    tree_[static_cast<std::size_t>(leaf)].owner = moved;
+    leaf_of_node_[moved] = leaf;
+    nodes_[moved].zone = tree_[static_cast<std::size_t>(leaf)].zone;
+    rewire_after_merge(taker);
+    rewire_after_merge(moved);
+  }
+  on_leave(id, taker, moved);
+  return LeaveReport{taker, moved};
+}
+
+NodeId CanNetwork::greedy_next_hop(NodeId from,
+                                   const geom::Point& target) const {
+  TO_EXPECTS(alive(from));
+  const CanNode& n = nodes_[from];
+  if (n.zone.contains(target)) return kInvalidNode;
+  NodeId best = kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const NodeId v : n.neighbors) {
+    const double d = nodes_[v].zone.distance_to(target);
+    if (d < best_dist) {
+      best_dist = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+RouteResult CanNetwork::route(NodeId from, const geom::Point& target) const {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const std::size_t max_hops = 4 * nodes_.size() + 16;
+  while (result.path.size() <= max_hops) {
+    if (nodes_[current].zone.contains(target)) {
+      result.success = true;
+      return result;
+    }
+    const NodeId next = greedy_next_hop(current, target);
+    if (next == kInvalidNode) return result;  // no live neighbor: fail
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;  // loop guard tripped
+}
+
+bool CanNetwork::check_invariants() const {
+  // 1. Zone volumes of live nodes sum to 1 (exact for dyadic splits).
+  double volume = 0.0;
+  for (const auto& n : nodes_)
+    if (n.alive) volume += n.zone.volume();
+  if (live_count_ > 0 && std::abs(volume - 1.0) > 1e-9) return false;
+
+  // 2. Neighbor lists match geometry and are symmetric.
+  const std::vector<NodeId> live = live_nodes();
+  for (const NodeId a : live) {
+    for (const NodeId b : live) {
+      if (a == b) continue;
+      const bool geometric =
+          nodes_[a].zone.is_can_neighbor(nodes_[b].zone);
+      const bool listed =
+          std::find(nodes_[a].neighbors.begin(), nodes_[a].neighbors.end(),
+                    b) != nodes_[a].neighbors.end();
+      if (geometric != listed) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topo::overlay

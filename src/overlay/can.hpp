@@ -1,0 +1,130 @@
+// CAN: a content-addressable network over the unit d-torus
+// (Ratnasamy et al., SIGCOMM'01), simulated in one process.
+//
+// The Cartesian space is partitioned into zones, one owner per zone. A key
+// is a point; the owner of the zone containing the point stores the value.
+// Join: pick a point, route to its owner, split that owner's zone in half.
+// Leave: the zone is merged with its partition-tree buddy (with the
+// standard "deepest buddy pair" handoff when the buddy is not a leaf).
+// Routing: greedy forwarding to the neighbor zone closest to the target.
+//
+// The class keeps the full binary partition tree, which gives the simulator
+// O(depth) owner lookup and exact zone-merge semantics; real CAN nodes
+// need none of this global state, and the message-visible behaviour
+// (hops, neighbor sets) matches the protocol.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/node.hpp"
+#include "util/rng.hpp"
+
+namespace topo::overlay {
+
+class CanNetwork {
+ public:
+  explicit CanNetwork(std::size_t dims);
+  virtual ~CanNetwork() = default;
+
+  CanNetwork(const CanNetwork&) = delete;
+  CanNetwork& operator=(const CanNetwork&) = delete;
+
+  std::size_t dims() const { return dims_; }
+  std::size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Total node slots ever allocated (dead ones included); NodeIds are
+  /// stable across departures and never reused.
+  std::size_t slot_count() const { return nodes_.size(); }
+
+  const CanNode& node(NodeId id) const {
+    TO_EXPECTS(id < nodes_.size());
+    return nodes_[id];
+  }
+  bool alive(NodeId id) const { return id < nodes_.size() && nodes_[id].alive; }
+
+  /// Joins `host` at point `at`: splits the zone owning `at`.
+  /// The first join takes the whole space. If `split_peer` is non-null it
+  /// receives the node whose zone was split (kInvalidNode for the first
+  /// join) — the soft-state layer migrates stored entries based on it.
+  NodeId join(net::HostId host, const geom::Point& at,
+              NodeId* split_peer = nullptr);
+  NodeId join_random(net::HostId host, util::Rng& rng);
+
+  /// Who inherited responsibility after a departure; layers above (the
+  /// soft-state store) re-home their state based on this.
+  struct LeaveReport {
+    NodeId taker = kInvalidNode;  // owner of the merged/departed zone
+    NodeId moved = kInvalidNode;  // node relocated by a deepest-buddy swap
+  };
+
+  /// Node departure with buddy-merge takeover. The zone invariants
+  /// (exact tiling of the space) hold before and after.
+  LeaveReport leave(NodeId id);
+
+  /// Owner of the zone containing `p` (simulator-level lookup).
+  NodeId owner_of(const geom::Point& p) const;
+
+  /// Greedy CAN routing from node `from` to the owner of `target`.
+  RouteResult route(NodeId from, const geom::Point& target) const;
+
+  /// One greedy step: the neighbor of `from` whose zone is closest to
+  /// `target`, or kInvalidNode if `from` already owns `target`.
+  NodeId greedy_next_hop(NodeId from, const geom::Point& target) const;
+
+  /// All currently-live node ids.
+  std::vector<NodeId> live_nodes() const;
+
+  /// Expensive full-invariant check for tests: zones tile the space, the
+  /// neighbor relation matches geom::Zone::is_can_neighbor and is
+  /// symmetric.
+  bool check_invariants() const;
+
+ protected:
+  /// Hooks for subclasses (eCAN) to maintain auxiliary structures. Called
+  /// after the node table and neighbor lists are consistent.
+  virtual void on_join(NodeId joined, NodeId split_peer) {
+    (void)joined;
+    (void)split_peer;
+  }
+  /// `leaver` has been removed; `taker` now owns `leaver`'s former zone (or
+  /// the merged zone). `moved` is the node whose zone changed as part of a
+  /// deepest-buddy handoff, or kInvalidNode.
+  virtual void on_leave(NodeId leaver, NodeId taker, NodeId moved) {
+    (void)leaver;
+    (void)taker;
+    (void)moved;
+  }
+
+ private:
+  // Binary partition tree. Leaves own zones; internal nodes record splits.
+  struct TreeNode {
+    geom::Zone zone;
+    std::size_t split_dim = 0;
+    int parent = -1;
+    int child[2] = {-1, -1};  // -1 for leaves
+    NodeId owner = kInvalidNode;
+    bool is_leaf() const { return child[0] < 0; }
+  };
+
+  int leaf_containing(const geom::Point& p) const;
+  void split_leaf(int leaf, NodeId new_owner, const geom::Point& at);
+  /// Collapse the parent of two leaf buddies; `surviving` keeps the merged
+  /// zone.
+  void merge_buddies(int parent_index, NodeId surviving);
+  /// Deepest leaf pair under subtree `root`.
+  int deepest_buddy_parent(int root) const;
+
+  void set_neighbors_after_split(NodeId old_node, NodeId new_node);
+  void rewire_after_merge(NodeId surviving);
+  void remove_from_neighbors(NodeId gone);
+
+  std::size_t dims_;
+  std::vector<CanNode> nodes_;
+  std::vector<TreeNode> tree_;
+  std::vector<int> leaf_of_node_;  // NodeId -> tree index (-1 if dead)
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace topo::overlay

@@ -1,0 +1,244 @@
+#include "overlay/chord.hpp"
+
+#include <algorithm>
+
+namespace topo::overlay {
+
+ChordNetwork::ChordNetwork(int id_bits) : id_bits_(id_bits) {
+  TO_EXPECTS(id_bits >= 3 && id_bits <= 62);
+  ring_size_ = 1ULL << id_bits;
+}
+
+NodeId ChordNetwork::join(net::HostId host, ChordId id) {
+  TO_EXPECTS(id < ring_size_);
+  TO_EXPECTS(ring_.find(id) == ring_.end());
+  const auto n = static_cast<NodeId>(nodes_.size());
+  ChordNode node;
+  node.host = host;
+  node.id = id;
+  node.alive = true;
+  node.fingers.assign(static_cast<std::size_t>(id_bits_), kInvalidNode);
+  nodes_.push_back(std::move(node));
+  ring_.emplace(id, n);
+  return n;
+}
+
+NodeId ChordNetwork::join_random(net::HostId host, util::Rng& rng) {
+  ChordId id = rng.next_u64(ring_size_);
+  while (ring_.find(id) != ring_.end()) id = rng.next_u64(ring_size_);
+  return join(host, id);
+}
+
+void ChordNetwork::leave(NodeId n) {
+  TO_EXPECTS(alive(n));
+  ring_.erase(nodes_[n].id);
+  nodes_[n].alive = false;
+  nodes_[n].fingers.clear();
+}
+
+NodeId ChordNetwork::successor_of(ChordId key) const {
+  TO_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(key);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+NodeId ChordNetwork::successor_node(NodeId n) const {
+  TO_EXPECTS(alive(n));
+  return successor_of((nodes_[n].id + 1) & (ring_size_ - 1));
+}
+
+std::vector<NodeId> ChordNetwork::nodes_in_interval(ChordId lo, ChordId hi,
+                                                    std::size_t limit) const {
+  std::vector<NodeId> out;
+  if (ring_.empty()) return out;
+  auto it = ring_.lower_bound(lo);
+  for (std::size_t scanned = 0; scanned < ring_.size(); ++scanned) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!in_arc(it->first, lo, hi)) break;
+    out.push_back(it->second);
+    if (limit != 0 && out.size() >= limit) break;
+    ++it;
+  }
+  return out;
+}
+
+std::pair<ChordId, ChordId> ChordNetwork::finger_interval(NodeId n,
+                                                          int finger) const {
+  TO_EXPECTS(alive(n));
+  TO_EXPECTS(finger >= 0 && finger < id_bits_);
+  const ChordId lo = (nodes_[n].id + (ChordId{1} << finger)) &
+                     (ring_size_ - 1);
+  // For the top finger, 2^(finger+1) == ring size, so hi wraps to the
+  // node's own id (the half-ring interval) — handled by the mask.
+  const ChordId hi = (nodes_[n].id + (ChordId{1} << (finger + 1))) &
+                     (ring_size_ - 1);
+  return {lo, hi};
+}
+
+void ChordNetwork::build_fingers(NodeId n, FingerSelector& selector) {
+  TO_EXPECTS(alive(n));
+  auto& fingers = nodes_[n].fingers;
+  fingers.assign(static_cast<std::size_t>(id_bits_), kInvalidNode);
+  for (int i = 0; i < id_bits_; ++i) {
+    const auto [lo, hi] = finger_interval(n, i);
+    const auto candidates = nodes_in_interval(lo, hi);
+    if (candidates.empty()) {
+      // Classic Chord: the finger is the successor of the interval start,
+      // even when it lies beyond the interval; no selection freedom here.
+      const NodeId successor = successor_of(lo);
+      fingers[static_cast<std::size_t>(i)] =
+          successor == n ? kInvalidNode : successor;
+    } else {
+      fingers[static_cast<std::size_t>(i)] =
+          selector.select(n, i, candidates);
+    }
+  }
+}
+
+void ChordNetwork::build_all_fingers(FingerSelector& selector) {
+  for (const NodeId n : live_nodes()) build_fingers(n, selector);
+}
+
+void ChordNetwork::refresh_finger(NodeId n, int finger,
+                                  FingerSelector& selector) {
+  TO_EXPECTS(alive(n));
+  TO_EXPECTS(finger >= 0 && finger < id_bits_);
+  const auto [lo, hi] = finger_interval(n, finger);
+  const auto candidates = nodes_in_interval(lo, hi);
+  auto& slot = nodes_[n].fingers[static_cast<std::size_t>(finger)];
+  if (candidates.empty()) {
+    const NodeId successor = successor_of(lo);
+    slot = successor == n ? kInvalidNode : successor;
+  } else {
+    slot = selector.select(n, finger, candidates);
+  }
+}
+
+RouteResult ChordNetwork::route(NodeId from, ChordId key) const {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const std::size_t max_hops = 2 * ring_.size() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (successor_of(key) == current) {  // current is responsible
+      result.success = true;
+      return result;
+    }
+    const NodeId succ = successor_node(current);
+    const ChordId current_id = nodes_[current].id;
+    // Deliver to the immediate successor if it is responsible.
+    if (in_arc(key, (current_id + 1) & (ring_size_ - 1),
+               (nodes_[succ].id + 1) & (ring_size_ - 1))) {
+      result.path.push_back(succ);
+      result.success = true;
+      return result;
+    }
+    // Closest preceding alive finger of the key.
+    NodeId next = kInvalidNode;
+    const auto& fingers = nodes_[current].fingers;
+    for (int i = id_bits_ - 1; i >= 0; --i) {
+      const NodeId candidate = fingers[static_cast<std::size_t>(i)];
+      if (candidate == kInvalidNode) continue;
+      if (!alive(candidate)) {
+        ++broken_finger_encounters_;
+        continue;
+      }
+      if (in_arc(nodes_[candidate].id, (current_id + 1) & (ring_size_ - 1),
+                 key)) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == kInvalidNode) next = succ;  // successor walk: always progress
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+RouteResult ChordNetwork::route_repair(NodeId from, ChordId key,
+                                       FingerSelector& selector) {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const std::size_t max_hops = 2 * ring_.size() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (successor_of(key) == current) {
+      result.success = true;
+      return result;
+    }
+    const NodeId succ = successor_node(current);
+    const ChordId current_id = nodes_[current].id;
+    if (in_arc(key, (current_id + 1) & (ring_size_ - 1),
+               (nodes_[succ].id + 1) & (ring_size_ - 1))) {
+      result.path.push_back(succ);
+      result.success = true;
+      return result;
+    }
+    NodeId next = kInvalidNode;
+    for (int i = id_bits_ - 1; i >= 0; --i) {
+      NodeId candidate = nodes_[current].fingers[static_cast<std::size_t>(i)];
+      if (candidate != kInvalidNode && !alive(candidate)) {
+        ++broken_finger_encounters_;
+        ++lazy_repairs_;
+        refresh_finger(current, i, selector);
+        candidate = nodes_[current].fingers[static_cast<std::size_t>(i)];
+      }
+      if (candidate == kInvalidNode || !alive(candidate)) continue;
+      if (in_arc(nodes_[candidate].id, (current_id + 1) & (ring_size_ - 1),
+                 key)) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == kInvalidNode) next = succ;
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+std::vector<NodeId> ChordNetwork::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(ring_.size());
+  for (const auto& [id, n] : ring_) {
+    (void)id;
+    out.push_back(n);
+  }
+  return out;
+}
+
+bool ChordNetwork::check_ring_consistency() const {
+  for (const auto& [id, n] : ring_) {
+    if (!alive(n)) return false;
+    if (nodes_[n].id != id) return false;
+  }
+  for (NodeId n = 0; n < nodes_.size(); ++n)
+    if (nodes_[n].alive && ring_.find(nodes_[n].id) == ring_.end())
+      return false;
+  return true;
+}
+
+bool ChordNetwork::check_invariants() const {
+  if (!check_ring_consistency()) return false;
+  // Fingers lie in their intervals when the interval is occupied.
+  for (const auto& [id, n] : ring_) {
+    (void)id;
+    const auto& fingers = nodes_[n].fingers;
+    for (int i = 0; i < static_cast<int>(fingers.size()); ++i) {
+      const NodeId finger = fingers[static_cast<std::size_t>(i)];
+      if (finger == kInvalidNode || !alive(finger)) continue;
+      const auto [lo, hi] = finger_interval(n, i);
+      const bool interval_occupied = !nodes_in_interval(lo, hi, 1).empty();
+      if (interval_occupied && !in_arc(nodes_[finger].id, lo, hi))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topo::overlay

@@ -1,0 +1,138 @@
+// Chord (Stoica et al., SIGCOMM'01), the second overlay family the paper
+// targets: "In the case of Chord, we can simply use the landmark number as
+// the key to store the information of an expressway node on a node whose
+// ID is equal to or greater than the landmark number" (Appendix).
+//
+// This is a single-process simulation of the protocol's steady state: a
+// sorted ring with successor pointers and finger tables. Like Pastry's
+// routing-table entries and eCAN's expressway links, a finger has
+// *selection freedom*: finger i of node n may point at ANY node in
+// [n + 2^i, n + 2^(i+1)) — the classic protocol takes the first one
+// (successor of n + 2^i), proximity-neighbor selection takes the
+// physically closest. That freedom is what the soft-state maps exploit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "overlay/node.hpp"
+#include "util/rng.hpp"
+
+namespace topo::overlay {
+
+using ChordId = std::uint64_t;
+
+/// Strategy for picking a finger among the members of its interval
+/// (mirror of overlay::RepresentativeSelector for the CAN family).
+class FingerSelector {
+ public:
+  virtual ~FingerSelector() = default;
+
+  /// Picks finger `index` of `for_node` among `candidates`, the live nodes
+  /// whose ids fall in the finger's interval, in ring order (never empty).
+  virtual NodeId select(NodeId for_node, int finger_index,
+                        std::span<const NodeId> candidates) = 0;
+};
+
+class ChordNetwork {
+ public:
+  /// Ring of size 2^id_bits, id_bits <= 62.
+  explicit ChordNetwork(int id_bits = 32);
+
+  ChordNetwork(const ChordNetwork&) = delete;
+  ChordNetwork& operator=(const ChordNetwork&) = delete;
+
+  int id_bits() const { return id_bits_; }
+  ChordId ring_size() const { return ring_size_; }
+  std::size_t size() const { return ring_.size(); }
+
+  struct ChordNode {
+    net::HostId host = net::kInvalidHost;
+    ChordId id = 0;
+    bool alive = false;
+    std::vector<NodeId> fingers;  // id_bits entries; kInvalidNode = unset
+  };
+
+  const ChordNode& node(NodeId n) const {
+    TO_EXPECTS(n < nodes_.size());
+    return nodes_[n];
+  }
+  bool alive(NodeId n) const {
+    return n < nodes_.size() && nodes_[n].alive;
+  }
+
+  /// Joins with an explicit ring id (ids must be unique).
+  NodeId join(net::HostId host, ChordId id);
+  /// Joins at a random unoccupied id.
+  NodeId join_random(net::HostId host, util::Rng& rng);
+  void leave(NodeId n);
+
+  /// The node responsible for `key`: first node with id >= key (wrapping).
+  NodeId successor_of(ChordId key) const;
+  /// The live successor node on the ring after node `n` itself.
+  NodeId successor_node(NodeId n) const;
+
+  /// All live nodes whose ids lie in the wrap-aware interval [lo, hi).
+  /// Ring order starting at lo; `limit` caps the result (0 = no cap).
+  std::vector<NodeId> nodes_in_interval(ChordId lo, ChordId hi,
+                                        std::size_t limit = 0) const;
+
+  /// Finger i's interval of node n: [id + 2^i, id + 2^(i+1)) mod ring.
+  std::pair<ChordId, ChordId> finger_interval(NodeId n, int finger) const;
+
+  /// (Re)builds node n's finger table with `selector`.
+  void build_fingers(NodeId n, FingerSelector& selector);
+  void build_all_fingers(FingerSelector& selector);
+
+  /// Re-selects a single finger (pub/sub-driven or lazy repair).
+  void refresh_finger(NodeId n, int finger, FingerSelector& selector);
+
+  /// Greedy Chord routing: forward to the closest preceding alive finger
+  /// of the key; falls back to successor walking (always terminates).
+  /// path.back() is the key's owner.
+  RouteResult route(NodeId from, ChordId key) const;
+
+  /// Like route(), but a finger found dead is re-selected on the spot with
+  /// `selector` (reactive repair, mirroring EcanNetwork::route_ecan_repair).
+  RouteResult route_repair(NodeId from, ChordId key,
+                           FingerSelector& selector);
+  std::uint64_t lazy_repairs() const { return lazy_repairs_; }
+
+  std::vector<NodeId> live_nodes() const;
+
+  /// Ring-distance from a to b going clockwise.
+  ChordId clockwise_distance(ChordId a, ChordId b) const {
+    return (b - a) & (ring_size_ - 1);
+  }
+
+  /// True iff `x` is in the wrap-aware half-open arc [lo, hi).
+  bool in_arc(ChordId x, ChordId lo, ChordId hi) const {
+    return clockwise_distance(lo, x) < clockwise_distance(lo, hi);
+  }
+
+  /// Ring-consistency check (holds at all times, churn included).
+  bool check_ring_consistency() const;
+
+  /// Full invariant check for tests: ring consistency plus fingers inside
+  /// their intervals — the latter only holds right after tables are
+  /// (re)built; under churn a finger may legally sit outside an interval
+  /// that was empty at selection time and has since gained members.
+  bool check_invariants() const;
+
+  std::uint64_t broken_finger_encounters() const {
+    return broken_finger_encounters_;
+  }
+
+ private:
+  int id_bits_;
+  ChordId ring_size_;
+  std::vector<ChordNode> nodes_;
+  std::map<ChordId, NodeId> ring_;  // live nodes sorted by id
+  mutable std::uint64_t broken_finger_encounters_ = 0;
+  std::uint64_t lazy_repairs_ = 0;
+};
+
+}  // namespace topo::overlay

@@ -1,0 +1,398 @@
+#include "overlay/ecan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topo::overlay {
+
+namespace {
+
+/// Exact dyadic level of a zone side: side == 2^-k -> k.
+int side_level(double side) {
+  int exponent = 0;
+  const double mantissa = std::frexp(side, &exponent);  // side = m * 2^e
+  TO_ASSERT(mantissa == 0.5);  // dyadic power of two
+  return 1 - exponent;         // side = 2^(e-1) as frexp gives m in [0.5,1)
+}
+
+}  // namespace
+
+EcanNetwork::EcanNetwork(std::size_t dims, int max_level)
+    : CanNetwork(dims), max_level_(max_level) {
+  TO_EXPECTS(max_level >= 1 && max_level <= 20);
+  // Cell keys pack level*dims coordinate bits into 58 bits.
+  max_level_ = std::min(max_level_, static_cast<int>(58 / dims));
+}
+
+int EcanNetwork::node_level(NodeId id) const {
+  TO_EXPECTS(alive(id));
+  const geom::Zone& zone = node(id).zone;
+  int level = max_level_;
+  for (std::size_t d = 0; d < dims(); ++d)
+    level = std::min(level, side_level(zone.side(d)));
+  return std::max(level, 0);
+}
+
+std::vector<std::uint32_t> EcanNetwork::cell_of_node(NodeId id,
+                                                     int level) const {
+  TO_EXPECTS(level <= node_level(id));
+  const geom::Zone& zone = node(id).zone;
+  std::vector<std::uint32_t> coords(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    coords[d] = geom::grid_coord(zone.lo(d), level);
+  return coords;
+}
+
+std::vector<std::uint32_t> EcanNetwork::cell_of_point(const geom::Point& p,
+                                                      int level) const {
+  std::vector<std::uint32_t> coords(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    coords[d] = geom::grid_coord(p[d], level);
+  return coords;
+}
+
+geom::Zone EcanNetwork::cell_zone(
+    int level, std::span<const std::uint32_t> coords) const {
+  geom::Point lo(dims());
+  const double cell = std::ldexp(1.0, -level);
+  for (std::size_t d = 0; d < dims(); ++d)
+    lo[d] = static_cast<double>(coords[d]) * cell + cell / 2.0;
+  return geom::Zone::grid_cell_containing(lo, level);
+}
+
+std::uint64_t EcanNetwork::pack_cell(
+    int level, std::span<const std::uint32_t> coords) const {
+  TO_EXPECTS(level >= 0 && level <= max_level_);
+  TO_EXPECTS(static_cast<std::size_t>(level) * dims() <= 58);
+  std::uint64_t key = static_cast<std::uint64_t>(level) << 58;
+  for (std::size_t d = 0; d < dims(); ++d)
+    key |= static_cast<std::uint64_t>(coords[d])
+           << (static_cast<std::size_t>(level) * d);
+  return key;
+}
+
+std::span<const NodeId> EcanNetwork::members_of_cell(
+    int level, std::span<const std::uint32_t> coords) const {
+  const auto it = cell_members_.find(pack_cell(level, coords));
+  if (it == cell_members_.end()) return {};
+  return it->second;
+}
+
+void EcanNetwork::register_membership(NodeId id) {
+  if (registered_zone_.size() <= id) registered_zone_.resize(id + 1);
+  if (tables_.size() <= id) tables_.resize(id + 1);
+  const int levels = node_level(id);
+  for (int h = 1; h <= levels; ++h)
+    cell_members_[pack_cell(h, cell_of_node(id, h))].push_back(id);
+  registered_zone_[id] = node(id).zone;
+}
+
+void EcanNetwork::unregister_membership(NodeId id) {
+  if (registered_zone_.size() <= id || !registered_zone_[id]) return;
+  const geom::Zone& zone = *registered_zone_[id];
+  int levels = max_level_;
+  for (std::size_t d = 0; d < dims(); ++d)
+    levels = std::min(levels, side_level(zone.side(d)));
+  std::vector<std::uint32_t> coords(dims());
+  for (int h = 1; h <= levels; ++h) {
+    for (std::size_t d = 0; d < dims(); ++d)
+      coords[d] = geom::grid_coord(zone.lo(d), h);
+    auto it = cell_members_.find(pack_cell(h, coords));
+    TO_ASSERT(it != cell_members_.end());
+    std::erase(it->second, id);
+    if (it->second.empty()) cell_members_.erase(it);
+  }
+  registered_zone_[id] = std::nullopt;
+}
+
+void EcanNetwork::on_join(NodeId joined, NodeId split_peer) {
+  if (split_peer != kInvalidNode) {
+    unregister_membership(split_peer);
+    register_membership(split_peer);
+  }
+  register_membership(joined);
+}
+
+void EcanNetwork::on_leave(NodeId leaver, NodeId taker, NodeId moved) {
+  unregister_membership(leaver);
+  if (leaver < tables_.size()) tables_[leaver].clear();
+  if (taker != kInvalidNode) {
+    unregister_membership(taker);
+    register_membership(taker);
+  }
+  if (moved != kInvalidNode) {
+    unregister_membership(moved);
+    register_membership(moved);
+  }
+}
+
+std::vector<std::uint32_t> EcanNetwork::adjacent_cell(
+    std::span<const std::uint32_t> coords, int level, std::size_t dim,
+    int dir) const {
+  std::vector<std::uint32_t> adj(coords.begin(), coords.end());
+  const std::uint32_t cells = 1u << level;
+  adj[dim] = dir == 1 ? (adj[dim] + 1) % cells
+                      : (adj[dim] + cells - 1) % cells;
+  return adj;
+}
+
+void EcanNetwork::build_table(NodeId id, RepresentativeSelector& selector) {
+  TO_EXPECTS(alive(id));
+  if (tables_.size() <= id) tables_.resize(id + 1);
+  const int levels = node_level(id);
+  auto& table = tables_[id];
+  table.assign(static_cast<std::size_t>(levels),
+               std::vector<Entry>(dims() * 2));
+  for (int h = 1; h <= levels; ++h) {
+    const auto my_cell = cell_of_node(id, h);
+    for (std::size_t dim = 0; dim < dims(); ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const auto adj = adjacent_cell(my_cell, h, dim, dir);
+        const auto members = members_of_cell(h, adj);
+        Entry& entry =
+            table[static_cast<std::size_t>(h - 1)][dim * 2 +
+                                                   static_cast<std::size_t>(dir)];
+        if (members.empty()) {
+          entry.representative = kInvalidNode;
+        } else {
+          entry.representative =
+              selector.select(id, h, cell_zone(h, adj), members);
+        }
+      }
+    }
+  }
+}
+
+void EcanNetwork::build_all_tables(RepresentativeSelector& selector) {
+  for (const NodeId id : live_nodes()) build_table(id, selector);
+}
+
+void EcanNetwork::refresh_entry(NodeId id, int level, std::size_t dim,
+                                int dir, RepresentativeSelector& selector) {
+  TO_EXPECTS(alive(id));
+  TO_EXPECTS(level >= 1 && level <= node_level(id));
+  TO_EXPECTS(id < tables_.size());
+  auto& table = tables_[id];
+  if (static_cast<int>(table.size()) < level) return;  // not built yet
+  const auto my_cell = cell_of_node(id, level);
+  const auto adj = adjacent_cell(my_cell, level, dim, dir);
+  const auto members = members_of_cell(level, adj);
+  Entry& entry = table[static_cast<std::size_t>(level - 1)]
+                      [dim * 2 + static_cast<std::size_t>(dir)];
+  entry.representative =
+      members.empty()
+          ? kInvalidNode
+          : selector.select(id, level, cell_zone(level, adj), members);
+}
+
+NodeId EcanNetwork::table_entry(NodeId id, int level, std::size_t dim,
+                                int dir) const {
+  if (id >= tables_.size()) return kInvalidNode;
+  const auto& table = tables_[id];
+  if (level < 1 || static_cast<std::size_t>(level) > table.size())
+    return kInvalidNode;
+  return table[static_cast<std::size_t>(level - 1)]
+              [dim * 2 + static_cast<std::size_t>(dir)]
+                  .representative;
+}
+
+void EcanNetwork::repair_entries_to(NodeId gone,
+                                    RepresentativeSelector& selector) {
+  for (const NodeId id : live_nodes()) {
+    if (id >= tables_.size()) continue;
+    const auto& table = tables_[id];
+    for (std::size_t h = 0; h < table.size(); ++h)
+      for (std::size_t slot = 0; slot < table[h].size(); ++slot)
+        if (table[h][slot].representative == gone)
+          refresh_entry(id, static_cast<int>(h + 1), slot / 2,
+                        static_cast<int>(slot % 2), selector);
+  }
+}
+
+RouteResult EcanNetwork::route_ecan(NodeId from,
+                                    const geom::Point& target) const {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  bool greedy_only = false;  // sticky fallback: provably terminating
+  const std::size_t max_hops = 4 * slot_count() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (node(current).zone.contains(target)) {
+      result.success = true;
+      return result;
+    }
+    NodeId next = kInvalidNode;
+
+    if (!greedy_only) {
+      // Coarsest differing grid level first.
+      const int levels = node_level(current);
+      for (int h = 1; h <= levels && next == kInvalidNode; ++h) {
+        const auto my_cell = cell_of_node(current, h);
+        const auto target_cell = cell_of_point(target, h);
+        bool differs = false;
+        for (std::size_t dim = 0; dim < dims(); ++dim) {
+          if (my_cell[dim] == target_cell[dim]) continue;
+          differs = true;
+          const std::uint32_t cells = 1u << h;
+          const std::uint32_t forward_gap =
+              (target_cell[dim] + cells - my_cell[dim]) % cells;
+          const int dir = forward_gap <= cells - forward_gap ? 1 : 0;
+          const NodeId candidate = table_entry(current, h, dim, dir);
+          if (candidate != kInvalidNode && alive(candidate)) {
+            next = candidate;
+            break;
+          }
+          if (candidate != kInvalidNode) ++broken_entry_encounters_;
+        }
+        if (differs && next == kInvalidNode) {
+          // The level that must be fixed has no usable expressway link;
+          // finish with plain CAN greedy (always terminates).
+          greedy_only = true;
+          break;
+        }
+      }
+    }
+
+    if (next == kInvalidNode) {
+      greedy_only = true;
+      next = greedy_next_hop(current, target);
+    }
+    if (next == kInvalidNode) return result;  // isolated: fail
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+RouteResult EcanNetwork::route_ecan_proximity(NodeId from,
+                                              const geom::Point& target,
+                                              net::RttOracle& oracle) const {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const std::size_t max_hops = 4 * slot_count() + 16;
+
+  while (result.path.size() <= max_hops) {
+    const CanNode& here = node(current);
+    if (here.zone.contains(target)) {
+      result.success = true;
+      return result;
+    }
+    const double current_distance = here.zone.distance_to(target);
+
+    // Candidate set: CAN neighbors plus every expressway entry, filtered
+    // to those strictly closer to the target (termination guarantee).
+    NodeId best = kInvalidNode;
+    double best_rtt = std::numeric_limits<double>::infinity();
+    auto consider = [&](NodeId candidate) {
+      if (candidate == kInvalidNode || !alive(candidate)) return;
+      if (node(candidate).zone.distance_to(target) >= current_distance)
+        return;
+      const double rtt =
+          oracle.latency_ms(here.host, node(candidate).host);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best = candidate;
+      }
+    };
+    for (const NodeId neighbor : here.neighbors) consider(neighbor);
+    const int levels = node_level(current);
+    for (int h = 1; h <= levels; ++h)
+      for (std::size_t dim = 0; dim < dims(); ++dim)
+        for (int dir = 0; dir < 2; ++dir)
+          consider(table_entry(current, h, dim, dir));
+
+    if (best == kInvalidNode) {
+      // No latency-attractive candidate: plain greedy step.
+      best = greedy_next_hop(current, target);
+      if (best == kInvalidNode) return result;
+    }
+    result.path.push_back(best);
+    current = best;
+  }
+  return result;
+}
+
+RouteResult EcanNetwork::route_ecan_repair(NodeId from,
+                                           const geom::Point& target,
+                                           RepresentativeSelector& selector) {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  bool greedy_only = false;
+  const std::size_t max_hops = 4 * slot_count() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (node(current).zone.contains(target)) {
+      result.success = true;
+      return result;
+    }
+    NodeId next = kInvalidNode;
+
+    if (!greedy_only) {
+      const int levels = node_level(current);
+      for (int h = 1; h <= levels && next == kInvalidNode; ++h) {
+        const auto my_cell = cell_of_node(current, h);
+        const auto target_cell = cell_of_point(target, h);
+        bool differs = false;
+        for (std::size_t dim = 0; dim < dims(); ++dim) {
+          if (my_cell[dim] == target_cell[dim]) continue;
+          differs = true;
+          const std::uint32_t cells = 1u << h;
+          const std::uint32_t forward_gap =
+              (target_cell[dim] + cells - my_cell[dim]) % cells;
+          const int dir = forward_gap <= cells - forward_gap ? 1 : 0;
+          NodeId candidate = table_entry(current, h, dim, dir);
+          if (candidate != kInvalidNode && !alive(candidate)) {
+            // Reactive repair: re-select the broken entry now.
+            ++broken_entry_encounters_;
+            ++lazy_repairs_;
+            refresh_entry(current, h, dim, dir, selector);
+            candidate = table_entry(current, h, dim, dir);
+          }
+          if (candidate != kInvalidNode && alive(candidate)) {
+            next = candidate;
+            break;
+          }
+        }
+        if (differs && next == kInvalidNode) {
+          greedy_only = true;
+          break;
+        }
+      }
+    }
+
+    if (next == kInvalidNode) {
+      greedy_only = true;
+      next = greedy_next_hop(current, target);
+    }
+    if (next == kInvalidNode) return result;
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+bool EcanNetwork::check_membership_index() const {
+  // Every live node appears exactly in the cells enclosing its zone.
+  for (const NodeId id : live_nodes()) {
+    const int levels = node_level(id);
+    for (int h = 1; h <= levels; ++h) {
+      const auto members = members_of_cell(h, cell_of_node(id, h));
+      if (std::count(members.begin(), members.end(), id) != 1) return false;
+    }
+  }
+  // And no dead node appears anywhere.
+  for (const auto& [key, members] : cell_members_) {
+    (void)key;
+    for (const NodeId id : members)
+      if (!alive(id)) return false;
+  }
+  return true;
+}
+
+}  // namespace topo::overlay

@@ -1,0 +1,140 @@
+// eCAN: CAN augmented with "expressway" routing tables of larger span
+// (Xu & Zhang, "Building Low-maintenance Expressways for P2P Systems").
+//
+// The space is recursively divided into a nested 2^d-ary grid: an order-h
+// cell has side 2^-h per axis. A node whose CAN zone fits inside its order-h
+// cell is a *member* of that cell; per order it keeps one representative
+// link into each of the 2d abutting cells. Routing fixes the coarsest
+// differing grid level first (one "digit" per level, like Pastry prefix
+// routing), then finishes with plain CAN greedy hops — O(log N) hops total,
+// which Figure 2 of the paper demonstrates against plain CAN.
+//
+// Which member of the adjacent cell becomes the representative is delegated
+// to a RepresentativeSelector — the knob the whole paper is about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/can.hpp"
+#include "overlay/selector.hpp"
+
+namespace topo::overlay {
+
+class EcanNetwork : public CanNetwork {
+ public:
+  /// `max_level` caps the expressway depth (order-h cells exist for
+  /// h = 1..max_level); memory is only spent on cells that have members.
+  explicit EcanNetwork(std::size_t dims, int max_level = 14);
+
+  int max_level() const { return max_level_; }
+
+  /// Deepest order whose cell still encloses the node's zone.
+  int node_level(NodeId id) const;
+
+  /// Grid cell (coords per axis) of a node's zone / of a point at `level`.
+  std::vector<std::uint32_t> cell_of_node(NodeId id, int level) const;
+  std::vector<std::uint32_t> cell_of_point(const geom::Point& p,
+                                           int level) const;
+
+  geom::Zone cell_zone(int level,
+                       std::span<const std::uint32_t> coords) const;
+
+  /// Canonical 64-bit key of a (level, cell) pair; shared with the
+  /// soft-state map layer so stored entries can be tagged by map.
+  std::uint64_t pack_cell(int level,
+                          std::span<const std::uint32_t> coords) const;
+
+  /// Abutting cell at `level` in direction (dim, dir); torus wrap.
+  /// dir is 0 (towards lower coords) or 1 (towards higher).
+  std::vector<std::uint32_t> adjacent_cell(
+      std::span<const std::uint32_t> coords, int level, std::size_t dim,
+      int dir) const;
+
+  /// Live members of a cell (nodes whose zone fits inside it).
+  std::span<const NodeId> members_of_cell(
+      int level, std::span<const std::uint32_t> coords) const;
+
+  // -- Expressway routing tables --------------------------------------
+
+  struct Entry {
+    NodeId representative = kInvalidNode;
+  };
+
+  /// (Re)builds the full expressway table of one node with `selector`.
+  void build_table(NodeId id, RepresentativeSelector& selector);
+  /// Builds every live node's table (static-experiment bootstrap).
+  void build_all_tables(RepresentativeSelector& selector);
+
+  /// Re-selects a single entry (pub/sub driven maintenance, lazy repair).
+  void refresh_entry(NodeId id, int level, std::size_t dim, int dir,
+                     RepresentativeSelector& selector);
+
+  /// Current representative for (level, dim, dir), if the node has that
+  /// level. dir is 0 (towards lower coords) or 1 (towards higher).
+  NodeId table_entry(NodeId id, int level, std::size_t dim, int dir) const;
+
+  /// Replaces every table entry pointing at `gone` using `selector`
+  /// (eager repair used by the maintenance experiments).
+  void repair_entries_to(NodeId gone, RepresentativeSelector& selector);
+
+  /// Expressway routing: coarsest-differing-level-first, CAN greedy tail.
+  /// Dead table entries are skipped (and counted) — the lazy-repair path.
+  RouteResult route_ecan(NodeId from, const geom::Point& target) const;
+
+  /// *Proximity routing* (the second technique in Castro et al.'s
+  /// taxonomy, paper Section 1): the overlay is built without proximity
+  /// knowledge, but each hop forwards to the topologically closest
+  /// next-hop candidate in the routing table — here, the closest (by RTT
+  /// from the current node) among all table entries and CAN neighbors
+  /// whose zone is strictly closer to the target. A real node knows these
+  /// RTTs from keep-alive measurements; the oracle models them (they are
+  /// not charged as probes). bench/taxonomy_techniques compares this
+  /// against proximity-neighbor selection.
+  RouteResult route_ecan_proximity(NodeId from, const geom::Point& target,
+                                   net::RttOracle& oracle) const;
+
+  /// Like route_ecan, but a table entry found pointing at a dead node is
+  /// re-selected on the spot with `selector` before continuing — the
+  /// paper's reactive repair ("departed nodes are deleted from the global
+  /// state only when they are selected as routing neighbor replacements
+  /// and later found un-reachable" — the selector's soft-state lookup
+  /// performs that deletion).
+  RouteResult route_ecan_repair(NodeId from, const geom::Point& target,
+                                RepresentativeSelector& selector);
+
+  std::uint64_t broken_entry_encounters() const {
+    return broken_entry_encounters_;
+  }
+  std::uint64_t lazy_repairs() const { return lazy_repairs_; }
+
+  /// Verifies membership-index consistency (tests).
+  bool check_membership_index() const;
+
+ protected:
+  void on_join(NodeId joined, NodeId split_peer) override;
+  void on_leave(NodeId leaver, NodeId taker, NodeId moved) override;
+
+ private:
+  void register_membership(NodeId id);
+  void unregister_membership(NodeId id);
+
+  int max_level_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cell_members_;
+  // Zone each node registered its membership with (needed to unregister
+  // after the zone has already changed).
+  std::vector<std::optional<geom::Zone>> registered_zone_;
+
+  // tables_[id] has node_level(id) levels; each level stores dims()*2
+  // entries, index = dim*2 + dir.
+  std::vector<std::vector<std::vector<Entry>>> tables_;
+
+  mutable std::uint64_t broken_entry_encounters_ = 0;
+  std::uint64_t lazy_repairs_ = 0;
+};
+
+}  // namespace topo::overlay

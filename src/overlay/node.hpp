@@ -1,0 +1,30 @@
+// Overlay node identifiers and records shared by CAN/eCAN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/zone.hpp"
+#include "net/graph.hpp"
+
+namespace topo::overlay {
+
+/// Dense index into the network's node table (simulator-level identity).
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~0u;
+
+struct CanNode {
+  net::HostId host = net::kInvalidHost;  // physical attachment
+  geom::Zone zone;                        // owned region of the key space
+  std::vector<NodeId> neighbors;          // CAN (order-0) neighbors
+  bool alive = false;
+};
+
+/// Result of routing a message across the overlay.
+struct RouteResult {
+  bool success = false;
+  std::vector<NodeId> path;  // path[0] == source, path.back() == final owner
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+}  // namespace topo::overlay

@@ -1,0 +1,341 @@
+#include "overlay/pastry.hpp"
+
+#include <algorithm>
+
+namespace topo::overlay {
+
+PastryNetwork::PastryNetwork(int id_bits, int digit_bits, int leaf_set_half)
+    : id_bits_(id_bits),
+      digit_bits_(digit_bits),
+      leaf_set_half_(leaf_set_half) {
+  TO_EXPECTS(digit_bits >= 1 && digit_bits <= 8);
+  TO_EXPECTS(id_bits >= digit_bits && id_bits <= 62);
+  TO_EXPECTS(id_bits % digit_bits == 0);
+  TO_EXPECTS(leaf_set_half >= 1);
+  ring_size_ = PastryId{1} << id_bits_;
+}
+
+NodeId PastryNetwork::join(net::HostId host, PastryId id) {
+  TO_EXPECTS(id < ring_size_);
+  TO_EXPECTS(ring_.find(id) == ring_.end());
+  const auto n = static_cast<NodeId>(nodes_.size());
+  PastryNode node;
+  node.host = host;
+  node.id = id;
+  node.alive = true;
+  node.table.assign(static_cast<std::size_t>(digits()) *
+                        static_cast<std::size_t>(base()),
+                    kInvalidNode);
+  nodes_.push_back(std::move(node));
+  ring_.emplace(id, n);
+  return n;
+}
+
+NodeId PastryNetwork::join_random(net::HostId host, util::Rng& rng) {
+  PastryId id = rng.next_u64(ring_size_);
+  while (ring_.find(id) != ring_.end()) id = rng.next_u64(ring_size_);
+  return join(host, id);
+}
+
+void PastryNetwork::leave(NodeId n) {
+  TO_EXPECTS(alive(n));
+  ring_.erase(nodes_[n].id);
+  nodes_[n].alive = false;
+  nodes_[n].table.clear();
+}
+
+int PastryNetwork::digit(PastryId id, int index) const {
+  TO_EXPECTS(index >= 0 && index < digits());
+  const int shift = id_bits_ - (index + 1) * digit_bits_;
+  return static_cast<int>((id >> shift) & (static_cast<PastryId>(base()) - 1));
+}
+
+int PastryNetwork::shared_prefix_digits(PastryId a, PastryId b) const {
+  for (int i = 0; i < digits(); ++i)
+    if (digit(a, i) != digit(b, i)) return i;
+  return digits();
+}
+
+std::pair<PastryId, PastryId> PastryNetwork::slot_range(PastryId id, int row,
+                                                        int column) const {
+  TO_EXPECTS(row >= 0 && row < digits());
+  TO_EXPECTS(column >= 0 && column < base());
+  const int tail_bits = id_bits_ - (row + 1) * digit_bits_;
+  const PastryId block = PastryId{1} << tail_bits;
+  // Keep the first `row` digits of id, set digit `row` to column.
+  const int keep_shift = id_bits_ - row * digit_bits_;
+  const PastryId prefix =
+      keep_shift >= id_bits_ ? 0
+                             : (id >> keep_shift) << keep_shift;
+  const PastryId lo = prefix | (static_cast<PastryId>(column) << tail_bits);
+  return {lo, lo + block};
+}
+
+std::vector<NodeId> PastryNetwork::nodes_in_range(PastryId lo,
+                                                  PastryId hi) const {
+  std::vector<NodeId> out;
+  for (auto it = ring_.lower_bound(lo); it != ring_.end() && it->first < hi;
+       ++it)
+    out.push_back(it->second);
+  return out;
+}
+
+PastryId PastryNetwork::numeric_distance(PastryId a, PastryId b) const {
+  const PastryId clockwise = (b - a) & (ring_size_ - 1);
+  const PastryId counter = (a - b) & (ring_size_ - 1);
+  return std::min(clockwise, counter);
+}
+
+NodeId PastryNetwork::numerically_closest(PastryId key) const {
+  TO_EXPECTS(!ring_.empty());
+  // Candidates: successor (wrapping) and predecessor (wrapping).
+  auto succ_it = ring_.lower_bound(key);
+  if (succ_it == ring_.end()) succ_it = ring_.begin();
+  auto pred_it = succ_it == ring_.begin() ? std::prev(ring_.end())
+                                          : std::prev(succ_it);
+  const PastryId ds = numeric_distance(succ_it->first, key);
+  const PastryId dp = numeric_distance(pred_it->first, key);
+  if (ds < dp) return succ_it->second;
+  if (dp < ds) return pred_it->second;
+  return std::min(succ_it->first, pred_it->first) == succ_it->first
+             ? succ_it->second
+             : pred_it->second;
+}
+
+std::vector<NodeId> PastryNetwork::leaf_set(NodeId n) const {
+  TO_EXPECTS(alive(n));
+  std::vector<NodeId> out;
+  if (ring_.size() <= 1) return out;
+  const PastryId id = nodes_[n].id;
+  auto forward = ring_.find(id);
+  TO_ASSERT(forward != ring_.end());
+  auto backward = forward;
+  for (int i = 0; i < leaf_set_half_; ++i) {
+    ++forward;
+    if (forward == ring_.end()) forward = ring_.begin();
+    if (forward->second == n) break;  // wrapped all the way
+    out.push_back(forward->second);
+  }
+  for (int i = 0; i < leaf_set_half_; ++i) {
+    if (backward == ring_.begin()) backward = ring_.end();
+    --backward;
+    if (backward->second == n) break;
+    if (std::find(out.begin(), out.end(), backward->second) != out.end())
+      break;  // tiny ring: sides met
+    out.push_back(backward->second);
+  }
+  return out;
+}
+
+void PastryNetwork::build_table(NodeId n, RoutingSlotSelector& selector) {
+  TO_EXPECTS(alive(n));
+  auto& table = nodes_[n].table;
+  table.assign(static_cast<std::size_t>(digits()) *
+                   static_cast<std::size_t>(base()),
+               kInvalidNode);
+  const PastryId id = nodes_[n].id;
+  for (int row = 0; row < digits(); ++row) {
+    for (int column = 0; column < base(); ++column) {
+      if (column == digit(id, row)) continue;  // own branch: next row
+      const auto [lo, hi] = slot_range(id, row, column);
+      auto candidates = nodes_in_range(lo, hi);
+      std::erase(candidates, n);
+      if (candidates.empty()) continue;
+      table[slot_index(row, column)] =
+          selector.select(n, row, column, candidates);
+    }
+  }
+}
+
+void PastryNetwork::build_all_tables(RoutingSlotSelector& selector) {
+  for (const NodeId n : live_nodes()) build_table(n, selector);
+}
+
+void PastryNetwork::refresh_slot(NodeId n, int row, int column,
+                                 RoutingSlotSelector& selector) {
+  TO_EXPECTS(alive(n));
+  const auto [lo, hi] = slot_range(nodes_[n].id, row, column);
+  auto candidates = nodes_in_range(lo, hi);
+  std::erase(candidates, n);
+  nodes_[n].table[slot_index(row, column)] =
+      candidates.empty() ? kInvalidNode
+                         : selector.select(n, row, column, candidates);
+}
+
+NodeId PastryNetwork::table_entry(NodeId n, int row, int column) const {
+  TO_EXPECTS(alive(n));
+  return nodes_[n].table[slot_index(row, column)];
+}
+
+RouteResult PastryNetwork::route(NodeId from, PastryId key) const {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const NodeId owner = numerically_closest(key);
+  const std::size_t max_hops = 2 * ring_.size() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (current == owner) {
+      result.success = true;
+      return result;
+    }
+    // Leaf-set delivery: the owner is directly known once it is a leaf.
+    const auto leaves = leaf_set(current);
+    if (std::find(leaves.begin(), leaves.end(), owner) != leaves.end()) {
+      result.path.push_back(owner);
+      result.success = true;
+      return result;
+    }
+
+    const PastryId current_id = nodes_[current].id;
+    const int l = shared_prefix_digits(current_id, key);
+    NodeId next = kInvalidNode;
+
+    // 1. Prefix hop: resolve digit l via the routing table.
+    if (l < digits()) {
+      const NodeId entry =
+          nodes_[current].table[slot_index(l, digit(key, l))];
+      if (entry != kInvalidNode) {
+        if (alive(entry)) {
+          next = entry;
+        } else {
+          ++broken_slot_encounters_;
+        }
+      }
+    }
+
+    // 2. Fallback: any known node (leaf set or table) sharing >= l digits
+    //    and numerically closer to the key.
+    if (next == kInvalidNode) {
+      const PastryId current_distance = numeric_distance(current_id, key);
+      PastryId best_distance = current_distance;
+      auto consider = [&](NodeId candidate) {
+        if (candidate == kInvalidNode || !alive(candidate)) return;
+        const PastryId cid = nodes_[candidate].id;
+        if (shared_prefix_digits(cid, key) < l) return;
+        const PastryId d = numeric_distance(cid, key);
+        if (d < best_distance) {
+          best_distance = d;
+          next = candidate;
+        }
+      };
+      for (const NodeId leaf : leaves) consider(leaf);
+      for (const NodeId entry : nodes_[current].table) consider(entry);
+    }
+
+    // 3. Last resort: step through the leaf set purely by numeric
+    //    distance (models leaf-set routing when tables are stale).
+    if (next == kInvalidNode) {
+      PastryId best_distance = numeric_distance(current_id, key);
+      for (const NodeId leaf : leaves) {
+        const PastryId d = numeric_distance(nodes_[leaf].id, key);
+        if (d < best_distance) {
+          best_distance = d;
+          next = leaf;
+        }
+      }
+    }
+    if (next == kInvalidNode) return result;  // isolated
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+RouteResult PastryNetwork::route_repair(NodeId from, PastryId key,
+                                        RoutingSlotSelector& selector) {
+  TO_EXPECTS(alive(from));
+  RouteResult result;
+  result.path.push_back(from);
+  NodeId current = from;
+  const NodeId owner = numerically_closest(key);
+  const std::size_t max_hops = 2 * ring_.size() + 16;
+
+  while (result.path.size() <= max_hops) {
+    if (current == owner) {
+      result.success = true;
+      return result;
+    }
+    const auto leaves = leaf_set(current);
+    if (std::find(leaves.begin(), leaves.end(), owner) != leaves.end()) {
+      result.path.push_back(owner);
+      result.success = true;
+      return result;
+    }
+
+    const PastryId current_id = nodes_[current].id;
+    const int l = shared_prefix_digits(current_id, key);
+    NodeId next = kInvalidNode;
+
+    if (l < digits()) {
+      const int column = digit(key, l);
+      NodeId entry = nodes_[current].table[slot_index(l, column)];
+      if (entry != kInvalidNode && !alive(entry)) {
+        ++broken_slot_encounters_;
+        ++lazy_repairs_;
+        refresh_slot(current, l, column, selector);
+        entry = nodes_[current].table[slot_index(l, column)];
+      }
+      if (entry != kInvalidNode && alive(entry)) next = entry;
+    }
+
+    if (next == kInvalidNode) {
+      const PastryId current_distance = numeric_distance(current_id, key);
+      PastryId best_distance = current_distance;
+      auto consider = [&](NodeId candidate) {
+        if (candidate == kInvalidNode || !alive(candidate)) return;
+        const PastryId cid = nodes_[candidate].id;
+        if (shared_prefix_digits(cid, key) < l) return;
+        const PastryId d = numeric_distance(cid, key);
+        if (d < best_distance) {
+          best_distance = d;
+          next = candidate;
+        }
+      };
+      for (const NodeId leaf : leaves) consider(leaf);
+      for (const NodeId entry : nodes_[current].table) consider(entry);
+    }
+    if (next == kInvalidNode) {
+      PastryId best_distance = numeric_distance(current_id, key);
+      for (const NodeId leaf : leaves) {
+        const PastryId d = numeric_distance(nodes_[leaf].id, key);
+        if (d < best_distance) {
+          best_distance = d;
+          next = leaf;
+        }
+      }
+    }
+    if (next == kInvalidNode) return result;
+    result.path.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
+std::vector<NodeId> PastryNetwork::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(ring_.size());
+  for (const auto& [id, n] : ring_) {
+    (void)id;
+    out.push_back(n);
+  }
+  return out;
+}
+
+bool PastryNetwork::check_invariants() const {
+  for (const auto& [id, n] : ring_) {
+    if (!alive(n) || nodes_[n].id != id) return false;
+    for (int row = 0; row < digits(); ++row) {
+      for (int column = 0; column < base(); ++column) {
+        const NodeId entry = nodes_[n].table[slot_index(row, column)];
+        if (entry == kInvalidNode || !alive(entry)) continue;
+        const auto [lo, hi] = slot_range(id, row, column);
+        if (nodes_[entry].id < lo || nodes_[entry].id >= hi) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace topo::overlay

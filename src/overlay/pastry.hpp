@@ -1,0 +1,142 @@
+// Pastry (Rowstron & Druschel, Middleware'01) — the overlay the paper
+// most often contrasts with: prefix routing over a circular id space,
+// with *proximity-neighbor selection* freedom in every routing-table slot
+// ("in Pastry, the constraint is the nodeId prefix").
+//
+// Simulated steady state: node ids are id_bits-bit integers read as
+// digits of digit_bits bits. Entry (row r, column c) of a node's routing
+// table may be ANY node whose id shares the node's first r digits and has
+// c as digit r — a dyadic id range, which is exactly the "region" the
+// paper attaches a proximity map to ("for Pastry, a region is a set of
+// nodes sharing a particular prefix ... there is one map for each nodeId
+// prefix").
+//
+// Routing: resolve one digit per hop via the routing table; when the slot
+// is empty/dead, fall back to any known node sharing at least as long a
+// prefix and numerically closer; deliver through the leaf set (the L ring
+// neighbors) once the key's owner is in sight. The owner of a key is the
+// numerically closest node (ring-wrap-aware).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "overlay/node.hpp"
+#include "util/rng.hpp"
+
+namespace topo::overlay {
+
+using PastryId = std::uint64_t;
+
+/// Strategy for filling one routing-table slot from the members of its
+/// prefix region.
+class RoutingSlotSelector {
+ public:
+  virtual ~RoutingSlotSelector() = default;
+
+  /// Picks the entry for (row, column) of `for_node` among `candidates`,
+  /// the live nodes of the slot's prefix region (never empty), in id order.
+  virtual NodeId select(NodeId for_node, int row, int column,
+                        std::span<const NodeId> candidates) = 0;
+};
+
+class PastryNetwork {
+ public:
+  /// id_bits must be a multiple of digit_bits; base = 2^digit_bits.
+  explicit PastryNetwork(int id_bits = 32, int digit_bits = 4,
+                         int leaf_set_half = 4);
+
+  PastryNetwork(const PastryNetwork&) = delete;
+  PastryNetwork& operator=(const PastryNetwork&) = delete;
+
+  int id_bits() const { return id_bits_; }
+  int digit_bits() const { return digit_bits_; }
+  int digits() const { return id_bits_ / digit_bits_; }
+  int base() const { return 1 << digit_bits_; }
+  PastryId ring_size() const { return ring_size_; }
+  std::size_t size() const { return ring_.size(); }
+
+  struct PastryNode {
+    net::HostId host = net::kInvalidHost;
+    PastryId id = 0;
+    bool alive = false;
+    // table[row * base + column]; kInvalidNode = empty slot.
+    std::vector<NodeId> table;
+  };
+
+  const PastryNode& node(NodeId n) const {
+    TO_EXPECTS(n < nodes_.size());
+    return nodes_[n];
+  }
+  bool alive(NodeId n) const { return n < nodes_.size() && nodes_[n].alive; }
+
+  NodeId join(net::HostId host, PastryId id);
+  NodeId join_random(net::HostId host, util::Rng& rng);
+  void leave(NodeId n);
+
+  /// Digit `index` (0 = most significant) of an id.
+  int digit(PastryId id, int index) const;
+  /// Number of leading digits `a` and `b` share.
+  int shared_prefix_digits(PastryId a, PastryId b) const;
+  /// Id range [lo, hi) of the region "first `row` digits of `id`, then
+  /// digit `column`".
+  std::pair<PastryId, PastryId> slot_range(PastryId id, int row,
+                                           int column) const;
+  /// Live nodes in [lo, hi) in id order (no wrap: slot ranges never wrap).
+  std::vector<NodeId> nodes_in_range(PastryId lo, PastryId hi) const;
+
+  /// The key's owner: numerically closest node, ring-aware
+  /// (ties broken toward the lower id).
+  NodeId numerically_closest(PastryId key) const;
+
+  /// Ring-aware numeric distance |a - b|.
+  PastryId numeric_distance(PastryId a, PastryId b) const;
+
+  /// The leaf set of `n`: up to leaf_set_half ring neighbors per side.
+  std::vector<NodeId> leaf_set(NodeId n) const;
+
+  void build_table(NodeId n, RoutingSlotSelector& selector);
+  void build_all_tables(RoutingSlotSelector& selector);
+  void refresh_slot(NodeId n, int row, int column,
+                    RoutingSlotSelector& selector);
+  NodeId table_entry(NodeId n, int row, int column) const;
+
+  /// Prefix routing with leaf-set delivery; path.back() owns the key.
+  RouteResult route(NodeId from, PastryId key) const;
+
+  /// Like route(), but a routing-table slot found dead is re-selected on
+  /// the spot with `selector` (reactive repair).
+  RouteResult route_repair(NodeId from, PastryId key,
+                           RoutingSlotSelector& selector);
+  std::uint64_t lazy_repairs() const { return lazy_repairs_; }
+
+  std::vector<NodeId> live_nodes() const;
+
+  /// Invariants: ring consistency; every filled slot's entry lies in the
+  /// slot's region.
+  bool check_invariants() const;
+
+  std::uint64_t broken_slot_encounters() const {
+    return broken_slot_encounters_;
+  }
+
+ private:
+  std::size_t slot_index(int row, int column) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(base()) +
+           static_cast<std::size_t>(column);
+  }
+
+  int id_bits_;
+  int digit_bits_;
+  int leaf_set_half_;
+  PastryId ring_size_;
+  std::vector<PastryNode> nodes_;
+  std::map<PastryId, NodeId> ring_;
+  mutable std::uint64_t broken_slot_encounters_ = 0;
+  std::uint64_t lazy_repairs_ = 0;
+};
+
+}  // namespace topo::overlay

@@ -1,0 +1,33 @@
+// Strategy interface for proximity-neighbor selection.
+//
+// eCAN (like Pastry) has freedom in choosing which member of a neighboring
+// high-order zone to use as the routing representative. The paper compares
+// four policies, implemented in src/core on top of this interface:
+//   * random member (the baseline the paper improves on),
+//   * landmark-ordering only,
+//   * global soft-state maps + RTT probes (the paper's contribution),
+//   * oracle-optimal (the "infinite RTT measurements" line).
+#pragma once
+
+#include <span>
+
+#include "geom/zone.hpp"
+#include "overlay/node.hpp"
+
+namespace topo::overlay {
+
+class RepresentativeSelector {
+ public:
+  virtual ~RepresentativeSelector() = default;
+
+  /// Picks the routing representative for `for_node` in the high-order cell
+  /// `cell` at grid level `level`. `members` lists the cell's current live
+  /// members (never empty). Implementations that model real protocols must
+  /// not inspect `members` beyond what their information source would
+  /// reveal (e.g. the soft-state selector consults the distributed map
+  /// service instead).
+  virtual NodeId select(NodeId for_node, int level, const geom::Zone& cell,
+                        std::span<const NodeId> members) = 0;
+};
+
+}  // namespace topo::overlay

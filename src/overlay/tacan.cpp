@@ -1,0 +1,49 @@
+#include "overlay/tacan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace topo::overlay {
+
+NodeId join_binned(CanNetwork& can, net::HostId host, std::size_t bin,
+                   std::size_t bin_count, util::Rng& rng) {
+  TO_EXPECTS(bin_count > 0 && bin < bin_count);
+  geom::Point p = geom::Point::random(can.dims(), rng);
+  const double width = 1.0 / static_cast<double>(bin_count);
+  p[0] = (static_cast<double>(bin) + p[0]) * width;
+  if (p[0] >= 1.0) p[0] = std::nextafter(1.0, 0.0);
+  return can.join(host, p);
+}
+
+ImbalanceReport measure_imbalance(const CanNetwork& can) {
+  ImbalanceReport report;
+  std::vector<double> volumes;
+  util::Samples neighbor_counts;
+  for (const NodeId id : can.live_nodes()) {
+    volumes.push_back(can.node(id).zone.volume());
+    neighbor_counts.add(static_cast<double>(can.node(id).neighbors.size()));
+  }
+  if (volumes.empty()) return report;
+
+  report.volume_gini = util::gini_coefficient(volumes);
+  std::sort(volumes.begin(), volumes.end(), std::greater<>());
+  auto top_fraction = [&](double pct) {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(pct * static_cast<double>(volumes.size())));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k && i < volumes.size(); ++i)
+      sum += volumes[i];
+    return sum;  // total volume is 1
+  };
+  report.top1pct_volume = top_fraction(0.01);
+  report.top5pct_volume = top_fraction(0.05);
+  report.top10pct_volume = top_fraction(0.10);
+  report.max_neighbors = neighbor_counts.max();
+  report.mean_neighbors = neighbor_counts.mean();
+  report.p99_neighbors = neighbor_counts.percentile(99);
+  return report;
+}
+
+}  // namespace topo::overlay

@@ -1,0 +1,39 @@
+// Topologically-Aware CAN baseline (Ratnasamy et al., Infocom'02):
+// *geographic layout*, where the overlay position of a node is constrained
+// by its physical position — nodes with the same landmark ordering join
+// inside the same portion of the Cartesian space.
+//
+// The paper's introduction measures the cost of this layout: with node
+// density following physical clustering, zone volumes and neighbor counts
+// become highly skewed ("a few % of nodes can occupy 80-98% of the entire
+// Cartesian space, and some nodes have to maintain dozens of neighbors").
+// bench/tacan_imbalance reproduces that claim.
+#pragma once
+
+#include <cstddef>
+
+#include "overlay/can.hpp"
+#include "util/rng.hpp"
+
+namespace topo::overlay {
+
+/// Joins `host` into the slice of the space reserved for `bin` out of
+/// `bin_count` bins (bins partition axis 0; the position inside the slice
+/// is uniform). The caller derives `bin` from the node's landmark ordering.
+NodeId join_binned(CanNetwork& can, net::HostId host, std::size_t bin,
+                   std::size_t bin_count, util::Rng& rng);
+
+struct ImbalanceReport {
+  double volume_gini = 0.0;      // inequality of zone volumes
+  double top1pct_volume = 0.0;   // fraction of space held by top 1% nodes
+  double top5pct_volume = 0.0;
+  double top10pct_volume = 0.0;
+  double max_neighbors = 0.0;
+  double mean_neighbors = 0.0;
+  double p99_neighbors = 0.0;
+};
+
+/// Zone-volume / neighbor-count skew of the current overlay.
+ImbalanceReport measure_imbalance(const CanNetwork& can);
+
+}  // namespace topo::overlay

@@ -1,0 +1,123 @@
+#include "proximity/hierarchical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace topo::proximity {
+
+HierarchicalLandmarks HierarchicalLandmarks::build(
+    const net::Topology& topology, int global_count, int locals_per_region,
+    util::Rng& rng) {
+  TO_EXPECTS(global_count >= 1);
+  TO_EXPECTS(locals_per_region >= 1);
+
+  // Global tier: transit nodes first (widely scattered by construction),
+  // topped up with random stub hosts if the backbone is too small.
+  std::vector<net::HostId> global =
+      topology.hosts_of_kind(net::HostKind::kTransit);
+  rng.shuffle(global);
+  if (static_cast<int>(global.size()) > global_count)
+    global.resize(static_cast<std::size_t>(global_count));
+  while (static_cast<int>(global.size()) < global_count) {
+    const auto host =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    if (std::find(global.begin(), global.end(), host) == global.end())
+      global.push_back(host);
+  }
+
+  // Local tier: group hosts by transit domain, sample inside each.
+  int max_domain = -1;
+  for (net::HostId h = 0; h < topology.host_count(); ++h)
+    max_domain = std::max(max_domain, topology.host(h).transit_domain);
+  std::vector<std::vector<net::HostId>> domain_hosts(
+      static_cast<std::size_t>(max_domain + 1));
+  for (net::HostId h = 0; h < topology.host_count(); ++h)
+    domain_hosts[static_cast<std::size_t>(topology.host(h).transit_domain)]
+        .push_back(h);
+
+  std::vector<std::vector<net::HostId>> local(domain_hosts.size());
+  for (std::size_t d = 0; d < domain_hosts.size(); ++d) {
+    auto& hosts = domain_hosts[d];
+    rng.shuffle(hosts);
+    const auto take = std::min<std::size_t>(
+        static_cast<std::size_t>(locals_per_region), hosts.size());
+    local[d].assign(hosts.begin(), hosts.begin() + static_cast<long>(take));
+    TO_ENSURES(!local[d].empty());
+  }
+  return HierarchicalLandmarks(&topology, std::move(global),
+                               std::move(local));
+}
+
+HierarchicalVector HierarchicalLandmarks::measure(net::RttOracle& oracle,
+                                                  net::HostId host) const {
+  HierarchicalVector vector;
+  vector.global.reserve(global_.size());
+  for (const net::HostId landmark : global_)
+    vector.global.push_back(oracle.probe_rtt(host, landmark));
+  vector.region = topology_->host(host).transit_domain;
+  const auto& locals = local_landmarks(vector.region);
+  vector.local.reserve(locals.size());
+  for (const net::HostId landmark : locals)
+    vector.local.push_back(oracle.probe_rtt(host, landmark));
+  return vector;
+}
+
+NnResult HierarchicalLandmarks::search(net::RttOracle& oracle,
+                                       net::HostId query_host,
+                                       const HierarchicalVector& query,
+                                       const std::vector<Record>& database,
+                                       std::size_t preselect,
+                                       std::size_t rtt_budget) const {
+  TO_EXPECTS(rtt_budget >= 1);
+  // Stage 1: coarse preselection on the global tier.
+  std::vector<std::size_t> order(database.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t keep = std::min(preselect, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return vector_distance(database[a].vector.global,
+                                             query.global) <
+                             vector_distance(database[b].vector.global,
+                                             query.global);
+                    });
+  order.resize(keep);
+
+  // Stage 2: same-region candidates first, refined by the local tier
+  // (comparable because they share the local landmark set); cross-region
+  // candidates follow in global-tier order.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const bool a_same = database[a].vector.region ==
+                                         query.region;
+                     const bool b_same = database[b].vector.region ==
+                                         query.region;
+                     if (a_same != b_same) return a_same;
+                     if (a_same) {
+                       return vector_distance(database[a].vector.local,
+                                              query.local) <
+                              vector_distance(database[b].vector.local,
+                                              query.local);
+                     }
+                     return vector_distance(database[a].vector.global,
+                                            query.global) <
+                            vector_distance(database[b].vector.global,
+                                            query.global);
+                   });
+
+  NnResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::size_t index : order) {
+    if (result.probes >= rtt_budget) break;
+    const double rtt = oracle.probe_rtt(query_host, database[index].host);
+    ++result.probes;
+    if (rtt < best) {
+      best = rtt;
+      result.host = database[index].host;
+      result.rtt_ms = rtt;
+    }
+  }
+  return result;
+}
+
+}  // namespace topo::proximity

@@ -1,0 +1,76 @@
+// Two-tier hierarchical landmark spaces (paper Section 5.4, second
+// optimization): "A small number of widely scattered landmarks are used to
+// do a preselection, and localized landmarks are then used to refine the
+// result."
+//
+// Tier 1: global landmarks scattered across the whole network (preferably
+// on the backbone) — every node measures them; coarse positioning.
+// Tier 2: per-region (transit-domain) local landmarks — a node measures
+// only its own region's set; fine positioning among regional peers, where
+// the global tier cannot differentiate ("the landmark technique cannot
+// differentiate nodes in stubs that are close by").
+//
+// A node knows its region the way a real host knows its ISP/AS.
+#pragma once
+
+#include <vector>
+
+#include "net/rtt_oracle.hpp"
+#include "proximity/nn_search.hpp"
+
+namespace topo::proximity {
+
+struct HierarchicalVector {
+  LandmarkVector global;  // RTTs to the global tier
+  int region = -1;        // transit domain
+  LandmarkVector local;   // RTTs to the region's local tier
+};
+
+class HierarchicalLandmarks {
+ public:
+  /// Picks `global_count` landmarks network-wide (transit nodes first, the
+  /// natural "widely scattered" choice) and `locals_per_region` landmarks
+  /// inside every transit domain.
+  static HierarchicalLandmarks build(const net::Topology& topology,
+                                     int global_count,
+                                     int locals_per_region, util::Rng& rng);
+
+  int global_count() const { return static_cast<int>(global_.size()); }
+  int regions() const { return static_cast<int>(local_.size()); }
+  const std::vector<net::HostId>& global_landmarks() const { return global_; }
+  const std::vector<net::HostId>& local_landmarks(int region) const {
+    TO_EXPECTS(region >= 0 && region < regions());
+    return local_[static_cast<std::size_t>(region)];
+  }
+
+  /// Measures both tiers for `host`: global_count() + locals_per_region
+  /// probes — the per-node landmark overhead the paper trades against
+  /// accuracy.
+  HierarchicalVector measure(net::RttOracle& oracle, net::HostId host) const;
+
+  struct Record {
+    net::HostId host = net::kInvalidHost;
+    HierarchicalVector vector;
+  };
+
+  /// Two-stage nearest-neighbor search: preselect `preselect` candidates
+  /// by global-tier distance; re-rank the preselection so that same-region
+  /// candidates come first in local-tier order; probe the top rtt_budget.
+  NnResult search(net::RttOracle& oracle, net::HostId query_host,
+                  const HierarchicalVector& query,
+                  const std::vector<Record>& database, std::size_t preselect,
+                  std::size_t rtt_budget) const;
+
+ private:
+  HierarchicalLandmarks(const net::Topology* topology,
+                        std::vector<net::HostId> global,
+                        std::vector<std::vector<net::HostId>> local)
+      : topology_(topology), global_(std::move(global)),
+        local_(std::move(local)) {}
+
+  const net::Topology* topology_;
+  std::vector<net::HostId> global_;
+  std::vector<std::vector<net::HostId>> local_;  // per transit domain
+};
+
+}  // namespace topo::proximity

@@ -1,0 +1,89 @@
+#include "proximity/nn_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+namespace topo::proximity {
+
+std::vector<net::HostId> rank_by_landmark_distance(
+    const ProximityDatabase& database, const LandmarkVector& query_vector,
+    std::size_t limit) {
+  std::vector<std::size_t> order(database.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t keep = std::min(limit, database.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return vector_distance(database[a].vector,
+                                             query_vector) <
+                             vector_distance(database[b].vector,
+                                             query_vector);
+                    });
+  std::vector<net::HostId> hosts;
+  hosts.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    hosts.push_back(database[order[i]].host);
+  return hosts;
+}
+
+NnResult hybrid_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                          const LandmarkVector& query_vector,
+                          const ProximityDatabase& database,
+                          std::size_t rtt_budget) {
+  TO_EXPECTS(rtt_budget >= 1);
+  NnResult result;
+  const auto candidates =
+      rank_by_landmark_distance(database, query_vector, rtt_budget);
+  double best = std::numeric_limits<double>::infinity();
+  for (const net::HostId candidate : candidates) {
+    const double rtt = oracle.probe_rtt(query_host, candidate);
+    ++result.probes;
+    if (rtt < best) {
+      best = rtt;
+      result.host = candidate;
+      result.rtt_ms = rtt;
+    }
+  }
+  return result;
+}
+
+std::vector<double> ers_best_rtt_curve(const overlay::CanNetwork& can,
+                                       net::RttOracle& oracle,
+                                       net::HostId query_host,
+                                       overlay::NodeId start,
+                                       std::size_t max_probes,
+                                       util::Rng& rng) {
+  TO_EXPECTS(can.alive(start));
+  std::vector<double> best_after;
+  best_after.reserve(max_probes);
+  double best = std::numeric_limits<double>::infinity();
+
+  // Ring-by-ring BFS over overlay neighbor links; random order inside each
+  // ring models the unordered flood.
+  std::unordered_set<overlay::NodeId> visited = {start};
+  std::vector<overlay::NodeId> ring = {start};
+  while (!ring.empty() && best_after.size() < max_probes) {
+    std::vector<overlay::NodeId> shuffled = ring;
+    rng.shuffle(shuffled);
+    for (const overlay::NodeId node : shuffled) {
+      if (best_after.size() >= max_probes) break;
+      const double rtt = oracle.probe_rtt(query_host, can.node(node).host);
+      best = std::min(best, rtt);
+      best_after.push_back(best);
+    }
+    std::vector<overlay::NodeId> next_ring;
+    for (const overlay::NodeId node : ring)
+      for (const overlay::NodeId nb : can.node(node).neighbors)
+        if (can.alive(nb) && visited.insert(nb).second)
+          next_ring.push_back(nb);
+    ring = std::move(next_ring);
+  }
+  // If the overlay is exhausted before the budget, pad with the final best.
+  while (best_after.size() < max_probes && !best_after.empty())
+    best_after.push_back(best);
+  return best_after;
+}
+
+}  // namespace topo::proximity

@@ -1,0 +1,68 @@
+// Nearest-neighbor discovery strategies (paper Section 4).
+//
+// Given a *proximity database* — the list of known nodes with their landmark
+// vectors (in the full system this is the content of a soft-state map) — a
+// joining node wants the physically closest node. Strategies:
+//
+//   * hybrid landmark + RTT (the paper's): rank candidates by landmark-space
+//     distance, RTT-probe the top X, keep the closest;
+//   * landmark ordering only: the X=1 point of the hybrid curve;
+//   * expanding-ring search baseline: flood the overlay neighborhood ring
+//     by ring, probing every visited node.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/can.hpp"
+#include "proximity/landmarks.hpp"
+#include "util/rng.hpp"
+
+namespace topo::proximity {
+
+/// The information a soft-state map exposes about known nodes.
+struct ProximityRecord {
+  net::HostId host = net::kInvalidHost;
+  LandmarkVector vector;
+};
+
+using ProximityDatabase = std::vector<ProximityRecord>;
+
+struct NnResult {
+  net::HostId host = net::kInvalidHost;
+  double rtt_ms = 0.0;
+  std::size_t probes = 0;
+};
+
+/// Ranks `database` entries by landmark-vector distance to `query_vector`
+/// and returns up to `limit` hosts, closest-in-landmark-space first.
+/// This is what a map owner computes when answering a lookup (Appendix:
+/// "the full landmark vector of the requesting node is used to sort the
+/// information of nodes published on that node").
+std::vector<net::HostId> rank_by_landmark_distance(
+    const ProximityDatabase& database, const LandmarkVector& query_vector,
+    std::size_t limit);
+
+/// Hybrid search: probe the `rtt_budget` best-ranked candidates, return the
+/// one with minimum measured RTT. rtt_budget == 1 degenerates to
+/// landmark-clustering-only selection.
+NnResult hybrid_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                          const LandmarkVector& query_vector,
+                          const ProximityDatabase& database,
+                          std::size_t rtt_budget);
+
+/// Expanding-ring search over the overlay: starting from `start` (the
+/// bootstrap node), visit overlay neighbors ring by ring (random order
+/// within a ring), probing each visited node's host. Returns the best RTT
+/// found after each probe, so best_rtt_after[k] is the result with budget
+/// k+1. Stops after `max_probes` probes.
+std::vector<double> ers_best_rtt_curve(const overlay::CanNetwork& can,
+                                       net::RttOracle& oracle,
+                                       net::HostId query_host,
+                                       overlay::NodeId start,
+                                       std::size_t max_probes,
+                                       util::Rng& rng);
+
+}  // namespace topo::proximity

@@ -1,0 +1,175 @@
+#include "proximity/variants.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/svd.hpp"
+
+namespace topo::proximity {
+
+namespace {
+
+NnResult probe_candidates(net::RttOracle& oracle, net::HostId query_host,
+                          std::span<const net::HostId> candidates,
+                          std::size_t rtt_budget) {
+  NnResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (const net::HostId candidate : candidates) {
+    if (result.probes >= rtt_budget) break;
+    const double rtt = oracle.probe_rtt(query_host, candidate);
+    ++result.probes;
+    if (rtt < best) {
+      best = rtt;
+      result.host = candidate;
+      result.rtt_ms = rtt;
+    }
+  }
+  return result;
+}
+
+double subvector_distance(const LandmarkVector& a, const LandmarkVector& b,
+                          std::size_t begin, std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+NnResult grouped_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                           const LandmarkVector& query_vector,
+                           const ProximityDatabase& database,
+                           std::size_t group_count,
+                           std::size_t rtt_budget) {
+  TO_EXPECTS(group_count >= 1);
+  TO_EXPECTS(rtt_budget >= 1);
+  const std::size_t m = query_vector.size();
+  const std::size_t groups = std::min(group_count, m);
+  const std::size_t per_group =
+      std::max<std::size_t>(1, (rtt_budget + groups - 1) / groups);
+
+  // Union of per-group shortlists, in interleaved rank order so each group
+  // contributes its best candidates first.
+  std::vector<std::vector<std::size_t>> ranked(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * m / groups;
+    const std::size_t end = (g + 1) * m / groups;
+    std::vector<std::size_t> order(database.size());
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t keep = std::min(per_group, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                      order.end(), [&](std::size_t x, std::size_t y) {
+                        return subvector_distance(database[x].vector,
+                                                  query_vector, begin, end) <
+                               subvector_distance(database[y].vector,
+                                                  query_vector, begin, end);
+                      });
+    order.resize(keep);
+    ranked[g] = std::move(order);
+  }
+  std::vector<net::HostId> candidates;
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t rank = 0; candidates.size() < rtt_budget; ++rank) {
+    bool any = false;
+    for (std::size_t g = 0; g < groups && candidates.size() < rtt_budget;
+         ++g) {
+      if (rank >= ranked[g].size()) continue;
+      any = true;
+      const std::size_t idx = ranked[g][rank];
+      if (seen.insert(idx).second)
+        candidates.push_back(database[idx].host);
+    }
+    if (!any) break;
+  }
+  return probe_candidates(oracle, query_host, candidates, rtt_budget);
+}
+
+NnResult hierarchical_nn_search(net::RttOracle& oracle,
+                                net::HostId query_host,
+                                const LandmarkVector& query_vector,
+                                const ProximityDatabase& database,
+                                std::size_t coarse_count,
+                                std::size_t preselect,
+                                std::size_t rtt_budget) {
+  TO_EXPECTS(coarse_count >= 1);
+  TO_EXPECTS(rtt_budget >= 1);
+  const std::size_t m = query_vector.size();
+  const std::size_t coarse = std::min(coarse_count, m);
+
+  // Stage 1: coarse preselection on the global landmarks.
+  std::vector<std::size_t> order(database.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t keep = std::min(preselect, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](std::size_t x, std::size_t y) {
+                      return subvector_distance(database[x].vector,
+                                                query_vector, 0, coarse) <
+                             subvector_distance(database[y].vector,
+                                                query_vector, 0, coarse);
+                    });
+  order.resize(keep);
+
+  // Stage 2: refine with the full vector among the preselected.
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return vector_distance(database[x].vector, query_vector) <
+           vector_distance(database[y].vector, query_vector);
+  });
+  std::vector<net::HostId> candidates;
+  candidates.reserve(order.size());
+  for (const std::size_t idx : order)
+    candidates.push_back(database[idx].host);
+  return probe_candidates(oracle, query_host, candidates, rtt_budget);
+}
+
+NnResult svd_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                       const LandmarkVector& query_vector,
+                       const ProximityDatabase& database,
+                       std::size_t components, std::size_t rtt_budget) {
+  TO_EXPECTS(components >= 1);
+  TO_EXPECTS(rtt_budget >= 1);
+  const std::size_t m = query_vector.size();
+  const std::size_t n = database.size();
+  if (n == 0) return {};
+  const std::size_t k = std::min(components, m);
+
+  // Stack the database vectors and the query as the last row, so both are
+  // projected into the same basis.
+  util::Matrix a(n + 1, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      a.at(i, j) = database[i].vector[j];
+  for (std::size_t j = 0; j < m; ++j) a.at(n, j) = query_vector[j];
+  if (a.rows() < a.cols()) {
+    // Degenerate tiny databases: fall back to the plain hybrid ranking.
+    return hybrid_nn_search(oracle, query_host, query_vector, database,
+                            rtt_budget);
+  }
+  const util::Matrix projected = util::svd_project(a, k);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  auto projected_distance = [&](std::size_t row) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = projected.at(row, j) - projected.at(n, j);
+      sum += d * d;
+    }
+    return sum;
+  };
+  const std::size_t keep = std::min(rtt_budget, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](std::size_t x, std::size_t y) {
+                      return projected_distance(x) < projected_distance(y);
+                    });
+  std::vector<net::HostId> candidates;
+  for (std::size_t i = 0; i < keep; ++i)
+    candidates.push_back(database[order[i]].host);
+  return probe_candidates(oracle, query_host, candidates, rtt_budget);
+}
+
+}  // namespace topo::proximity

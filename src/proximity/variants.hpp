@@ -1,0 +1,51 @@
+// Section 5.4 "Pushing Limits of Overlay Performance" — the paper sketches
+// three optimizations to close the gap between the hybrid lmk+RTT result
+// and the optimal neighbor. bench/ablation_landmark_opts compares them.
+//
+//   1. Landmark groups: divide the landmarks into g groups; rank candidates
+//      per group and join (union) the groups' shortlists, reducing false
+//      clustering by requiring agreement across groups.
+//   2. Hierarchical landmark spaces: a few widely-scattered landmarks
+//      pre-select coarsely, then the remaining (localized) components
+//      refine among the preselected candidates.
+//   3. SVD denoising: with many landmarks, project the RTT vectors onto
+//      the top-k singular directions and rank in the projected space,
+//      suppressing measurement noise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "proximity/nn_search.hpp"
+
+namespace topo::proximity {
+
+/// Variant 1 — landmark groups. Splits vector components into
+/// `group_count` contiguous groups; takes the top `per_group` candidates by
+/// per-group distance; probes the union (capped at rtt_budget).
+NnResult grouped_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                           const LandmarkVector& query_vector,
+                           const ProximityDatabase& database,
+                           std::size_t group_count, std::size_t rtt_budget);
+
+/// Variant 2 — hierarchical landmarks. The first `coarse_count` components
+/// act as the widely-scattered global landmarks: preselect
+/// `preselect` candidates by coarse distance, re-rank them by
+/// full-vector distance, probe the top rtt_budget.
+NnResult hierarchical_nn_search(net::RttOracle& oracle,
+                                net::HostId query_host,
+                                const LandmarkVector& query_vector,
+                                const ProximityDatabase& database,
+                                std::size_t coarse_count,
+                                std::size_t preselect,
+                                std::size_t rtt_budget);
+
+/// Variant 3 — SVD denoising. Projects database + query vectors onto the
+/// top `components` singular directions of the database matrix and ranks by
+/// projected distance; probes the top rtt_budget.
+NnResult svd_nn_search(net::RttOracle& oracle, net::HostId query_host,
+                       const LandmarkVector& query_vector,
+                       const ProximityDatabase& database,
+                       std::size_t components, std::size_t rtt_budget);
+
+}  // namespace topo::proximity

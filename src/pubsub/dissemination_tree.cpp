@@ -1,0 +1,74 @@
+#include "pubsub/dissemination_tree.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace topo::pubsub {
+
+namespace {
+
+// Recursively wires recipients[lo, hi) under `parent`: the median becomes
+// the child, halves recurse under it.
+void wire(std::vector<TreeRecipient>& recipients, std::size_t lo,
+          std::size_t hi, overlay::NodeId parent, std::size_t depth,
+          DisseminationPlan& plan) {
+  if (lo >= hi) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const overlay::NodeId child = recipients[mid].node;
+  plan.edges.push_back(DisseminationEdge{parent, child});
+  plan.depth = std::max(plan.depth, depth + 1);
+  wire(recipients, lo, mid, child, depth + 1, plan);
+  wire(recipients, mid + 1, hi, child, depth + 1, plan);
+}
+
+}  // namespace
+
+DisseminationPlan build_dissemination_tree(
+    overlay::NodeId root, std::vector<TreeRecipient> recipients) {
+  std::sort(recipients.begin(), recipients.end(),
+            [](const TreeRecipient& a, const TreeRecipient& b) {
+              return a.order_key < b.order_key;
+            });
+  DisseminationPlan plan;
+  plan.edges.reserve(recipients.size());
+  wire(recipients, 0, recipients.size(), root, 0, plan);
+
+  std::unordered_map<overlay::NodeId, std::size_t> fanout;
+  for (const DisseminationEdge& edge : plan.edges) ++fanout[edge.from];
+  for (const auto& [node, count] : fanout) {
+    (void)node;
+    plan.max_fanout = std::max(plan.max_fanout, count);
+  }
+  return plan;
+}
+
+DisseminationCost measure_plan(const overlay::EcanNetwork& ecan,
+                               const DisseminationPlan& plan) {
+  DisseminationCost cost;
+  cost.messages = plan.edges.size();
+  cost.max_fanout = plan.max_fanout;
+  for (const DisseminationEdge& edge : plan.edges) {
+    if (!ecan.alive(edge.from) || !ecan.alive(edge.to)) continue;
+    const overlay::RouteResult route =
+        ecan.route_ecan(edge.from, ecan.node(edge.to).zone.center());
+    cost.total_overlay_hops += route.hops();
+  }
+  return cost;
+}
+
+DisseminationCost measure_unicast(
+    const overlay::EcanNetwork& ecan, overlay::NodeId root,
+    const std::vector<TreeRecipient>& recipients) {
+  DisseminationCost cost;
+  cost.messages = recipients.size();
+  cost.max_fanout = recipients.size();
+  for (const TreeRecipient& recipient : recipients) {
+    if (!ecan.alive(root) || !ecan.alive(recipient.node)) continue;
+    const overlay::RouteResult route =
+        ecan.route_ecan(root, ecan.node(recipient.node).zone.center());
+    cost.total_overlay_hops += route.hops();
+  }
+  return cost;
+}
+
+}  // namespace topo::pubsub

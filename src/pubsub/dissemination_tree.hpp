@@ -1,0 +1,58 @@
+// Notification dissemination trees (paper Section 5.2): "when the
+// conditions are triggered, the notifications can be efficiently
+// disseminated to all subscribers through distribution trees embedded in
+// the overlay."
+//
+// Instead of the root unicasting to each of k subscribers (k messages all
+// leaving one node), subscribers are arranged into a binary tree ordered by
+// their landmark numbers (so adjacent tree nodes tend to be physically
+// close) and every parent forwards to at most two children. Message count
+// stays k, but the per-node fan-out drops from k to <= 2 and the total
+// overlay-hop cost typically shrinks because edges connect nearby nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/ecan.hpp"
+#include "util/biguint.hpp"
+
+namespace topo::pubsub {
+
+struct TreeRecipient {
+  overlay::NodeId node = overlay::kInvalidNode;
+  util::BigUint order_key;  // landmark number: sort key for locality
+};
+
+struct DisseminationEdge {
+  overlay::NodeId from = overlay::kInvalidNode;
+  overlay::NodeId to = overlay::kInvalidNode;
+};
+
+struct DisseminationPlan {
+  std::vector<DisseminationEdge> edges;  // one per recipient
+  std::size_t depth = 0;                 // longest root-to-leaf edge chain
+  std::size_t max_fanout = 0;            // messages sent by busiest node
+};
+
+/// Builds the balanced binary dissemination tree rooted at `root` over
+/// `recipients` (sorted internally by order_key).
+DisseminationPlan build_dissemination_tree(
+    overlay::NodeId root, std::vector<TreeRecipient> recipients);
+
+struct DisseminationCost {
+  std::size_t messages = 0;
+  std::size_t total_overlay_hops = 0;
+  std::size_t max_fanout = 0;
+};
+
+/// Cost of executing `plan` on the overlay (each edge routed via eCAN).
+DisseminationCost measure_plan(const overlay::EcanNetwork& ecan,
+                               const DisseminationPlan& plan);
+
+/// Baseline: the root unicasts to every recipient directly.
+DisseminationCost measure_unicast(const overlay::EcanNetwork& ecan,
+                                  overlay::NodeId root,
+                                  const std::vector<TreeRecipient>& recipients);
+
+}  // namespace topo::pubsub

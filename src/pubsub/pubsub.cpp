@@ -1,0 +1,131 @@
+#include "pubsub/pubsub.hpp"
+
+#include <algorithm>
+
+namespace topo::pubsub {
+
+PubSubService::PubSubService(overlay::EcanNetwork& ecan,
+                             softstate::MapService& maps)
+    : ecan_(&ecan), maps_(&maps) {
+  maps_->set_publish_observer(
+      [this](overlay::NodeId owner, const softstate::StoredEntry& entry) {
+        on_publish(owner, entry);
+      });
+}
+
+SubscriptionId PubSubService::subscribe(Subscription subscription) {
+  TO_EXPECTS(subscription.subscriber != overlay::kInvalidNode);
+  const SubscriptionId id = next_id_++;
+  subscriptions_.emplace(id, std::move(subscription));
+  ++stats_.subscriptions;
+  return id;
+}
+
+void PubSubService::unsubscribe(SubscriptionId id) {
+  subscriptions_.erase(id);
+  seen_.erase(id);
+}
+
+void PubSubService::update_watch(SubscriptionId id, overlay::NodeId watched,
+                                 double best_distance) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  it->second.watched = watched;
+  it->second.current_best_distance = best_distance;
+}
+
+Subscription* PubSubService::find(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+void PubSubService::deliver(overlay::NodeId from,
+                            const Subscription& subscription,
+                            Notification notification) {
+  // The notification travels from the map owner to the subscriber over the
+  // overlay; account the hops.
+  if (ecan_->alive(from) && ecan_->alive(subscription.subscriber)) {
+    const overlay::RouteResult route = ecan_->route_ecan(
+        from, ecan_->node(subscription.subscriber).zone.center());
+    stats_.route_hops += route.hops();
+  }
+  ++stats_.notifications;
+  if (handler_) handler_(subscription.subscriber, notification);
+}
+
+void PubSubService::on_publish(overlay::NodeId owner,
+                               const softstate::StoredEntry& stored) {
+  // Two phases: match first, deliver after — the handler may mutate the
+  // subscription table (re-subscribe, update_watch), which must not happen
+  // while iterating it.
+  std::vector<std::pair<Subscription, Notification>> matched;
+  for (auto& [id, subscription] : subscriptions_) {
+    if (subscription.level != stored.level ||
+        subscription.cell_key != stored.cell_key)
+      continue;
+    if (stored.entry.node == subscription.subscriber) continue;
+    ++stats_.predicate_evaluations;
+
+    // Load watch on the current representative.
+    if (stored.entry.node == subscription.watched &&
+        stored.entry.capacity > 0.0 &&
+        stored.entry.load / stored.entry.capacity >=
+            subscription.load_threshold) {
+      Notification n;
+      n.reason = Notification::Reason::kLoadExceeded;
+      n.subscription = id;
+      n.entry = stored.entry;
+      matched.emplace_back(subscription, std::move(n));
+      continue;
+    }
+
+    // New-node watch.
+    if (subscription.notify_on_new_node) {
+      auto& seen = seen_[id];
+      if (std::find(seen.begin(), seen.end(), stored.entry.node) ==
+          seen.end()) {
+        seen.push_back(stored.entry.node);
+        Notification n;
+        n.reason = Notification::Reason::kNewNode;
+        n.subscription = id;
+        n.entry = stored.entry;
+        matched.emplace_back(subscription, std::move(n));
+        continue;
+      }
+    }
+
+    // Closer-candidate watch.
+    const double distance = proximity::vector_distance(
+        stored.entry.vector, subscription.vector);
+    if (distance <
+        subscription.current_best_distance * subscription.closer_margin) {
+      Notification n;
+      n.reason = Notification::Reason::kCloserCandidate;
+      n.subscription = id;
+      n.entry = stored.entry;
+      matched.emplace_back(subscription, std::move(n));
+    }
+  }
+  for (auto& [subscription, notification] : matched)
+    deliver(owner, subscription, std::move(notification));
+}
+
+void PubSubService::notify_departure(overlay::NodeId departed) {
+  // Two-phase for the same reason as on_publish.
+  std::vector<std::pair<overlay::NodeId, Notification>> matched;
+  for (auto& [id, subscription] : subscriptions_) {
+    if (subscription.watched != departed) continue;
+    Notification n;
+    n.reason = Notification::Reason::kWatchedDeparted;
+    n.subscription = id;
+    matched.emplace_back(subscription.subscriber, std::move(n));
+  }
+  // Delivered as part of the departure protocol (the proactive map update);
+  // one message per watcher, no extra routing charged beyond the publish.
+  for (auto& [subscriber, notification] : matched) {
+    ++stats_.notifications;
+    if (handler_) handler_(subscriber, notification);
+  }
+}
+
+}  // namespace topo::pubsub

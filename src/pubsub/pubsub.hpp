@@ -1,0 +1,118 @@
+// Publish/subscribe over the global soft-state (paper Section 5.2).
+//
+// A node that selected its high-order neighbors by consulting a map
+// subscribes to that map: "notify me when the state changes necessitate
+// neighbor re-selection". Subscriptions live with the map pieces; when a
+// publish lands on an owner, the owner evaluates the stored predicates and
+// routes notifications to matching subscribers through the overlay.
+//
+// Predicates supported (the paper's examples):
+//   * a new/updated record is closer (in landmark space) than the
+//     subscriber's current representative — re-selection may help;
+//   * more nodes have joined the zone (entry-count watch);
+//   * the watched representative's published load crossed a threshold
+//     (Section 6 QoS: "the selected neighbor is handling 80% of its
+//     maximum capacity");
+//   * the watched representative departed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "softstate/map_service.hpp"
+
+namespace topo::pubsub {
+
+using SubscriptionId = std::uint64_t;
+
+struct Subscription {
+  overlay::NodeId subscriber = overlay::kInvalidNode;
+  proximity::LandmarkVector vector;  // subscriber's landmark vector
+  int level = 0;
+  std::uint64_t cell_key = 0;
+
+  /// Landmark-space distance to the subscriber's current representative;
+  /// records closer than margin * this trigger kCloserCandidate.
+  double current_best_distance = std::numeric_limits<double>::infinity();
+  double closer_margin = 0.95;
+
+  /// Section 6: notify when watched's load/capacity crosses this.
+  double load_threshold = std::numeric_limits<double>::infinity();
+  /// The representative currently in use (load / departure watch).
+  overlay::NodeId watched = overlay::kInvalidNode;
+
+  /// Notify whenever the map piece gains a record for a previously-unseen
+  /// node ("notify me when more nodes have joined the zone").
+  bool notify_on_new_node = false;
+};
+
+struct Notification {
+  enum class Reason {
+    kCloserCandidate,
+    kNewNode,
+    kLoadExceeded,
+    kWatchedDeparted,
+  };
+  Reason reason = Reason::kCloserCandidate;
+  SubscriptionId subscription = 0;
+  softstate::MapEntry entry;  // triggering record (empty for departures)
+};
+
+struct PubSubStats {
+  std::uint64_t subscriptions = 0;
+  std::uint64_t notifications = 0;
+  std::uint64_t route_hops = 0;
+  std::uint64_t predicate_evaluations = 0;
+};
+
+class PubSubService {
+ public:
+  /// Handler invoked at the *subscriber* when a notification arrives; the
+  /// facade uses it to re-run neighbor selection.
+  using Handler =
+      std::function<void(overlay::NodeId subscriber, const Notification&)>;
+
+  PubSubService(overlay::EcanNetwork& ecan, softstate::MapService& maps);
+
+  /// Registers `subscription`; hooks the map service's publish stream.
+  SubscriptionId subscribe(Subscription subscription);
+  void unsubscribe(SubscriptionId id);
+
+  /// Updates the re-selection state after the subscriber picked a new
+  /// representative.
+  void update_watch(SubscriptionId id, overlay::NodeId watched,
+                    double best_distance);
+
+  Subscription* find(SubscriptionId id);
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Called by the departure protocol (proactive update): notifies every
+  /// subscriber watching `departed`.
+  void notify_departure(overlay::NodeId departed);
+
+  const PubSubStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  std::size_t active_subscriptions() const { return subscriptions_.size(); }
+
+ private:
+  void on_publish(overlay::NodeId owner, const softstate::StoredEntry& entry);
+  void deliver(overlay::NodeId from, const Subscription& subscription,
+               Notification notification);
+
+  overlay::EcanNetwork* ecan_;
+  softstate::MapService* maps_;
+  Handler handler_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  // Which nodes each (level, cell) subscription set has already seen
+  // (for notify_on_new_node).
+  std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>> seen_;
+  SubscriptionId next_id_ = 1;
+  PubSubStats stats_;
+};
+
+}  // namespace topo::pubsub

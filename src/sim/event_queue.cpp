@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace topo::sim {
+
+void EventQueue::schedule_at(Time at, Callback fn) {
+  TO_EXPECTS(at >= now_);
+  heap_.push(Item{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_until(Time until) {
+  TO_EXPECTS(until >= now_);
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.at;
+    item.fn();
+  }
+  now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (!heap_.empty()) {
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.at;
+    item.fn();
+  }
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace topo::sim

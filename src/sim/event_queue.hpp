@@ -1,0 +1,61 @@
+// Discrete-event simulation kernel: a virtual clock plus an ordered queue
+// of callbacks. Drives the soft-state dynamics (TTL expiry, republish
+// timers) and the pub/sub churn scenarios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace topo::sim {
+
+/// Simulated milliseconds.
+using Time = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (>= now).
+  void schedule_at(Time at, Callback fn);
+  /// Schedules `fn` `delay` ms from now.
+  void schedule_in(Time delay, Callback fn) {
+    TO_EXPECTS(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events up to and including time `until`; the clock ends at
+  /// `until` even if the queue drains early.
+  void run_until(Time until);
+
+  /// Runs everything (use only when the event set is finite).
+  void run_all();
+
+  /// Drops all pending events (teardown).
+  void clear();
+
+ private:
+  struct Item {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+}  // namespace topo::sim

@@ -1,0 +1,63 @@
+#include "sim/metrics.hpp"
+
+namespace topo::sim {
+
+double path_latency_ms(const overlay::CanNetwork& can, net::RttOracle& oracle,
+                       std::span<const overlay::NodeId> path) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i)
+    total += oracle.latency_ms(can.node(path[i - 1]).host,
+                               can.node(path[i]).host);
+  return total;
+}
+
+namespace {
+
+template <typename RouteFn>
+RoutingSample measure_routing(const overlay::CanNetwork& can,
+                              net::RttOracle& oracle, std::size_t queries,
+                              util::Rng& rng, RouteFn route) {
+  RoutingSample sample;
+  const auto live = can.live_nodes();
+  TO_EXPECTS(!live.empty());
+  for (std::size_t q = 0; q < queries; ++q) {
+    const overlay::NodeId source = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(can.dims(), rng);
+    const overlay::RouteResult result = route(source, key);
+    if (!result.success) {
+      ++sample.failures;
+      continue;
+    }
+    if (result.path.size() < 2) continue;  // source owns the key
+    const overlay::NodeId destination = result.path.back();
+    const double direct = oracle.latency_ms(can.node(source).host,
+                                            can.node(destination).host);
+    if (direct <= 0.0) continue;  // co-located hosts: stretch undefined
+    sample.stretch.add(path_latency_ms(can, oracle, result.path) / direct);
+    sample.logical_hops.add(static_cast<double>(result.hops()));
+  }
+  return sample;
+}
+
+}  // namespace
+
+RoutingSample measure_ecan_routing(const overlay::EcanNetwork& ecan,
+                                   net::RttOracle& oracle,
+                                   std::size_t queries, util::Rng& rng) {
+  return measure_routing(
+      ecan, oracle, queries, rng,
+      [&](overlay::NodeId source, const geom::Point& key) {
+        return ecan.route_ecan(source, key);
+      });
+}
+
+RoutingSample measure_can_routing(const overlay::CanNetwork& can,
+                                  net::RttOracle& oracle,
+                                  std::size_t queries, util::Rng& rng) {
+  return measure_routing(can, oracle, queries, rng,
+                         [&](overlay::NodeId source, const geom::Point& key) {
+                           return can.route(source, key);
+                         });
+}
+
+}  // namespace topo::sim

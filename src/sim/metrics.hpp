@@ -1,0 +1,36 @@
+// Experiment metrics shared by the benches: routing stretch and hop counts.
+#pragma once
+
+#include <cstddef>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/ecan.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace topo::sim {
+
+struct RoutingSample {
+  util::Samples stretch;        // path latency / direct shortest-path latency
+  util::Samples logical_hops;   // overlay hops per query
+  std::size_t failures = 0;     // routes that did not reach the owner
+};
+
+/// Latency of an overlay path: the sum of underlay latencies between
+/// consecutive members' hosts.
+double path_latency_ms(const overlay::CanNetwork& can, net::RttOracle& oracle,
+                       std::span<const overlay::NodeId> path);
+
+/// Runs `queries` random lookups: a random live source routes to the owner
+/// of a uniformly random key, via eCAN expressway routing. Queries whose
+/// source owns the key are skipped (stretch undefined).
+RoutingSample measure_ecan_routing(const overlay::EcanNetwork& ecan,
+                                   net::RttOracle& oracle,
+                                   std::size_t queries, util::Rng& rng);
+
+/// Same workload over plain CAN greedy routing (Figure 2 baseline).
+RoutingSample measure_can_routing(const overlay::CanNetwork& can,
+                                  net::RttOracle& oracle,
+                                  std::size_t queries, util::Rng& rng);
+
+}  // namespace topo::sim

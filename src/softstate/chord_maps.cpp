@@ -1,0 +1,181 @@
+#include "softstate/chord_maps.hpp"
+
+#include <algorithm>
+
+namespace topo::softstate {
+
+ChordMapService::ChordMapService(overlay::ChordNetwork& chord,
+                                 const proximity::LandmarkSet& landmarks,
+                                 ChordMapConfig config)
+    : chord_(&chord), landmarks_(&landmarks), config_(config) {
+  TO_EXPECTS(config_.max_return >= 1);
+}
+
+overlay::ChordId ChordMapService::key_of(
+    const util::BigUint& landmark_number) const {
+  const int bits = chord_->id_bits();
+  return landmark_number.top_bits(landmarks_->number_bits(),
+                                  std::min(bits, 64)) &
+         (chord_->ring_size() - 1);
+}
+
+std::size_t ChordMapService::publish(overlay::NodeId node,
+                                     const proximity::LandmarkVector& vector,
+                                     sim::Time now) {
+  TO_EXPECTS(chord_->alive(node));
+  const util::BigUint number = landmarks_->landmark_number(vector);
+  const overlay::ChordId key = key_of(number);
+  const overlay::RouteResult route = chord_->route(node, key);
+  ++stats_.publishes;
+  if (!route.success) return route.hops();
+  stats_.route_hops += route.hops();
+  const overlay::NodeId owner = route.path.back();
+
+  ChordMapEntry entry;
+  entry.node = node;
+  entry.host = chord_->node(node).host;
+  entry.vector = vector;
+  entry.key = key;
+  entry.published_at = now;
+  entry.expires_at = now + config_.ttl_ms;
+
+  auto& store = stores_[owner];
+  for (ChordMapEntry& existing : store) {
+    if (existing.node == node) {
+      existing = std::move(entry);
+      return route.hops();
+    }
+  }
+  store.push_back(std::move(entry));
+  return route.hops();
+}
+
+std::vector<ChordMapEntry> ChordMapService::lookup(
+    overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+    sim::Time now, ChordLookupMeta* meta) {
+  TO_EXPECTS(chord_->alive(querier));
+  const util::BigUint number = landmarks_->landmark_number(querier_vector);
+  const overlay::ChordId key = key_of(number);
+  const overlay::RouteResult route = chord_->route(querier, key);
+  ChordLookupMeta local_meta;
+  local_meta.route_hops = route.hops();
+  ++stats_.lookups;
+  stats_.route_hops += route.hops();
+  if (!route.success) {
+    if (meta != nullptr) *meta = local_meta;
+    return {};
+  }
+  local_meta.owner = route.path.back();
+
+  std::vector<const ChordMapEntry*> found;
+  auto collect = [&](overlay::NodeId owner) {
+    const auto it = stores_.find(owner);
+    if (it == stores_.end()) return;
+    auto& store = it->second;
+    const std::size_t before = store.size();
+    std::erase_if(store, [&](const ChordMapEntry& e) {
+      return e.expires_at <= now;
+    });
+    stats_.expired_entries += before - store.size();
+    for (const ChordMapEntry& entry : store) found.push_back(&entry);
+  };
+
+  collect(local_meta.owner);
+  // Successor walk while the content is too thin (Table 1's TTL idea on
+  // the ring: adjacent owners hold the adjacent landmark-number ranges).
+  overlay::NodeId cursor = local_meta.owner;
+  for (int step = 0;
+       step < config_.walk_ttl && found.size() < config_.min_candidates;
+       ++step) {
+    cursor = chord_->successor_node(cursor);
+    if (cursor == local_meta.owner) break;  // wrapped the whole ring
+    ++local_meta.owners_visited;
+    ++local_meta.route_hops;
+    ++stats_.route_hops;
+    collect(cursor);
+  }
+
+  std::sort(found.begin(), found.end(),
+            [&](const ChordMapEntry* a, const ChordMapEntry* b) {
+              return proximity::vector_distance(a->vector, querier_vector) <
+                     proximity::vector_distance(b->vector, querier_vector);
+            });
+  std::vector<ChordMapEntry> result;
+  for (const ChordMapEntry* entry : found) {
+    if (result.size() >= config_.max_return) break;
+    if (entry->node == querier) continue;
+    result.push_back(*entry);
+  }
+  if (meta != nullptr) *meta = local_meta;
+  return result;
+}
+
+void ChordMapService::remove_everywhere(overlay::NodeId node) {
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    std::erase_if(store,
+                  [&](const ChordMapEntry& e) { return e.node == node; });
+  }
+}
+
+void ChordMapService::report_dead(overlay::NodeId owner,
+                                  overlay::NodeId dead) {
+  const auto it = stores_.find(owner);
+  if (it == stores_.end()) return;
+  const std::size_t before = it->second.size();
+  std::erase_if(it->second,
+                [&](const ChordMapEntry& e) { return e.node == dead; });
+  stats_.lazy_deletions += before - it->second.size();
+}
+
+std::size_t ChordMapService::expire_before(sim::Time now) {
+  std::size_t dropped = 0;
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    const std::size_t before = store.size();
+    std::erase_if(store, [&](const ChordMapEntry& e) {
+      return e.expires_at <= now;
+    });
+    dropped += before - store.size();
+  }
+  stats_.expired_entries += dropped;
+  return dropped;
+}
+
+void ChordMapService::rehome_from(overlay::NodeId former_owner) {
+  const auto it = stores_.find(former_owner);
+  if (it == stores_.end()) return;
+  std::vector<ChordMapEntry> moving = std::move(it->second);
+  stores_.erase(it);
+  for (ChordMapEntry& entry : moving) {
+    if (!chord_->alive(entry.node)) continue;
+    const overlay::NodeId owner = chord_->successor_of(entry.key);
+    stores_[owner].push_back(std::move(entry));
+  }
+}
+
+std::size_t ChordMapService::store_size(overlay::NodeId node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? 0 : it->second.size();
+}
+
+bool ChordMapService::check_placement_invariant() const {
+  for (const auto& [owner, store] : stores_) {
+    if (store.empty()) continue;
+    if (!chord_->alive(owner)) return false;
+    for (const ChordMapEntry& entry : store)
+      if (chord_->successor_of(entry.key) != owner) return false;
+  }
+  return true;
+}
+
+std::size_t ChordMapService::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& [owner, store] : stores_) {
+    (void)owner;
+    total += store.size();
+  }
+  return total;
+}
+
+}  // namespace topo::softstate

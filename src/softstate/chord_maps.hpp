@@ -1,0 +1,104 @@
+// Global soft-state on Chord (paper Appendix).
+//
+// "In the case of Chord, we can simply use the landmark number as the key
+// to store the information of an expressway node on a node whose ID is
+// equal to or greater than the landmark number."
+//
+// The whole ring is one locality-sharded map: a node's record is stored at
+// successor(key), where key is its landmark number scaled onto the ring.
+// Because the landmark number preserves physical locality, records of
+// physically-close nodes land on the same or succeeding owners, so a
+// lookup keyed by the querier's own landmark number plus a short successor
+// walk returns its best candidates.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/chord.hpp"
+#include "proximity/landmarks.hpp"
+#include "sim/event_queue.hpp"
+
+namespace topo::softstate {
+
+struct ChordMapConfig {
+  sim::Time ttl_ms = 60'000.0;
+  /// Successor-walk TTL when the landing owner holds too few records.
+  int walk_ttl = 4;
+  std::size_t min_candidates = 8;
+  std::size_t max_return = 32;
+};
+
+struct ChordMapEntry {
+  overlay::NodeId node = overlay::kInvalidNode;
+  net::HostId host = net::kInvalidHost;
+  proximity::LandmarkVector vector;
+  overlay::ChordId key = 0;
+  sim::Time published_at = 0.0;
+  sim::Time expires_at = 0.0;
+};
+
+struct ChordLookupMeta {
+  overlay::NodeId owner = overlay::kInvalidNode;
+  std::size_t route_hops = 0;
+  std::size_t owners_visited = 1;
+};
+
+struct ChordMapStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t route_hops = 0;
+  std::uint64_t expired_entries = 0;
+  std::uint64_t lazy_deletions = 0;
+};
+
+class ChordMapService {
+ public:
+  ChordMapService(overlay::ChordNetwork& chord,
+                  const proximity::LandmarkSet& landmarks,
+                  ChordMapConfig config = {});
+
+  /// Ring key of a landmark number: its top id_bits, preserving order.
+  overlay::ChordId key_of(const util::BigUint& landmark_number) const;
+
+  /// Publishes `node`'s record at successor(key_of(number)); replaces any
+  /// previous record for the node. Returns routed hops.
+  std::size_t publish(overlay::NodeId node,
+                      const proximity::LandmarkVector& vector, sim::Time now);
+
+  /// Returns up to max_return records sorted by landmark-vector distance
+  /// to the querier, gathered from the landing owner and, if sparse, a
+  /// TTL-bounded successor walk. Never returns the querier itself.
+  std::vector<ChordMapEntry> lookup(
+      overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+      sim::Time now, ChordLookupMeta* meta = nullptr);
+
+  void remove_everywhere(overlay::NodeId node);
+  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+  std::size_t expire_before(sim::Time now);
+
+  /// Moves the departed/departing owner's records to the current successor
+  /// of each record's key. Call after the node left the ring.
+  void rehome_from(overlay::NodeId former_owner);
+
+  /// Discards a node's hosted records without re-homing (crash semantics:
+  /// the state dies with the node and decays back via republish).
+  void drop_store(overlay::NodeId owner) { stores_.erase(owner); }
+
+  std::size_t store_size(overlay::NodeId node) const;
+  std::size_t total_entries() const;
+  const ChordMapStats& stats() const { return stats_; }
+
+  /// Invariant check for tests: every record sits on the current successor
+  /// of its key (holds whenever the migration protocol is followed).
+  bool check_placement_invariant() const;
+
+ private:
+  overlay::ChordNetwork* chord_;
+  const proximity::LandmarkSet* landmarks_;
+  ChordMapConfig config_;
+  std::unordered_map<overlay::NodeId, std::vector<ChordMapEntry>> stores_;
+  ChordMapStats stats_;
+};
+
+}  // namespace topo::softstate

@@ -1,0 +1,44 @@
+// Soft-state map entries (paper Section 5.1).
+//
+// The proximity information of node n — its landmark vector plus the load
+// statistics of Section 6 — is stored as an object <Z, n, p> on the overlay:
+// in the *map* of every high-order zone Z that n is a member of, at the
+// position p derived from n's landmark number. Entries are soft state:
+// they carry an expiry time and must be republished.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/point.hpp"
+#include "overlay/node.hpp"
+#include "proximity/landmarks.hpp"
+#include "sim/event_queue.hpp"
+#include "util/biguint.hpp"
+
+namespace topo::softstate {
+
+struct MapEntry {
+  overlay::NodeId node = overlay::kInvalidNode;
+  net::HostId host = net::kInvalidHost;
+  proximity::LandmarkVector vector;
+  util::BigUint landmark_number;
+
+  // Section 6: heterogeneity / load statistics published alongside
+  // proximity information.
+  double load = 0.0;
+  double capacity = 1.0;
+
+  sim::Time published_at = 0.0;
+  sim::Time expires_at = 0.0;
+};
+
+/// An entry as placed on a hosting node: tagged with the map (level + cell)
+/// it belongs to and the exact position its key hashed to.
+struct StoredEntry {
+  MapEntry entry;
+  int level = 0;
+  std::uint64_t cell_key = 0;
+  geom::Point position;
+};
+
+}  // namespace topo::softstate

@@ -1,0 +1,306 @@
+#include "softstate/map_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "geom/hilbert.hpp"
+
+namespace topo::softstate {
+
+MapService::MapService(overlay::EcanNetwork& ecan,
+                       const proximity::LandmarkSet& landmarks,
+                       MapConfig config)
+    : ecan_(&ecan), landmarks_(&landmarks), config_(config) {
+  TO_EXPECTS(config_.condense_rate > 0.0 && config_.condense_rate <= 1.0);
+  TO_EXPECTS(config_.map_bits >= 1);
+  TO_EXPECTS(static_cast<std::size_t>(config_.map_bits) * ecan.dims() <= 58);
+  TO_EXPECTS(config_.max_return >= 1);
+}
+
+geom::Point MapService::map_position(
+    const util::BigUint& landmark_number, int level,
+    std::span<const std::uint32_t> cell) const {
+  const auto dims = ecan_->dims();
+  const geom::HilbertCurve curve(static_cast<int>(dims), config_.map_bits);
+
+  // Coarsen the landmark number to the map curve's resolution; taking the
+  // top bits preserves the ordering (and thus locality) of the 1-d key.
+  const std::uint64_t key64 = landmark_number.top_bits(
+      landmarks_->number_bits(), curve.index_bits() > 64 ? 64 : curve.index_bits());
+  const auto coords = curve.coords(util::BigUint(key64));
+
+  // The map region: the hosting cell shrunk to condense_rate of its volume
+  // (anchored at the cell's low corner).
+  const geom::Zone zone = ecan_->cell_zone(level, cell);
+  const double side_factor =
+      std::pow(config_.condense_rate, 1.0 / static_cast<double>(dims));
+
+  geom::Point position(dims);
+  const double grid = std::ldexp(1.0, -config_.map_bits);  // 2^-map_bits
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double unit = (static_cast<double>(coords[d]) + 0.5) * grid;
+    position[d] = zone.lo(d) + unit * zone.side(d) * side_factor;
+  }
+  TO_ENSURES(zone.contains(position));
+  return position;
+}
+
+std::vector<StoredEntry>& MapService::store_of(overlay::NodeId node) {
+  return stores_[node];
+}
+
+void MapService::place_entry(overlay::NodeId owner, StoredEntry stored) {
+  auto& store = store_of(owner);
+  for (StoredEntry& existing : store) {
+    if (existing.entry.node == stored.entry.node &&
+        existing.level == stored.level &&
+        existing.cell_key == stored.cell_key) {
+      existing = std::move(stored);  // refresh (republish)
+      if (publish_observer_) publish_observer_(owner, existing);
+      return;
+    }
+  }
+  store.push_back(std::move(stored));
+  if (publish_observer_) publish_observer_(owner, store.back());
+}
+
+std::size_t MapService::publish(overlay::NodeId node,
+                                const proximity::LandmarkVector& vector,
+                                sim::Time now, double load, double capacity) {
+  TO_EXPECTS(ecan_->alive(node));
+  const util::BigUint number = landmarks_->landmark_number(vector);
+  std::size_t hops = 0;
+  const int levels = ecan_->node_level(node);
+  for (int h = 1; h <= levels; ++h) {
+    const auto cell = ecan_->cell_of_node(node, h);
+    const geom::Point position = map_position(number, h, cell);
+    const overlay::RouteResult route = ecan_->route_ecan(node, position);
+    if (!route.success) continue;  // unreachable owner: entry lost (soft!)
+    hops += route.hops();
+    if (publish_loss_ > 0.0 && fault_rng_.next_bool(publish_loss_)) {
+      ++stats_.lost_messages;  // dropped en route: the republish refills it
+      continue;
+    }
+    MapEntry entry;
+    entry.node = node;
+    entry.host = ecan_->node(node).host;
+    entry.vector = vector;
+    entry.landmark_number = number;
+    entry.load = load;
+    entry.capacity = capacity;
+    entry.published_at = now;
+    entry.expires_at = now + config_.ttl_ms;
+    place_entry(route.path.back(),
+                StoredEntry{std::move(entry), h, ecan_->pack_cell(h, cell),
+                            position});
+  }
+  ++stats_.publishes;
+  stats_.route_hops += hops;
+  return hops;
+}
+
+void MapService::collect_from(overlay::NodeId owner, int level,
+                              std::uint64_t cell_key, sim::Time now,
+                              std::vector<const StoredEntry*>& out) {
+  const auto it = stores_.find(owner);
+  if (it == stores_.end()) return;
+  auto& store = it->second;
+  // Prune expired entries on access (soft-state decay).
+  const std::size_t before = store.size();
+  std::erase_if(store, [&](const StoredEntry& s) {
+    return s.entry.expires_at <= now;
+  });
+  stats_.expired_entries += before - store.size();
+  for (const StoredEntry& stored : store)
+    if (stored.level == level && stored.cell_key == cell_key)
+      out.push_back(&stored);
+}
+
+std::vector<MapEntry> MapService::lookup_entries(
+    overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+    int level, std::span<const std::uint32_t> cell, sim::Time now,
+    LookupResult* meta) {
+  TO_EXPECTS(ecan_->alive(querier));
+  const util::BigUint number = landmarks_->landmark_number(querier_vector);
+  const geom::Point position = map_position(number, level, cell);
+  const std::uint64_t cell_key = ecan_->pack_cell(level, cell);
+
+  const overlay::RouteResult route = ecan_->route_ecan(querier, position);
+  LookupResult result;
+  result.route_hops = route.hops();
+  if (!route.success) {
+    if (meta != nullptr) *meta = result;
+    return {};
+  }
+  result.owner = route.path.back();
+
+  std::vector<const StoredEntry*> found;
+  collect_from(result.owner, level, cell_key, now, found);
+
+  // Table 1: "define a TTL to search outside y's map content range" — ring
+  // expansion over adjacent map pieces (the owner's CAN neighbors) until
+  // enough candidates are found or the TTL is exhausted.
+  if (found.size() < config_.min_candidates && config_.lookup_ring_ttl > 0) {
+    std::unordered_set<overlay::NodeId> visited = {result.owner};
+    std::vector<overlay::NodeId> ring = {result.owner};
+    for (int depth = 0; depth < config_.lookup_ring_ttl &&
+                        found.size() < config_.min_candidates &&
+                        !ring.empty();
+         ++depth) {
+      std::vector<overlay::NodeId> next_ring;
+      for (const overlay::NodeId node : ring)
+        for (const overlay::NodeId nb : ecan_->node(node).neighbors)
+          if (ecan_->alive(nb) && visited.insert(nb).second)
+            next_ring.push_back(nb);
+      for (const overlay::NodeId nb : next_ring) {
+        ++result.pieces_visited;
+        ++result.route_hops;  // one overlay message per piece visited
+        collect_from(nb, level, cell_key, now, found);
+      }
+      ring = std::move(next_ring);
+    }
+  }
+
+  // Sort by landmark-space distance to the querier; return the top X.
+  std::sort(found.begin(), found.end(),
+            [&](const StoredEntry* a, const StoredEntry* b) {
+              return proximity::vector_distance(a->entry.vector,
+                                                querier_vector) <
+                     proximity::vector_distance(b->entry.vector,
+                                                querier_vector);
+            });
+  std::vector<MapEntry> entries;
+  for (const StoredEntry* stored : found) {
+    if (entries.size() >= config_.max_return) break;
+    if (stored->entry.node == querier) continue;  // never return the asker
+    entries.push_back(stored->entry);
+  }
+
+  ++stats_.lookups;
+  stats_.route_hops += result.route_hops;
+  if (meta != nullptr) *meta = result;
+  return entries;
+}
+
+LookupResult MapService::lookup(overlay::NodeId querier,
+                                const proximity::LandmarkVector& querier_vector,
+                                int level,
+                                std::span<const std::uint32_t> cell,
+                                sim::Time now) {
+  LookupResult result;
+  const auto entries =
+      lookup_entries(querier, querier_vector, level, cell, now, &result);
+  result.candidates.reserve(entries.size());
+  for (const MapEntry& entry : entries)
+    result.candidates.push_back(
+        proximity::ProximityRecord{entry.host, entry.vector});
+  return result;
+}
+
+void MapService::remove_everywhere(overlay::NodeId node) {
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    std::erase_if(store, [&](const StoredEntry& s) {
+      return s.entry.node == node;
+    });
+  }
+}
+
+void MapService::report_dead(overlay::NodeId owner, overlay::NodeId dead) {
+  const auto it = stores_.find(owner);
+  if (it == stores_.end()) return;
+  const std::size_t before = it->second.size();
+  std::erase_if(it->second, [&](const StoredEntry& s) {
+    return s.entry.node == dead;
+  });
+  stats_.lazy_deletions += before - it->second.size();
+}
+
+std::size_t MapService::expire_before(sim::Time now) {
+  std::size_t dropped = 0;
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    const std::size_t before = store.size();
+    std::erase_if(store, [&](const StoredEntry& s) {
+      return s.entry.expires_at <= now;
+    });
+    dropped += before - store.size();
+  }
+  stats_.expired_entries += dropped;
+  return dropped;
+}
+
+void MapService::migrate_after_join(overlay::NodeId joined,
+                                    overlay::NodeId split_peer) {
+  const auto it = stores_.find(split_peer);
+  if (it == stores_.end()) return;
+  const geom::Zone& new_zone = ecan_->node(joined).zone;
+  std::vector<StoredEntry> moving;
+  std::erase_if(it->second, [&](StoredEntry& s) {
+    if (!new_zone.contains(s.position)) return false;
+    moving.push_back(std::move(s));
+    return true;
+  });
+  auto& target = store_of(joined);
+  for (StoredEntry& stored : moving) target.push_back(std::move(stored));
+}
+
+std::vector<StoredEntry> MapService::extract_store(overlay::NodeId node) {
+  const auto it = stores_.find(node);
+  if (it == stores_.end()) return {};
+  std::vector<StoredEntry> out = std::move(it->second);
+  stores_.erase(it);
+  return out;
+}
+
+void MapService::rehome(std::vector<StoredEntry> entries) {
+  for (StoredEntry& stored : entries) {
+    if (!ecan_->alive(stored.entry.node)) continue;  // drop records of dead
+    const overlay::NodeId owner = ecan_->owner_of(stored.position);
+    if (owner == overlay::kInvalidNode) continue;
+    store_of(owner).push_back(std::move(stored));
+  }
+}
+
+std::size_t MapService::store_size(overlay::NodeId node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? 0 : it->second.size();
+}
+
+double MapService::mean_entries_per_node() const {
+  const auto live = ecan_->live_nodes();
+  if (live.empty()) return 0.0;
+  return static_cast<double>(total_entries()) /
+         static_cast<double>(live.size());
+}
+
+std::size_t MapService::max_entries_per_node() const {
+  std::size_t max_size = 0;
+  for (const auto& [owner, store] : stores_) {
+    (void)owner;
+    max_size = std::max(max_size, store.size());
+  }
+  return max_size;
+}
+
+bool MapService::check_placement_invariant() const {
+  for (const auto& [owner, store] : stores_) {
+    if (store.empty()) continue;
+    if (!ecan_->alive(owner)) return false;
+    for (const StoredEntry& stored : store)
+      if (ecan_->owner_of(stored.position) != owner) return false;
+  }
+  return true;
+}
+
+std::size_t MapService::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& [owner, store] : stores_) {
+    (void)owner;
+    total += store.size();
+  }
+  return total;
+}
+
+}  // namespace topo::softstate

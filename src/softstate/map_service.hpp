@@ -1,0 +1,195 @@
+// The global soft-state map service (paper Section 5).
+//
+// For every high-order zone Z of the eCAN there is a *map*: the proximity
+// records of all members of Z, stored on the nodes of Z itself. The entry
+// for node n lives at position p' = h(p, dp, dz, Z) inside Z, where p is
+// n's landmark vector and h maps n's landmark number through an inverse
+// space-filling curve into Z's *map region* (Z shrunk by the condense
+// rate). Because the landmark number preserves physical locality, records
+// of physically-close nodes land on the same or adjacent owners — so a
+// lookup keyed by the querier's own landmark number finds its best
+// candidates in one routed message (Table 1), falling back to a bounded
+// ring expansion over adjacent map pieces when the piece it hit is empty.
+//
+// All messages are routed over the overlay itself and accounted (hops).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rtt_oracle.hpp"
+#include "overlay/ecan.hpp"
+#include "proximity/landmarks.hpp"
+#include "proximity/nn_search.hpp"
+#include "softstate/map_entry.hpp"
+#include "util/rng.hpp"
+
+namespace topo::softstate {
+
+struct MapConfig {
+  /// Fraction of the hosting zone's volume the map occupies ("condense
+  /// rate of coordinate map", Section 5.1). 1.0 spreads the map across the
+  /// whole zone; smaller values concentrate it on fewer owner nodes. The
+  /// default concentrates each map on ~1/16 of its zone so that a hosting
+  /// node holds tens of entries — the regime Figure 16 shows is needed for
+  /// lookups to return well-populated candidate lists (bench
+  /// fig16_condense_rate reproduces the trade-off).
+  double condense_rate = 0.0625;
+  /// Hilbert resolution (bits per overlay axis) when placing entries
+  /// inside the map region.
+  int map_bits = 4;
+  /// Entry lifetime; entries older than this are dropped (soft state).
+  sim::Time ttl_ms = 60'000.0;
+  /// Table 1: how many rings of adjacent map pieces to search when the
+  /// piece the lookup lands on is empty.
+  int lookup_ring_ttl = 3;
+  /// "A maximum of X nodes that are closest to the requesting node is sent
+  /// back."
+  std::size_t max_return = 32;
+  /// Ring expansion also kicks in when the landing piece returned fewer
+  /// than this many candidates (a sparsely-populated piece is almost as
+  /// useless as an empty one).
+  std::size_t min_candidates = 8;
+};
+
+struct LookupResult {
+  /// Candidate records, sorted by landmark-vector distance to the querier.
+  proximity::ProximityDatabase candidates;
+  /// Owner the lookup terminated at (lazy-repair deletions go back here).
+  overlay::NodeId owner = overlay::kInvalidNode;
+  std::size_t route_hops = 0;
+  std::size_t pieces_visited = 1;
+};
+
+struct MapServiceStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t route_hops = 0;     // publish + lookup messages
+  std::uint64_t expired_entries = 0;
+  std::uint64_t lazy_deletions = 0;
+  std::uint64_t lost_messages = 0;  // fault injection (see inject_faults)
+};
+
+class MapService {
+ public:
+  MapService(overlay::EcanNetwork& ecan, const proximity::LandmarkSet& landmarks,
+             MapConfig config);
+
+  const MapConfig& config() const { return config_; }
+  MapConfig& mutable_config() { return config_; }
+
+  /// Position inside the map region of cell (level, coords) where the
+  /// record with `landmark_number` is stored.
+  geom::Point map_position(const util::BigUint& landmark_number, int level,
+                           std::span<const std::uint32_t> cell) const;
+
+  /// Publishes `node`'s record into the maps of every high-order zone it
+  /// belongs to (levels 1..node_level). Replaces any previous record for
+  /// the node in each map. Returns total routed hops.
+  std::size_t publish(overlay::NodeId node,
+                      const proximity::LandmarkVector& vector,
+                      sim::Time now, double load = 0.0,
+                      double capacity = 1.0);
+
+  /// Looks up candidates physically near the querier in the map of the
+  /// given high-order cell (Table 1 procedure).
+  LookupResult lookup(overlay::NodeId querier,
+                      const proximity::LandmarkVector& querier_vector,
+                      int level, std::span<const std::uint32_t> cell,
+                      sim::Time now);
+
+  /// Variant of lookup that also returns the raw entries (pub/sub and the
+  /// load-aware selector need load/capacity, not just host+vector).
+  std::vector<MapEntry> lookup_entries(
+      overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+      int level, std::span<const std::uint32_t> cell, sim::Time now,
+      LookupResult* meta = nullptr);
+
+  /// Proactive removal at graceful departure ("the most proactive measure
+  /// is to update the map when a node is about to depart"). Call *before*
+  /// the node leaves the overlay.
+  void remove_everywhere(overlay::NodeId node);
+
+  /// Lazy repair: the requester found `dead` unreachable after a lookup at
+  /// `owner`; the owner drops all records for it.
+  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+
+  /// Drops entries that expired before `now` across all stores; returns
+  /// the number dropped.
+  std::size_t expire_before(sim::Time now);
+
+  // -- Zone-change migration (driven by the join/leave protocol) --------
+
+  /// After `joined` split `split_peer`'s zone: entries stored at
+  /// split_peer whose position now belongs to `joined` move over.
+  void migrate_after_join(overlay::NodeId joined, overlay::NodeId split_peer);
+
+  /// Call *before* removing `leaver` from the overlay: extracts its store.
+  std::vector<StoredEntry> extract_store(overlay::NodeId node);
+
+  /// Re-homes entries to the current owner of their position (after churn).
+  void rehome(std::vector<StoredEntry> entries);
+
+  // -- Introspection ----------------------------------------------------
+
+  /// Entries currently stored on `node`.
+  std::size_t store_size(overlay::NodeId node) const;
+  /// Mean entries per live node; the Fig 16 y-axis.
+  double mean_entries_per_node() const;
+  /// Max entries on any node.
+  std::size_t max_entries_per_node() const;
+  std::size_t total_entries() const;
+
+  const MapServiceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Invariant check for tests: every stored entry sits on the node that
+  /// currently owns the entry's position (holds after any sequence of
+  /// joins/leaves when the migration protocol is followed).
+  bool check_placement_invariant() const;
+
+  /// Fault injection: every publish *message* (one per map level) is lost
+  /// with `publish_loss` probability before reaching its owner. Soft state
+  /// is designed to absorb this — the next republish refills the map — and
+  /// the failure-injection tests verify exactly that.
+  void inject_faults(double publish_loss, std::uint64_t seed) {
+    TO_EXPECTS(publish_loss >= 0.0 && publish_loss <= 1.0);
+    publish_loss_ = publish_loss;
+    fault_rng_ = util::Rng(seed);
+  }
+
+  /// Hook used by the pub/sub layer: called with every stored entry
+  /// insertion (owner, new entry).
+  using PublishObserver =
+      std::function<void(overlay::NodeId owner, const StoredEntry&)>;
+  void set_publish_observer(PublishObserver observer) {
+    publish_observer_ = std::move(observer);
+  }
+
+ private:
+  std::vector<StoredEntry>& store_of(overlay::NodeId node);
+
+  /// Stores (replacing any same-node record in the same map) and notifies
+  /// the observer.
+  void place_entry(overlay::NodeId owner, StoredEntry stored);
+
+  /// Collect entries of map (level, cell_key) stored on `owner` into
+  /// `out`, skipping expired ones.
+  void collect_from(overlay::NodeId owner, int level,
+                    std::uint64_t cell_key, sim::Time now,
+                    std::vector<const StoredEntry*>& out);
+
+  overlay::EcanNetwork* ecan_;
+  const proximity::LandmarkSet* landmarks_;
+  MapConfig config_;
+  std::unordered_map<overlay::NodeId, std::vector<StoredEntry>> stores_;
+  MapServiceStats stats_;
+  PublishObserver publish_observer_;
+  double publish_loss_ = 0.0;
+  util::Rng fault_rng_{0};
+};
+
+}  // namespace topo::softstate

@@ -1,0 +1,213 @@
+#include "softstate/pastry_maps.hpp"
+
+#include <algorithm>
+
+namespace topo::softstate {
+
+PastryMapService::PastryMapService(overlay::PastryNetwork& pastry,
+                                   const proximity::LandmarkSet& landmarks,
+                                   PastryMapConfig config)
+    : pastry_(&pastry), landmarks_(&landmarks), config_(config) {
+  TO_EXPECTS(config_.publish_rows >= 1);
+  config_.publish_rows = std::min(config_.publish_rows, pastry.digits());
+}
+
+overlay::PastryId PastryMapService::position_in(
+    const util::BigUint& landmark_number, overlay::PastryId lo,
+    overlay::PastryId hi) const {
+  TO_EXPECTS(hi > lo);
+  const overlay::PastryId span = hi - lo;
+  // Top bits of the landmark number scaled into the range, preserving the
+  // 1-d locality of the number.
+  const double unit =
+      landmark_number.to_unit(landmarks_->number_bits());
+  auto offset = static_cast<overlay::PastryId>(
+      unit * static_cast<double>(span));
+  if (offset >= span) offset = span - 1;
+  return lo + offset;
+}
+
+std::size_t PastryMapService::publish(
+    overlay::NodeId node, const proximity::LandmarkVector& vector,
+    sim::Time now) {
+  TO_EXPECTS(pastry_->alive(node));
+  const util::BigUint number = landmarks_->landmark_number(vector);
+  const overlay::PastryId id = pastry_->node(node).id;
+  std::size_t hops = 0;
+  ++stats_.publishes;
+
+  for (int row = 1; row <= config_.publish_rows; ++row) {
+    // The node's own prefix of length `row`: slot_range of (row-1, own
+    // digit) — i.e. the region of ids sharing its first `row` digits.
+    const auto [lo, hi] =
+        pastry_->slot_range(id, row - 1, pastry_->digit(id, row - 1));
+    const overlay::PastryId position = position_in(number, lo, hi);
+    const overlay::RouteResult route = pastry_->route(node, position);
+    if (!route.success) continue;
+    hops += route.hops();
+    const overlay::NodeId owner = route.path.back();
+
+    PastryMapEntry entry;
+    entry.node = node;
+    entry.host = pastry_->node(node).host;
+    entry.vector = vector;
+    entry.prefix_digits = row;
+    entry.region_lo = lo;
+    entry.position = position;
+    entry.published_at = now;
+    entry.expires_at = now + config_.ttl_ms;
+
+    auto& store = stores_[owner];
+    bool replaced = false;
+    for (PastryMapEntry& existing : store) {
+      if (existing.node == node && existing.prefix_digits == row &&
+          existing.region_lo == lo) {
+        existing = entry;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) store.push_back(std::move(entry));
+  }
+  stats_.route_hops += hops;
+  return hops;
+}
+
+std::vector<PastryMapEntry> PastryMapService::lookup(
+    overlay::NodeId querier, const proximity::LandmarkVector& vector,
+    int prefix_digits, overlay::PastryId lo, overlay::PastryId hi,
+    sim::Time now, PastryLookupMeta* meta) {
+  TO_EXPECTS(pastry_->alive(querier));
+  const util::BigUint number = landmarks_->landmark_number(vector);
+  const overlay::PastryId position = position_in(number, lo, hi);
+  const overlay::RouteResult route = pastry_->route(querier, position);
+  PastryLookupMeta local_meta;
+  local_meta.route_hops = route.hops();
+  ++stats_.lookups;
+  stats_.route_hops += route.hops();
+  if (!route.success) {
+    if (meta != nullptr) *meta = local_meta;
+    return {};
+  }
+  local_meta.owner = route.path.back();
+
+  std::vector<const PastryMapEntry*> found;
+  auto collect = [&](overlay::NodeId owner) {
+    const auto it = stores_.find(owner);
+    if (it == stores_.end()) return;
+    auto& store = it->second;
+    const std::size_t before = store.size();
+    std::erase_if(store, [&](const PastryMapEntry& e) {
+      return e.expires_at <= now;
+    });
+    stats_.expired_entries += before - store.size();
+    for (const PastryMapEntry& entry : store)
+      if (entry.prefix_digits == prefix_digits && entry.region_lo == lo)
+        found.push_back(&entry);
+  };
+  collect(local_meta.owner);
+
+  // Thin piece: walk ring neighbors while they are still inside the
+  // region (adjacent owners hold adjacent landmark-number sub-ranges).
+  const auto region_members = pastry_->nodes_in_range(lo, hi);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < region_members.size(); ++i)
+    if (region_members[i] == local_meta.owner) cursor = i;
+  for (int step = 1; step <= config_.walk_ttl &&
+                     found.size() < config_.min_candidates &&
+                     static_cast<std::size_t>(step) < region_members.size();
+       ++step) {
+    const std::size_t index = (cursor + static_cast<std::size_t>(step)) %
+                              region_members.size();
+    ++local_meta.owners_visited;
+    ++local_meta.route_hops;
+    ++stats_.route_hops;
+    collect(region_members[index]);
+  }
+
+  std::sort(found.begin(), found.end(),
+            [&](const PastryMapEntry* a, const PastryMapEntry* b) {
+              return proximity::vector_distance(a->vector, vector) <
+                     proximity::vector_distance(b->vector, vector);
+            });
+  std::vector<PastryMapEntry> result;
+  for (const PastryMapEntry* entry : found) {
+    if (result.size() >= config_.max_return) break;
+    if (entry->node == querier) continue;
+    result.push_back(*entry);
+  }
+  if (meta != nullptr) *meta = local_meta;
+  return result;
+}
+
+void PastryMapService::remove_everywhere(overlay::NodeId node) {
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    std::erase_if(store,
+                  [&](const PastryMapEntry& e) { return e.node == node; });
+  }
+}
+
+void PastryMapService::report_dead(overlay::NodeId owner,
+                                   overlay::NodeId dead) {
+  const auto it = stores_.find(owner);
+  if (it == stores_.end()) return;
+  const std::size_t before = it->second.size();
+  std::erase_if(it->second,
+                [&](const PastryMapEntry& e) { return e.node == dead; });
+  stats_.lazy_deletions += before - it->second.size();
+}
+
+std::size_t PastryMapService::expire_before(sim::Time now) {
+  std::size_t dropped = 0;
+  for (auto& [owner, store] : stores_) {
+    (void)owner;
+    const std::size_t before = store.size();
+    std::erase_if(store, [&](const PastryMapEntry& e) {
+      return e.expires_at <= now;
+    });
+    dropped += before - store.size();
+  }
+  stats_.expired_entries += dropped;
+  return dropped;
+}
+
+void PastryMapService::rehome_from(overlay::NodeId former_owner) {
+  const auto it = stores_.find(former_owner);
+  if (it == stores_.end()) return;
+  std::vector<PastryMapEntry> moving = std::move(it->second);
+  stores_.erase(it);
+  for (PastryMapEntry& entry : moving) {
+    if (!pastry_->alive(entry.node)) continue;
+    const overlay::NodeId owner =
+        pastry_->numerically_closest(entry.position);
+    stores_[owner].push_back(std::move(entry));
+  }
+}
+
+std::size_t PastryMapService::store_size(overlay::NodeId node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? 0 : it->second.size();
+}
+
+bool PastryMapService::check_placement_invariant() const {
+  for (const auto& [owner, store] : stores_) {
+    if (store.empty()) continue;
+    if (!pastry_->alive(owner)) return false;
+    for (const PastryMapEntry& entry : store)
+      if (pastry_->numerically_closest(entry.position) != owner)
+        return false;
+  }
+  return true;
+}
+
+std::size_t PastryMapService::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& [owner, store] : stores_) {
+    (void)owner;
+    total += store.size();
+  }
+  return total;
+}
+
+}  // namespace topo::softstate

@@ -1,0 +1,107 @@
+// Global soft-state on Pastry (paper Section 5.1):
+// "for overlays such as Pastry, a region is a set of nodes sharing a
+// particular prefix ... there is one map for each nodeId prefix. It
+// follows that each node will appear in a maximum of log(N) such maps."
+//
+// A prefix region is a dyadic id range. The record of node n is stored,
+// for each of its prefixes, at the position inside the prefix range that
+// n's landmark number maps to — so, as in the eCAN maps, records of
+// physically-close members of a region sit on the same or neighboring
+// owners, and a lookup keyed by the querier's own landmark number finds
+// its best candidates directly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/pastry.hpp"
+#include "proximity/landmarks.hpp"
+#include "sim/event_queue.hpp"
+
+namespace topo::softstate {
+
+struct PastryMapConfig {
+  /// Rows (prefix lengths) a node publishes into: 1..publish_rows. The
+  /// paper bounds this by log(N); deeper prefixes hold a handful of nodes
+  /// and their maps would be mostly empty.
+  int publish_rows = 4;
+  sim::Time ttl_ms = 60'000.0;
+  /// Ring-walk TTL inside the region when the landing owner is thin.
+  int walk_ttl = 4;
+  std::size_t min_candidates = 8;
+  std::size_t max_return = 32;
+};
+
+struct PastryMapEntry {
+  overlay::NodeId node = overlay::kInvalidNode;
+  net::HostId host = net::kInvalidHost;
+  proximity::LandmarkVector vector;
+  int prefix_digits = 0;      // region identity: length ...
+  overlay::PastryId region_lo = 0;  // ... and range start
+  overlay::PastryId position = 0;   // where in the region it is keyed
+  sim::Time published_at = 0.0;
+  sim::Time expires_at = 0.0;
+};
+
+struct PastryLookupMeta {
+  overlay::NodeId owner = overlay::kInvalidNode;
+  std::size_t route_hops = 0;
+  std::size_t owners_visited = 1;
+};
+
+struct PastryMapStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t route_hops = 0;
+  std::uint64_t expired_entries = 0;
+  std::uint64_t lazy_deletions = 0;
+};
+
+class PastryMapService {
+ public:
+  PastryMapService(overlay::PastryNetwork& pastry,
+                   const proximity::LandmarkSet& landmarks,
+                   PastryMapConfig config = {});
+
+  /// Position of `landmark_number` inside the id range [lo, hi).
+  overlay::PastryId position_in(const util::BigUint& landmark_number,
+                                overlay::PastryId lo,
+                                overlay::PastryId hi) const;
+
+  /// Publishes into the maps of the node's prefixes 1..publish_rows.
+  std::size_t publish(overlay::NodeId node,
+                      const proximity::LandmarkVector& vector, sim::Time now);
+
+  /// Candidates physically near the querier within the prefix region
+  /// [lo, hi) of length `prefix_digits`, sorted by landmark distance.
+  std::vector<PastryMapEntry> lookup(overlay::NodeId querier,
+                                     const proximity::LandmarkVector& vector,
+                                     int prefix_digits, overlay::PastryId lo,
+                                     overlay::PastryId hi, sim::Time now,
+                                     PastryLookupMeta* meta = nullptr);
+
+  void remove_everywhere(overlay::NodeId node);
+  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+  std::size_t expire_before(sim::Time now);
+  void rehome_from(overlay::NodeId former_owner);
+
+  /// Discards a node's hosted records without re-homing (crash semantics).
+  void drop_store(overlay::NodeId owner) { stores_.erase(owner); }
+
+  std::size_t store_size(overlay::NodeId node) const;
+  std::size_t total_entries() const;
+  const PastryMapStats& stats() const { return stats_; }
+
+  /// Invariant check for tests: every record sits on the node numerically
+  /// closest to its position.
+  bool check_placement_invariant() const;
+
+ private:
+  overlay::PastryNetwork* pastry_;
+  const proximity::LandmarkSet* landmarks_;
+  PastryMapConfig config_;
+  std::unordered_map<overlay::NodeId, std::vector<PastryMapEntry>> stores_;
+  PastryMapStats stats_;
+};
+
+}  // namespace topo::softstate

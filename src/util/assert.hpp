@@ -1,0 +1,40 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// TO_EXPECTS / TO_ENSURES abort with a message on violation; they stay active
+// in release builds because every caller of this library is a simulator or
+// test where silent corruption is far worse than the branch cost.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace topo::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace topo::util
+
+#define TO_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::topo::util::contract_failure("Precondition", #cond, __FILE__,     \
+                                     __LINE__);                           \
+  } while (false)
+
+#define TO_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::topo::util::contract_failure("Postcondition", #cond, __FILE__,    \
+                                     __LINE__);                           \
+  } while (false)
+
+#define TO_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::topo::util::contract_failure("Invariant", #cond, __FILE__,        \
+                                     __LINE__);                           \
+  } while (false)

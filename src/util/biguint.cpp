@@ -1,0 +1,148 @@
+#include "util/biguint.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace topo::util {
+
+BigUint BigUint::pow2(int bit) {
+  TO_EXPECTS(bit >= 0 && bit < kBits);
+  BigUint r;
+  r.set_bit(bit, true);
+  return r;
+}
+
+bool BigUint::bit(int i) const {
+  TO_EXPECTS(i >= 0 && i < kBits);
+  return (words_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1ULL;
+}
+
+void BigUint::set_bit(int i, bool value) {
+  TO_EXPECTS(i >= 0 && i < kBits);
+  const auto word = static_cast<std::size_t>(i / 64);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (value)
+    words_[word] |= mask;
+  else
+    words_[word] &= ~mask;
+}
+
+BigUint BigUint::operator<<(int shift) const {
+  TO_EXPECTS(shift >= 0);
+  if (shift >= kBits) return BigUint();
+  BigUint r;
+  const int word_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = kWords - 1; i >= word_shift; --i) {
+    const auto src = static_cast<std::size_t>(i - word_shift);
+    std::uint64_t v = words_[src] << bit_shift;
+    if (bit_shift != 0 && src > 0) v |= words_[src - 1] >> (64 - bit_shift);
+    r.words_[static_cast<std::size_t>(i)] = v;
+  }
+  return r;
+}
+
+BigUint BigUint::operator>>(int shift) const {
+  TO_EXPECTS(shift >= 0);
+  if (shift >= kBits) return BigUint();
+  BigUint r;
+  const int word_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 0; i < kWords - word_shift; ++i) {
+    const auto src = static_cast<std::size_t>(i + word_shift);
+    std::uint64_t v = words_[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < kWords)
+      v |= words_[src + 1] << (64 - bit_shift);
+    r.words_[static_cast<std::size_t>(i)] = v;
+  }
+  return r;
+}
+
+BigUint BigUint::operator|(const BigUint& o) const {
+  BigUint r;
+  for (std::size_t i = 0; i < kWords; ++i) r.words_[i] = words_[i] | o.words_[i];
+  return r;
+}
+
+BigUint BigUint::operator&(const BigUint& o) const {
+  BigUint r;
+  for (std::size_t i = 0; i < kWords; ++i) r.words_[i] = words_[i] & o.words_[i];
+  return r;
+}
+
+BigUint BigUint::operator^(const BigUint& o) const {
+  BigUint r;
+  for (std::size_t i = 0; i < kWords; ++i) r.words_[i] = words_[i] ^ o.words_[i];
+  return r;
+}
+
+BigUint BigUint::operator~() const {
+  BigUint r;
+  for (std::size_t i = 0; i < kWords; ++i) r.words_[i] = ~words_[i];
+  return r;
+}
+
+BigUint BigUint::operator+(const BigUint& o) const {
+  BigUint r;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(words_[i]) + o.words_[i] + carry;
+    r.words_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return r;  // wraps modulo 2^256 by design
+}
+
+BigUint BigUint::operator-(const BigUint& o) const {
+  return *this + (~o + BigUint(1));
+}
+
+bool BigUint::operator<(const BigUint& o) const {
+  for (int i = kWords - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (words_[idx] != o.words_[idx]) return words_[idx] < o.words_[idx];
+  }
+  return false;
+}
+
+int BigUint::highest_bit() const {
+  for (int i = kWords - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (words_[idx] != 0)
+      return i * 64 + 63 - __builtin_clzll(words_[idx]);
+  }
+  return -1;
+}
+
+double BigUint::to_unit(int total_bits) const {
+  TO_EXPECTS(total_bits > 0 && total_bits <= kBits);
+  // Fold the top 53 significant bits into a double mantissa.
+  double result = 0.0;
+  const int top = total_bits - 1;
+  const int bottom = total_bits > 53 ? total_bits - 53 : 0;
+  double weight = 0.5;  // bit `top` has weight 2^-1
+  for (int i = top; i >= bottom; --i, weight *= 0.5)
+    if (bit(i)) result += weight;
+  return result;
+}
+
+std::uint64_t BigUint::top_bits(int total_bits, int count) const {
+  TO_EXPECTS(total_bits > 0 && total_bits <= kBits);
+  TO_EXPECTS(count > 0 && count <= 64);
+  if (count >= total_bits) return (*this >> 0).low64();
+  return (*this >> (total_bits - count)).low64();
+}
+
+std::string BigUint::to_hex() const {
+  char buf[2 * kBits / 8 + 1];
+  char* p = buf;
+  for (int i = kWords - 1; i >= 0; --i)
+    p += std::snprintf(p, 17, "%016llx",
+                       static_cast<unsigned long long>(
+                           words_[static_cast<std::size_t>(i)]));
+  return std::string(buf);
+}
+
+}  // namespace topo::util

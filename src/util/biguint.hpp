@@ -1,0 +1,74 @@
+// Fixed-width 256-bit unsigned integer.
+//
+// Hilbert indices over an n-dimensional landmark grid need n*b bits
+// (e.g. 30 landmarks x 8 bits/dim = 240 bits), which exceeds any builtin
+// integer. BigUint supports exactly the operations the space-filling-curve
+// code and the soft-state key layer need: bit access, shifts, bitwise ops,
+// ordering, and narrowing views.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace topo::util {
+
+class BigUint {
+ public:
+  static constexpr int kWords = 4;
+  static constexpr int kBits = kWords * 64;
+
+  constexpr BigUint() : words_{} {}
+  constexpr explicit BigUint(std::uint64_t low) : words_{low, 0, 0, 0} {}
+
+  static BigUint zero() { return BigUint(); }
+  static BigUint one() { return BigUint(1); }
+
+  /// 2^bit; bit must be < kBits.
+  static BigUint pow2(int bit);
+
+  bool bit(int i) const;
+  void set_bit(int i, bool value);
+
+  BigUint operator<<(int shift) const;
+  BigUint operator>>(int shift) const;
+  BigUint operator|(const BigUint& o) const;
+  BigUint operator&(const BigUint& o) const;
+  BigUint operator^(const BigUint& o) const;
+  BigUint operator~() const;
+  BigUint operator+(const BigUint& o) const;
+  BigUint operator-(const BigUint& o) const;
+
+  BigUint& operator|=(const BigUint& o) { return *this = *this | o; }
+  BigUint& operator&=(const BigUint& o) { return *this = *this & o; }
+  BigUint& operator^=(const BigUint& o) { return *this = *this ^ o; }
+  BigUint& operator<<=(int s) { return *this = *this << s; }
+  BigUint& operator>>=(int s) { return *this = *this >> s; }
+
+  bool operator==(const BigUint& o) const { return words_ == o.words_; }
+  bool operator!=(const BigUint& o) const { return !(*this == o); }
+  bool operator<(const BigUint& o) const;
+  bool operator<=(const BigUint& o) const { return !(o < *this); }
+  bool operator>(const BigUint& o) const { return o < *this; }
+  bool operator>=(const BigUint& o) const { return !(*this < o); }
+
+  /// Lowest 64 bits.
+  std::uint64_t low64() const { return words_[0]; }
+
+  /// Index of the highest set bit, or -1 for zero.
+  int highest_bit() const;
+
+  /// Value scaled to [0, 1): this / 2^total_bits. total_bits in (0, kBits].
+  double to_unit(int total_bits) const;
+
+  /// The top `count` bits of a `total_bits`-wide value, as uint64
+  /// (count <= 64). Preserves ordering, used to coarsen SFC keys.
+  std::uint64_t top_bits(int total_bits, int count) const;
+
+  std::string to_hex() const;
+
+ private:
+  std::array<std::uint64_t, kWords> words_;  // little-endian words
+};
+
+}  // namespace topo::util

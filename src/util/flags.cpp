@@ -1,0 +1,40 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace topo::util {
+
+std::int64_t env_int(const char* name, std::int64_t def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') return def;
+  return value;
+}
+
+double env_double(const char* name, double def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env || *end != '\0') return def;
+  return value;
+}
+
+bool env_bool(const char* name, bool def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  if (*env == '\0' || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "false") == 0)
+    return false;
+  return true;
+}
+
+std::string env_string(const char* name, const std::string& def) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? def : std::string(env);
+}
+
+}  // namespace topo::util

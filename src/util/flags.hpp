@@ -1,0 +1,27 @@
+// Tiny environment-variable flag helpers for benches and examples.
+//
+// Every bench runs meaningfully with no arguments; env vars scale it up:
+//   FULL=1        -> paper-scale sweeps (slower)
+//   SEED=12345    -> alternate RNG seed
+//   QUERIES=2000  -> override query counts, etc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace topo::util {
+
+/// Integer env var with default; accepts decimal. Returns `def` when unset
+/// or malformed.
+std::int64_t env_int(const char* name, std::int64_t def);
+
+/// Floating-point env var with default.
+double env_double(const char* name, double def);
+
+/// Boolean env var: unset/"0"/"false" -> false, anything else -> true.
+bool env_bool(const char* name, bool def = false);
+
+/// String env var with default.
+std::string env_string(const char* name, const std::string& def);
+
+}  // namespace topo::util

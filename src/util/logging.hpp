@@ -1,0 +1,28 @@
+// Minimal leveled logging.
+//
+// Benches and examples print their results via util::Table; the logger is
+// for diagnostics (soft-state expiry decisions, pub/sub notifications, ...)
+// and is silent at the default level so test output stays clean.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace topo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn,
+/// overridable with the TOPO_LOG env var (debug|info|warn|error|off).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace topo::util
+
+#define TO_LOG_DEBUG(...) ::topo::util::log(::topo::util::LogLevel::kDebug, __VA_ARGS__)
+#define TO_LOG_INFO(...) ::topo::util::log(::topo::util::LogLevel::kInfo, __VA_ARGS__)
+#define TO_LOG_WARN(...) ::topo::util::log(::topo::util::LogLevel::kWarn, __VA_ARGS__)
+#define TO_LOG_ERROR(...) ::topo::util::log(::topo::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace topo::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  TO_EXPECTS(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an explicit index vector.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + next_u64(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      const std::size_t candidate = next_u64(n);
+      if (seen.insert(candidate).second) out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace topo::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace topo::util {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  TO_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  TO_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::percentile(double p) const {
+  TO_EXPECTS(p >= 0.0 && p <= 100.0);
+  TO_EXPECTS(!values_.empty());
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::string Samples::describe() const {
+  if (values_.empty()) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g",
+                count(), mean(), percentile(50), percentile(90),
+                percentile(99), min(), max());
+  return buf;
+}
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cumulative = 0.0;
+  double weighted = 0.0;
+  const auto n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cumulative += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (cumulative == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n;
+}
+
+}  // namespace topo::util

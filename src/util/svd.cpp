@@ -1,0 +1,122 @@
+#include "util/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace topo::util {
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  TO_EXPECTS(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j)
+        out.at(i, j) += aik * other.at(k, j);
+    }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+SvdResult svd(const Matrix& a, int max_sweeps) {
+  TO_EXPECTS(a.rows() >= a.cols());
+  TO_EXPECTS(a.cols() > 0);
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Work on a copy whose columns we orthogonalize; V accumulates rotations.
+  Matrix u = a;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  const double eps = 1e-15;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += u.at(i, p) * u.at(i, p);
+          beta += u.at(i, q) * u.at(i, q);
+          gamma += u.at(i, p) * u.at(i, q);
+        }
+        if (std::abs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u.at(i, p);
+          const double uq = u.at(i, q);
+          u.at(i, p) = c * up - s * uq;
+          u.at(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v.at(i, p);
+          const double vq = v.at(i, q);
+          v.at(i, p) = c * vp - s * vq;
+          v.at(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  SvdResult result;
+  result.singular.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u.at(i, j) * u.at(i, j);
+    result.singular[j] = std::sqrt(norm);
+  }
+
+  // Sort by descending singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.singular[x] > result.singular[y];
+  });
+
+  Matrix u_sorted(m, n);
+  Matrix v_sorted(n, n);
+  std::vector<double> s_sorted(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    const double sv = result.singular[src];
+    s_sorted[j] = sv;
+    for (std::size_t i = 0; i < m; ++i)
+      u_sorted.at(i, j) = sv > 0.0 ? u.at(i, src) / sv : 0.0;
+    for (std::size_t i = 0; i < n; ++i) v_sorted.at(i, j) = v.at(i, src);
+  }
+  result.u = std::move(u_sorted);
+  result.v = std::move(v_sorted);
+  result.singular = std::move(s_sorted);
+  return result;
+}
+
+Matrix svd_project(const Matrix& a, std::size_t k) {
+  TO_EXPECTS(k > 0 && k <= a.cols());
+  const SvdResult decomposition = svd(a);
+  Matrix out(a.rows(), k);
+  // Row i projected onto top-k right singular vectors: (A v_j) for j < k,
+  // which equals u_ij * s_j.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      out.at(i, j) = decomposition.u.at(i, j) * decomposition.singular[j];
+  return out;
+}
+
+}  // namespace topo::util

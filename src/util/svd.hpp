@@ -1,0 +1,52 @@
+// Small dense singular value decomposition (one-sided Jacobi).
+//
+// Used by the paper's Section 5.4 extension: take a large set of landmark
+// RTT vectors, extract the dominant components with SVD to suppress
+// measurement noise, and use the projected coordinates for clustering.
+// Matrices here are tiny (hundreds of rows x tens of columns), so a simple
+// O(iterations * n^2 * m) Jacobi sweep is more than adequate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace topo::util {
+
+/// Row-major dense matrix, minimal interface for the SVD use-case.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this * other
+  Matrix multiply(const Matrix& other) const;
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct SvdResult {
+  Matrix u;                       // rows x k (left singular vectors)
+  std::vector<double> singular;   // k values, descending
+  Matrix v;                       // cols x k (right singular vectors)
+};
+
+/// Thin SVD of `a` (rows >= cols required) via one-sided Jacobi rotations.
+/// k = cols. Accurate to ~1e-12 for well-conditioned inputs.
+SvdResult svd(const Matrix& a, int max_sweeps = 60);
+
+/// Project each row of `a` onto the top `k` right singular vectors:
+/// returns a rows x k matrix of denoised coordinates.
+Matrix svd_project(const Matrix& a, std::size_t k);
+
+}  // namespace topo::util

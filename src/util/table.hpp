@@ -1,0 +1,43 @@
+// ASCII table rendering for the figure-reproduction benches.
+//
+// Each bench prints the series of the corresponding paper figure as a table:
+// one column per series, one row per x value, so the "shape" (who wins,
+// crossovers) can be read directly from the terminal or parsed as TSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topo::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+  /// Render as tab-separated values (machine-readable).
+  std::string to_tsv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "== <title> ==" banner used by every bench.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace topo::util

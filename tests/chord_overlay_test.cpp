@@ -1,0 +1,200 @@
+// End-to-end tests of the Chord dynamic facade: the full soft-state
+// lifecycle (join/publish/select, republish vs TTL, graceful leave vs
+// crash, reactive finger repair) on the ring overlay.
+#include "core/chord_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "util/stats.hpp"
+
+namespace topo::core {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+ChordSystemConfig small_config() {
+  ChordSystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 12;
+  return config;
+}
+
+TEST(ChordOverlay, JoinPublishesAndBuildsFingers) {
+  const net::Topology t = make_topology(1);
+  ChordSoftStateOverlay system(t, small_config());
+  util::Rng rng(10);
+  for (int i = 0; i < 64; ++i)
+    system.join(static_cast<net::HostId>(rng.next_u64(t.host_count())));
+  EXPECT_EQ(system.chord().size(), 64u);
+  EXPECT_EQ(system.maps().total_entries(), 64u);  // one ring record each
+  EXPECT_EQ(system.stats().joins, 64u);
+  EXPECT_TRUE(system.chord().check_ring_consistency());
+}
+
+TEST(ChordOverlay, LookupsReachResponsibleNode) {
+  const net::Topology t = make_topology(2);
+  ChordSoftStateOverlay system(t, small_config());
+  util::Rng rng(20);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 80; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto from = nodes[rng.next_u64(nodes.size())];
+    const auto key = rng.next_u64(system.chord().ring_size());
+    const overlay::RouteResult route = system.lookup(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), system.chord().successor_of(key));
+  }
+}
+
+TEST(ChordOverlay, JoinMigratesResponsibility) {
+  const net::Topology t = make_topology(3);
+  ChordSoftStateOverlay system(t, small_config());
+  util::Rng rng(30);
+  for (int i = 0; i < 64; ++i)
+    system.join(static_cast<net::HostId>(rng.next_u64(t.host_count())));
+  // Every record must sit on the successor of its key.
+  std::size_t verified = 0;
+  for (const auto id : system.chord().live_nodes()) {
+    const auto vector_it = system.vectors().find(id);
+    ASSERT_NE(vector_it, system.vectors().end());
+    const auto key = system.maps().key_of(
+        system.landmarks().landmark_number(vector_it->second));
+    EXPECT_GT(system.maps().store_size(system.chord().successor_of(key)), 0u);
+    ++verified;
+  }
+  EXPECT_EQ(verified, 64u);
+}
+
+TEST(ChordOverlay, GracefulLeaveHandsStateOver) {
+  const net::Topology t = make_topology(4);
+  ChordSoftStateOverlay system(t, small_config());
+  util::Rng rng(40);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 48; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  const std::size_t entries_before = system.maps().total_entries();
+  const auto victim = nodes[7];
+  const std::size_t hosted = system.maps().store_size(victim);
+  system.leave(victim);
+  EXPECT_FALSE(system.chord().alive(victim));
+  // Its own record is scrubbed; the records it hosted survive elsewhere.
+  EXPECT_EQ(system.maps().total_entries(), entries_before - 1);
+  EXPECT_EQ(system.maps().store_size(victim), 0u);
+  (void)hosted;
+  // Routing still delivers.
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto from = nodes[rng.next_u64(nodes.size())];
+    if (!system.chord().alive(from)) continue;
+    EXPECT_TRUE(
+        system.lookup(from, rng.next_u64(system.chord().ring_size()))
+            .success);
+  }
+}
+
+TEST(ChordOverlay, CrashLosesHostedStateButSystemRecovers) {
+  const net::Topology t = make_topology(5);
+  ChordSystemConfig config = small_config();
+  config.ttl_ms = 10'000.0;
+  config.republish_interval_ms = 2'000.0;
+  ChordSoftStateOverlay system(t, config);
+  util::Rng rng(50);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 64; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  rng.shuffle(nodes);
+  for (int i = 0; i < 16; ++i) system.crash(nodes[static_cast<std::size_t>(i)]);
+  // Lookups deliver throughout (repairing fingers lazily)...
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto from = nodes[16 + rng.next_u64(nodes.size() - 16)];
+    ASSERT_TRUE(
+        system.lookup(from, rng.next_u64(system.chord().ring_size()))
+            .success);
+  }
+  // ...and after a republish cycle the lost records are restored for all
+  // survivors (48 alive nodes -> >= 48 records).
+  system.run_for(3'000.0);
+  EXPECT_GE(system.maps().total_entries(), 48u);
+  EXPECT_EQ(system.stats().crashes, 16u);
+}
+
+TEST(ChordOverlay, RepublishKeepsRecordsAliveDecayWithout) {
+  const net::Topology t = make_topology(6);
+  ChordSystemConfig config = small_config();
+  config.ttl_ms = 1'000.0;
+  config.republish_interval_ms = 400.0;
+  ChordSoftStateOverlay system(t, config);
+  util::Rng rng(60);
+  for (int i = 0; i < 32; ++i)
+    system.join(static_cast<net::HostId>(rng.next_u64(t.host_count())));
+  system.run_for(5'000.0);
+  EXPECT_GT(system.maps().total_entries(), 0u);
+  EXPECT_GT(system.stats().republishes, 0u);
+
+  ChordSystemConfig decay = small_config();
+  decay.ttl_ms = 1'000.0;
+  decay.republish_interval_ms = 1e12;
+  ChordSoftStateOverlay decaying(t, decay);
+  util::Rng rng2(61);
+  for (int i = 0; i < 32; ++i)
+    decaying.join(static_cast<net::HostId>(rng2.next_u64(t.host_count())));
+  decaying.run_for(2'000.0);
+  EXPECT_EQ(decaying.maps().total_entries(), 0u);
+}
+
+TEST(ChordOverlay, HeavyChurnStaysConsistent) {
+  const net::Topology t = make_topology(7);
+  ChordSystemConfig config = small_config();
+  config.ttl_ms = 20'000.0;
+  config.republish_interval_ms = 5'000.0;
+  ChordSoftStateOverlay system(t, config);
+  util::Rng rng(70);
+  std::vector<overlay::NodeId> live;
+  for (int step = 0; step < 250; ++step) {
+    const double dice = rng.next_double();
+    if (live.size() < 8 || dice < 0.5) {
+      live.push_back(system.join(
+          static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+    } else if (dice < 0.75) {
+      const std::size_t pick = rng.next_u64(live.size());
+      system.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      system.crash(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    system.run_for(100.0);
+    if (step % 50 == 49) {
+      ASSERT_TRUE(system.chord().check_ring_consistency()) << "step " << step;
+      ASSERT_TRUE(system.maps().check_placement_invariant()) << "step " << step;
+      const auto from = live[rng.next_u64(live.size())];
+      ASSERT_TRUE(
+          system.lookup(from, rng.next_u64(system.chord().ring_size()))
+              .success);
+    }
+  }
+  EXPECT_EQ(system.chord().size(), live.size());
+}
+
+TEST(ChordOverlay, LastNodeLeaveIsClean) {
+  const net::Topology t = make_topology(8);
+  ChordSoftStateOverlay system(t, small_config());
+  const auto only = system.join(0);
+  system.leave(only);
+  EXPECT_EQ(system.chord().size(), 0u);
+  EXPECT_EQ(system.maps().total_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace topo::core

@@ -1,0 +1,218 @@
+#include "core/chord_selectors.hpp"
+#include "softstate/chord_maps.hpp"
+
+#include <memory>
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::ChordNetwork> chord;
+  std::unique_ptr<softstate::ChordMapService> maps;
+  core::ChordVectorStore vectors;
+  std::vector<overlay::NodeId> nodes;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 128) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 8, rng, {}));
+    chord = std::make_unique<overlay::ChordNetwork>(24);
+    core::ClassicFingerSelector classic;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(chord->join_random(host, rng));
+    }
+    chord->build_all_fingers(classic);
+    maps = std::make_unique<softstate::ChordMapService>(*chord, *landmarks);
+    for (const auto id : nodes) {
+      vectors[id] = landmarks->measure(*oracle, chord->node(id).host);
+      maps->publish(id, vectors[id], 0.0);
+    }
+  }
+};
+
+TEST(ChordMaps, KeyPreservesLandmarkNumberOrder) {
+  Fixture f(1);
+  const auto n1 = util::BigUint(5) << (f.landmarks->number_bits() - 8);
+  const auto n2 = util::BigUint(9) << (f.landmarks->number_bits() - 8);
+  EXPECT_LT(f.maps->key_of(n1), f.maps->key_of(n2));
+}
+
+TEST(ChordMaps, PublishStoresAtSuccessorOfKey) {
+  Fixture f(2);
+  const auto id = f.nodes[0];
+  const auto key =
+      f.maps->key_of(f.landmarks->landmark_number(f.vectors[id]));
+  const auto owner = f.chord->successor_of(key);
+  EXPECT_GT(f.maps->store_size(owner), 0u);
+}
+
+TEST(ChordMaps, RepublishReplaces) {
+  Fixture f(3);
+  const std::size_t before = f.maps->total_entries();
+  f.maps->publish(f.nodes[0], f.vectors[f.nodes[0]], 100.0);
+  EXPECT_EQ(f.maps->total_entries(), before);
+}
+
+TEST(ChordMaps, LookupReturnsPhysicallyClosePeers) {
+  Fixture f(4, 192);
+  const auto querier = f.nodes[0];
+  const auto entries = f.maps->lookup(querier, f.vectors[querier], 0.0);
+  ASSERT_FALSE(entries.empty());
+  // Sorted by landmark distance and excludes the querier.
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_LE(proximity::vector_distance(entries[i - 1].vector,
+                                         f.vectors[querier]),
+              proximity::vector_distance(entries[i].vector,
+                                         f.vectors[querier]) +
+                  1e-12);
+  for (const auto& entry : entries) EXPECT_NE(entry.node, querier);
+}
+
+TEST(ChordMaps, SuccessorWalkFillsThinPieces) {
+  Fixture f(5);
+  const auto querier = f.nodes[1];
+  softstate::ChordLookupMeta meta;
+  const auto entries =
+      f.maps->lookup(querier, f.vectors[querier], 0.0, &meta);
+  EXPECT_GE(meta.owners_visited, 1u);
+  EXPECT_FALSE(entries.empty());
+}
+
+TEST(ChordMaps, TtlExpiry) {
+  Fixture f(6);
+  EXPECT_GT(f.maps->total_entries(), 0u);
+  f.maps->expire_before(60'000.0);
+  EXPECT_EQ(f.maps->total_entries(), 0u);
+}
+
+TEST(ChordMaps, RemoveEverywhereAndReportDead) {
+  Fixture f(7);
+  const auto victim = f.nodes[3];
+  f.maps->remove_everywhere(victim);
+  const auto entries = f.maps->lookup(f.nodes[0], f.vectors[f.nodes[0]], 0.0);
+  for (const auto& entry : entries) EXPECT_NE(entry.node, victim);
+}
+
+TEST(ChordMaps, RehomeAfterOwnerDeparture) {
+  Fixture f(8);
+  // Find an owner hosting entries; make it leave and rehome.
+  overlay::NodeId owner = overlay::kInvalidNode;
+  for (const auto id : f.nodes)
+    if (f.maps->store_size(id) > 0) {
+      owner = id;
+      break;
+    }
+  ASSERT_NE(owner, overlay::kInvalidNode);
+  const std::size_t total = f.maps->total_entries();
+  const std::size_t owned = f.maps->store_size(owner);
+  f.chord->leave(owner);
+  f.maps->rehome_from(owner);
+  // Entries for the departed owner node itself are dropped; the rest move.
+  EXPECT_GE(f.maps->total_entries(), total - owned);
+  EXPECT_EQ(f.maps->store_size(owner), 0u);
+  // And they are findable at the new successor of their keys.
+  for (const auto id : f.nodes) {
+    if (!f.chord->alive(id)) continue;
+    const auto entries = f.maps->lookup(id, f.vectors[id], 0.0);
+    EXPECT_FALSE(entries.empty());
+    break;
+  }
+}
+
+TEST(ChordSelectors, OraclePicksClosest) {
+  Fixture f(9);
+  core::OracleFingerSelector selector(*f.chord, *f.oracle);
+  for (const auto n : f.nodes) {
+    const auto [lo, hi] = f.chord->finger_interval(n, 20);
+    const auto candidates = f.chord->nodes_in_interval(lo, hi);
+    if (candidates.size() < 3) continue;
+    const auto pick = selector.select(n, 20, candidates);
+    const net::HostId from = f.chord->node(n).host;
+    for (const auto c : candidates)
+      EXPECT_LE(f.oracle->latency_ms(from, f.chord->node(pick).host),
+                f.oracle->latency_ms(from, f.chord->node(c).host));
+    return;
+  }
+  GTEST_SKIP() << "no populated finger interval";
+}
+
+TEST(ChordSelectors, SoftStateUsesOneMapLookupPerTable) {
+  Fixture f(10, 192);
+  core::SoftStateFingerSelector selector(*f.chord, *f.maps, *f.oracle,
+                                         f.vectors, 16, util::Rng(99));
+  f.chord->build_fingers(f.nodes[0], selector);
+  EXPECT_EQ(selector.map_lookups(), 1u);
+  f.chord->build_fingers(f.nodes[1], selector);
+  EXPECT_EQ(selector.map_lookups(), 2u);
+}
+
+TEST(ChordSelectors, SoftStateFingersAreValid) {
+  Fixture f(11, 192);
+  core::SoftStateFingerSelector selector(*f.chord, *f.maps, *f.oracle,
+                                         f.vectors, 16, util::Rng(7));
+  f.chord->build_all_fingers(selector);
+  EXPECT_TRUE(f.chord->check_invariants());
+  // Routing still delivers everywhere.
+  util::Rng rng(8);
+  const auto live = f.chord->live_nodes();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto from = live[rng.next_u64(live.size())];
+    const auto key = rng.next_u64(f.chord->ring_size());
+    const auto route = f.chord->route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), f.chord->successor_of(key));
+  }
+}
+
+TEST(ChordSelectors, SoftStateImprovesStretchOverClassic) {
+  Fixture f(12, 256);
+  util::Rng rng(120);
+
+  auto measure = [&](overlay::FingerSelector& selector) {
+    f.chord->build_all_fingers(selector);
+    util::Rng measure_rng(121);
+    util::Samples stretch;
+    const auto live = f.chord->live_nodes();
+    for (int q = 0; q < 400; ++q) {
+      const auto from = live[measure_rng.next_u64(live.size())];
+      const auto key = measure_rng.next_u64(f.chord->ring_size());
+      const auto route = f.chord->route(from, key);
+      if (!route.success || route.path.size() < 2) continue;
+      double path_latency = 0.0;
+      for (std::size_t i = 1; i < route.path.size(); ++i)
+        path_latency += f.oracle->latency_ms(
+            f.chord->node(route.path[i - 1]).host,
+            f.chord->node(route.path[i]).host);
+      const double direct = f.oracle->latency_ms(
+          f.chord->node(from).host, f.chord->node(route.path.back()).host);
+      if (direct <= 0.0) continue;
+      stretch.add(path_latency / direct);
+    }
+    return stretch.mean();
+  };
+
+  core::ClassicFingerSelector classic;
+  core::SoftStateFingerSelector soft(*f.chord, *f.maps, *f.oracle, f.vectors,
+                                     24, rng.fork());
+  const double classic_stretch = measure(classic);
+  const double soft_stretch = measure(soft);
+  EXPECT_LT(soft_stretch, classic_stretch);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,169 @@
+// Application-level DHT storage on the facade: put/get semantics and
+// object migration through joins, graceful leaves and crashes — the
+// "administration-free and fault-tolerant storage space that maps keys to
+// values" the paper's introduction describes.
+#include "core/soft_state_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::core {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+SystemConfig small_config() {
+  SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  return config;
+}
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<SoftStateOverlay> system;
+  std::vector<overlay::NodeId> nodes;
+  util::Rng rng{99};
+
+  explicit Fixture(std::uint64_t seed, int n = 48) : topology(make_topology(seed)) {
+    system = std::make_unique<SoftStateOverlay>(topology, small_config());
+    for (int i = 0; i < n; ++i)
+      nodes.push_back(system->join(
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+  }
+
+  overlay::NodeId any_node() { return nodes[rng.next_u64(nodes.size())]; }
+};
+
+TEST(DhtStorage, PutThenGetRoundTrips) {
+  Fixture f(1);
+  const geom::Point key = geom::Point::random(2, f.rng);
+  const auto route = f.system->put(f.any_node(), key, "hello");
+  ASSERT_TRUE(route.success);
+  EXPECT_EQ(route.path.back(), f.system->ecan().owner_of(key));
+  const auto value = f.system->get(f.any_node(), key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "hello");
+  EXPECT_EQ(f.system->total_objects(), 1u);
+}
+
+TEST(DhtStorage, PutOverwrites) {
+  Fixture f(2);
+  const geom::Point key = geom::Point::random(2, f.rng);
+  f.system->put(f.any_node(), key, "v1");
+  f.system->put(f.any_node(), key, "v2");
+  EXPECT_EQ(*f.system->get(f.any_node(), key), "v2");
+  EXPECT_EQ(f.system->total_objects(), 1u);
+}
+
+TEST(DhtStorage, MissingKeyIsEmpty) {
+  Fixture f(3);
+  EXPECT_FALSE(
+      f.system->get(f.any_node(), geom::Point::random(2, f.rng)).has_value());
+}
+
+TEST(DhtStorage, GetFromAnyNodeFindsObject) {
+  Fixture f(4);
+  const geom::Point key = geom::Point::random(2, f.rng);
+  f.system->put(f.nodes[0], key, "shared");
+  for (const auto from : f.nodes)
+    EXPECT_EQ(*f.system->get(from, key), "shared");
+}
+
+TEST(DhtStorage, ObjectsFollowZoneSplitsOnJoin) {
+  Fixture f(5, 24);
+  std::vector<geom::Point> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back(geom::Point::random(2, f.rng));
+    f.system->put(f.any_node(), keys.back(),
+                  "value" + std::to_string(i));
+  }
+  // New joins split zones; every object must remain retrievable and live
+  // on its key's current owner.
+  for (int i = 0; i < 24; ++i)
+    f.nodes.push_back(f.system->join(
+        static_cast<net::HostId>(f.rng.next_u64(f.topology.host_count()))));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto value = f.system->get(f.any_node(), keys[i]);
+    ASSERT_TRUE(value.has_value()) << "key " << i;
+    EXPECT_EQ(*value, "value" + std::to_string(i));
+  }
+}
+
+TEST(DhtStorage, ObjectsSurviveGracefulLeaves) {
+  Fixture f(6);
+  std::vector<geom::Point> keys;
+  for (int i = 0; i < 30; ++i) {
+    keys.push_back(geom::Point::random(2, f.rng));
+    f.system->put(f.any_node(), keys.back(), std::to_string(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t pick = f.rng.next_u64(f.nodes.size());
+    f.system->leave(f.nodes[pick]);
+    f.nodes.erase(f.nodes.begin() + static_cast<long>(pick));
+  }
+  EXPECT_EQ(f.system->total_objects(), 30u);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(*f.system->get(f.any_node(), keys[i]), std::to_string(i));
+}
+
+TEST(DhtStorage, CrashLosesOnlyTheCrashedNodesObjects) {
+  Fixture f(7);
+  std::vector<geom::Point> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back(geom::Point::random(2, f.rng));
+    f.system->put(f.any_node(), keys.back(), std::to_string(i));
+  }
+  // Crash the node hosting the most objects.
+  overlay::NodeId victim = f.nodes[0];
+  for (const auto id : f.nodes)
+    if (f.system->object_count(id) > f.system->object_count(victim))
+      victim = id;
+  const std::size_t lost = f.system->object_count(victim);
+  ASSERT_GT(lost, 0u);
+  f.system->crash(victim);
+  std::erase(f.nodes, victim);
+  EXPECT_EQ(f.system->total_objects(), 40u - lost);
+  // Everything else is still retrievable.
+  std::size_t found = 0;
+  for (const auto& key : keys)
+    if (f.system->get(f.any_node(), key).has_value()) ++found;
+  EXPECT_EQ(found, 40u - lost);
+}
+
+TEST(DhtStorage, ChurnKeepsObjectsAtCurrentOwners) {
+  Fixture f(8);
+  std::vector<geom::Point> keys;
+  for (int i = 0; i < 25; ++i) {
+    keys.push_back(geom::Point::random(2, f.rng));
+    f.system->put(f.any_node(), keys.back(), std::to_string(i));
+  }
+  for (int step = 0; step < 60; ++step) {
+    if (f.nodes.size() < 10 || f.rng.next_bool(0.55)) {
+      f.nodes.push_back(f.system->join(static_cast<net::HostId>(
+          f.rng.next_u64(f.topology.host_count()))));
+    } else {
+      const std::size_t pick = f.rng.next_u64(f.nodes.size());
+      f.system->leave(f.nodes[pick]);  // graceful only: objects must survive
+      f.nodes.erase(f.nodes.begin() + static_cast<long>(pick));
+    }
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    // Placement invariant: the object sits exactly at its key's owner.
+    const auto owner = f.system->ecan().owner_of(keys[i]);
+    const auto value = f.system->get(f.any_node(), keys[i]);
+    ASSERT_TRUE(value.has_value()) << "key " << i;
+    EXPECT_GT(f.system->object_count(owner), 0u);
+  }
+  EXPECT_EQ(f.system->total_objects(), keys.size());
+}
+
+}  // namespace
+}  // namespace topo::core

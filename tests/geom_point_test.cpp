@@ -1,0 +1,106 @@
+#include "geom/point.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topo::geom {
+namespace {
+
+TEST(TorusDelta, ShortWayAround) {
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.1, 0.3), 0.2);
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.3, 0.1), -0.2);
+  // Wrap: 0.9 -> 0.1 is +0.2 through the seam.
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.9, 0.1), 0.2);
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.1, 0.9), -0.2);
+}
+
+TEST(TorusDelta, HalfwayIsPositiveHalf) {
+  // The convention maps the ambiguous antipode to +0.5.
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(Point::torus_delta(0.5, 0.0), 0.5);
+}
+
+TEST(TorusDelta, BoundedByHalf) {
+  for (double a = 0.0; a < 1.0; a += 0.09) {
+    for (double b = 0.0; b < 1.0; b += 0.07) {
+      const double d = Point::torus_delta(a, b);
+      EXPECT_GT(d, -0.5);
+      EXPECT_LE(d, 0.5);
+    }
+  }
+}
+
+TEST(Point, DimsAndIndexing) {
+  Point p(3);
+  p[0] = 0.1;
+  p[1] = 0.2;
+  p[2] = 0.3;
+  EXPECT_EQ(p.dims(), 3u);
+  EXPECT_DOUBLE_EQ(p[1], 0.2);
+}
+
+TEST(Point, Equality) {
+  Point a(2);
+  a[0] = 0.5;
+  Point b(2);
+  b[0] = 0.5;
+  EXPECT_EQ(a, b);
+  b[1] = 0.1;
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == Point(3));  // different dims
+}
+
+TEST(Point, TorusDistanceIdentity) {
+  Point p(4);
+  for (std::size_t i = 0; i < 4; ++i) p[i] = 0.2 * static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(p.torus_distance(p), 0.0);
+}
+
+TEST(Point, TorusDistanceSymmetric) {
+  Point a(2);
+  a[0] = 0.1;
+  a[1] = 0.9;
+  Point b(2);
+  b[0] = 0.8;
+  b[1] = 0.2;
+  EXPECT_DOUBLE_EQ(a.torus_distance(b), b.torus_distance(a));
+}
+
+TEST(Point, TorusDistanceUsesWrap) {
+  Point a(1);
+  a[0] = 0.05;
+  Point b(1);
+  b[0] = 0.95;
+  EXPECT_NEAR(a.torus_distance(b), 0.1, 1e-12);
+}
+
+TEST(Point, TorusDistanceMaximum) {
+  // Antipodal in 2-d: sqrt(0.25 + 0.25).
+  Point a(2);
+  Point b(2);
+  b[0] = 0.5;
+  b[1] = 0.5;
+  EXPECT_NEAR(a.torus_distance(b), std::sqrt(0.5), 1e-12);
+}
+
+TEST(Point, RandomStaysInUnitBox) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point p = Point::random(5, rng);
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_GE(p[d], 0.0);
+      EXPECT_LT(p[d], 1.0);
+    }
+  }
+}
+
+TEST(Point, ToString) {
+  Point p(2);
+  p[0] = 0.25;
+  p[1] = 0.5;
+  EXPECT_EQ(p.to_string(), "(0.2500, 0.5000)");
+}
+
+}  // namespace
+}  // namespace topo::geom

@@ -1,0 +1,163 @@
+#include "geom/zone.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topo::geom {
+namespace {
+
+Point make_point(double x, double y) {
+  Point p(2);
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+TEST(Zone, WholeSpace) {
+  const Zone whole = Zone::whole(2);
+  EXPECT_DOUBLE_EQ(whole.volume(), 1.0);
+  EXPECT_TRUE(whole.contains(make_point(0.0, 0.999)));
+  EXPECT_DOUBLE_EQ(whole.side(0), 1.0);
+}
+
+TEST(Zone, HalfOpenContainment) {
+  const auto [lo, hi] = Zone::whole(1).split(0);
+  Point boundary(1);
+  boundary[0] = 0.5;
+  EXPECT_FALSE(lo.contains(boundary));
+  EXPECT_TRUE(hi.contains(boundary));
+}
+
+TEST(Zone, SplitHalvesVolumeExactly) {
+  Zone z = Zone::whole(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto [a, b] = z.split(z.longest_dim());
+    EXPECT_DOUBLE_EQ(a.volume() + b.volume(), z.volume());
+    EXPECT_DOUBLE_EQ(a.volume(), b.volume());
+    z = i % 2 == 0 ? a : b;
+  }
+}
+
+TEST(Zone, LongestDimRotates) {
+  Zone z = Zone::whole(2);
+  EXPECT_EQ(z.longest_dim(), 0u);  // tie -> lowest
+  z = z.split(0).first;
+  EXPECT_EQ(z.longest_dim(), 1u);
+  z = z.split(1).first;
+  EXPECT_EQ(z.longest_dim(), 0u);
+}
+
+TEST(Zone, ZoneContainsZone) {
+  const Zone whole = Zone::whole(2);
+  const auto [left, right] = whole.split(0);
+  EXPECT_TRUE(whole.contains(left));
+  EXPECT_TRUE(whole.contains(right));
+  EXPECT_FALSE(left.contains(whole));
+  EXPECT_FALSE(left.contains(right));
+  EXPECT_TRUE(left.contains(left));
+}
+
+TEST(Zone, CenterInsideZone) {
+  const auto [left, right] = Zone::whole(2).split(0);
+  EXPECT_TRUE(left.contains(left.center()));
+  EXPECT_TRUE(right.contains(right.center()));
+  EXPECT_DOUBLE_EQ(left.center()[0], 0.25);
+}
+
+TEST(Zone, CanNeighborSharedFace) {
+  const auto [left, right] = Zone::whole(2).split(0);
+  EXPECT_TRUE(left.is_can_neighbor(right));
+  EXPECT_TRUE(right.is_can_neighbor(left));
+}
+
+TEST(Zone, CanNeighborAcrossWrap) {
+  // Quarters along x: [0,0.25) and [0.75,1) abut through the seam.
+  const auto [half_lo, half_hi] = Zone::whole(2).split(0);
+  const auto first = half_lo.split(0).first;    // [0, 0.25)
+  const auto last = half_hi.split(0).second;    // [0.75, 1)
+  EXPECT_TRUE(first.is_can_neighbor(last));
+}
+
+TEST(Zone, CornerOnlyContactIsNotNeighbor) {
+  // Diagonal quadrants touch at a corner only (abut in both dims).
+  const auto [left, right] = Zone::whole(2).split(0);
+  const auto bottom_left = left.split(1).first;
+  const auto top_right = right.split(1).second;
+  EXPECT_FALSE(bottom_left.is_can_neighbor(top_right));
+}
+
+TEST(Zone, SelfIsNotNeighbor) {
+  const auto [left, right] = Zone::whole(2).split(0);
+  EXPECT_FALSE(left.is_can_neighbor(left));
+  (void)right;
+}
+
+TEST(Zone, TwoZoneWrapBothSidesStillOneAxis) {
+  // With only two halves, they abut both directly and across the seam —
+  // still neighbors (abutting count is per-axis, not per-face).
+  const auto [lo, hi] = Zone::whole(1).split(0);
+  EXPECT_TRUE(lo.is_can_neighbor(hi));
+}
+
+TEST(Zone, DistanceToInsideIsZero) {
+  const auto [left, right] = Zone::whole(2).split(0);
+  (void)right;
+  EXPECT_DOUBLE_EQ(left.distance_to(make_point(0.1, 0.5)), 0.0);
+}
+
+TEST(Zone, DistanceToStraightGap) {
+  const auto quarter =
+      Zone::whole(2).split(0).first.split(1).first;  // [0,.5)x[0,.5)
+  EXPECT_NEAR(quarter.distance_to(make_point(0.75, 0.25)), 0.25, 1e-12);
+}
+
+TEST(Zone, DistanceToUsesWrap) {
+  const auto quarter =
+      Zone::whole(2).split(0).first.split(1).first;  // [0,.5)x[0,.5)
+  // x=0.95 is 0.05 from lo=0 through the seam, not 0.45 from hi=0.5.
+  EXPECT_NEAR(quarter.distance_to(make_point(0.95, 0.25)), 0.05, 1e-12);
+}
+
+TEST(Zone, DistanceToDiagonal) {
+  const auto quarter =
+      Zone::whole(2).split(0).first.split(1).first;
+  const double d = quarter.distance_to(make_point(0.6, 0.6));
+  EXPECT_NEAR(d, std::sqrt(0.01 + 0.01), 1e-12);
+}
+
+TEST(GridCoord, BasicBuckets) {
+  EXPECT_EQ(grid_coord(0.0, 2), 0u);
+  EXPECT_EQ(grid_coord(0.24, 2), 0u);
+  EXPECT_EQ(grid_coord(0.25, 2), 1u);
+  EXPECT_EQ(grid_coord(0.99, 2), 3u);
+  EXPECT_EQ(grid_coord(0.7, 0), 0u);  // level 0: one cell
+}
+
+TEST(GridCoord, NeverReturnsOutOfRange) {
+  // Floating-point edge just under 1.0.
+  EXPECT_EQ(grid_coord(std::nextafter(1.0, 0.0), 4), 15u);
+}
+
+TEST(Zone, GridCellContaining) {
+  const Zone cell = Zone::grid_cell_containing(make_point(0.3, 0.8), 2);
+  EXPECT_DOUBLE_EQ(cell.lo(0), 0.25);
+  EXPECT_DOUBLE_EQ(cell.hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(cell.lo(1), 0.75);
+  EXPECT_DOUBLE_EQ(cell.hi(1), 1.0);
+  EXPECT_TRUE(cell.contains(make_point(0.3, 0.8)));
+}
+
+TEST(Zone, GridCellLevelZeroIsWhole) {
+  const Zone cell = Zone::grid_cell_containing(make_point(0.3, 0.8), 0);
+  EXPECT_DOUBLE_EQ(cell.volume(), 1.0);
+}
+
+TEST(Zone, ToStringMentionsBounds) {
+  const auto [left, right] = Zone::whole(2).split(0);
+  (void)right;
+  EXPECT_NE(left.to_string().find("0.5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topo::geom

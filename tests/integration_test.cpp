@@ -1,0 +1,183 @@
+// Miniature end-to-end versions of the paper's experiments: each test runs
+// the same pipeline as the corresponding bench, at unit-test scale, and
+// asserts the qualitative result the paper reports.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/selectors.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "proximity/nn_search.hpp"
+#include "sim/metrics.hpp"
+
+namespace topo {
+namespace {
+
+struct World {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+
+  World(std::uint64_t seed, net::LatencyModel model, int landmark_count) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, model, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    proximity::LandmarkConfig config;
+    config.scale_ms = model == net::LatencyModel::kManual ? 60.0 : 300.0;
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, landmark_count, rng,
+                                              config));
+  }
+};
+
+/// Builds an eCAN of `n` members, tables selected by `selector_kind`
+/// ("random" | "soft" | "oracle"), and measures stretch.
+struct OverlayRun {
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  core::VectorStore vectors;
+  sim::RoutingSample sample;
+};
+
+OverlayRun run_overlay(World& world, std::size_t n,
+                       const std::string& selector_kind,
+                       std::size_t rtt_budget, std::uint64_t seed,
+                       std::size_t queries = 300) {
+  OverlayRun run;
+  util::Rng rng(seed);
+  run.ecan = std::make_unique<overlay::EcanNetwork>(2);
+  std::vector<overlay::NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto host = static_cast<net::HostId>(
+        rng.next_u64(world.topology.host_count()));
+    nodes.push_back(run.ecan->join_random(host, rng));
+  }
+  run.maps = std::make_unique<softstate::MapService>(
+      *run.ecan, *world.landmarks, softstate::MapConfig{});
+  for (const auto id : nodes) {
+    run.vectors[id] =
+        world.landmarks->measure(*world.oracle, run.ecan->node(id).host);
+    run.maps->publish(id, run.vectors[id], 0.0);
+  }
+  std::unique_ptr<overlay::RepresentativeSelector> selector;
+  if (selector_kind == "random") {
+    selector = std::make_unique<core::RandomSelector>(util::Rng(seed + 1));
+  } else if (selector_kind == "oracle") {
+    selector =
+        std::make_unique<core::OracleSelector>(*run.ecan, *world.oracle);
+  } else {
+    selector = std::make_unique<core::SoftStateSelector>(
+        *run.ecan, *run.maps, *world.oracle, run.vectors, rtt_budget,
+        util::Rng(seed + 1));
+  }
+  run.ecan->build_all_tables(*selector);
+  util::Rng measure_rng(seed + 2);
+  run.sample =
+      sim::measure_ecan_routing(*run.ecan, *world.oracle, queries, measure_rng);
+  return run;
+}
+
+TEST(Integration, Fig2Shape_EcanBeatsCanOnLogicalHops) {
+  World world(1, net::LatencyModel::kManual, 8);
+  util::Rng rng(10);
+  overlay::EcanNetwork ecan(2);
+  for (int i = 0; i < 512; ++i)
+    ecan.join_random(
+        static_cast<net::HostId>(rng.next_u64(world.topology.host_count())),
+        rng);
+  core::RandomSelector selector{util::Rng(11)};
+  ecan.build_all_tables(selector);
+  util::Rng m1(12);
+  util::Rng m2(12);
+  const auto ecan_sample = sim::measure_ecan_routing(ecan, *world.oracle, 200, m1);
+  const auto can_sample = sim::measure_can_routing(ecan, *world.oracle, 200, m2);
+  EXPECT_LT(ecan_sample.logical_hops.mean(),
+            0.5 * can_sample.logical_hops.mean());
+}
+
+TEST(Integration, Fig3Shape_HybridBeatsErsPerProbe) {
+  World world(2, net::LatencyModel::kManual, 10);
+  util::Rng rng(20);
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < world.topology.host_count(); ++h)
+    can.join_random(h, rng);
+  proximity::ProximityDatabase database;
+  for (net::HostId h = 0; h < world.topology.host_count(); h += 2)
+    database.push_back(proximity::ProximityRecord{
+        h, world.landmarks->measure(*world.oracle, h)});
+
+  double hybrid_stretch = 0.0;
+  double ers_stretch = 0.0;
+  int queries = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto query = static_cast<net::HostId>(
+        1 + 2 * rng.next_u64(world.topology.host_count() / 2 - 1));
+    const auto qv = world.landmarks->measure(*world.oracle, query);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& record : database)
+      best = std::min(best, world.oracle->latency_ms(query, record.host));
+    if (best <= 0.0) continue;
+    const auto hybrid =
+        proximity::hybrid_nn_search(*world.oracle, query, qv, database, 10);
+    const auto start = can.live_nodes()[rng.next_u64(can.size())];
+    const auto ers = proximity::ers_best_rtt_curve(can, *world.oracle, query,
+                                                   start, 10, rng);
+    hybrid_stretch += hybrid.rtt_ms / best;
+    ers_stretch += ers.back() / best;
+    ++queries;
+  }
+  ASSERT_GT(queries, 5);
+  EXPECT_LE(hybrid_stretch, ers_stretch);
+}
+
+TEST(Integration, Fig10Shape_MoreProbesReduceStretch) {
+  World world(3, net::LatencyModel::kManual, 10);
+  const double stretch_1 =
+      run_overlay(world, 192, "soft", 1, 30).sample.stretch.mean();
+  const double stretch_16 =
+      run_overlay(world, 192, "soft", 16, 30).sample.stretch.mean();
+  const double optimal =
+      run_overlay(world, 192, "oracle", 1, 30).sample.stretch.mean();
+  EXPECT_LE(stretch_16, stretch_1 + 0.05);
+  // "Optimal" is per-hop optimal (the closest member per cell), which is
+  // not path-optimal; at this tiny scale the soft-state pick can land
+  // slightly below it, so only assert it is in the same neighborhood.
+  EXPECT_LE(optimal, stretch_16 + 0.3);
+}
+
+TEST(Integration, Fig14Shape_GlobalStateBeatsRandom) {
+  World world(4, net::LatencyModel::kManual, 10);
+  const double soft =
+      run_overlay(world, 256, "soft", 10, 40).sample.stretch.mean();
+  const double random =
+      run_overlay(world, 256, "random", 10, 40).sample.stretch.mean();
+  EXPECT_LT(soft, random);
+}
+
+TEST(Integration, OptimalGapExistsVersusShortestPath) {
+  // Section 5.4's first gap: even oracle-optimal neighbor selection pays a
+  // stretch > 1 for meeting the overlay's structural constraint.
+  World world(5, net::LatencyModel::kManual, 10);
+  const auto run = run_overlay(world, 256, "oracle", 1, 50);
+  EXPECT_GT(run.sample.stretch.mean(), 1.05);
+}
+
+TEST(Integration, GtItmLatenciesAreHarder) {
+  // The paper: landmark clustering differentiates regular (manual)
+  // latencies better, so stretch approximates optimal more closely there.
+  World manual_world(6, net::LatencyModel::kManual, 10);
+  World gtitm_world(6, net::LatencyModel::kGtItmRandom, 10);
+  const double manual_gap =
+      run_overlay(manual_world, 192, "soft", 10, 60).sample.stretch.mean() /
+      run_overlay(manual_world, 192, "oracle", 1, 60).sample.stretch.mean();
+  const double gtitm_gap =
+      run_overlay(gtitm_world, 192, "soft", 10, 61).sample.stretch.mean() /
+      run_overlay(gtitm_world, 192, "oracle", 1, 61).sample.stretch.mean();
+  // Both gaps are >= ~1; the manual one should not be dramatically worse.
+  EXPECT_LT(manual_gap, gtitm_gap + 0.5);
+}
+
+}  // namespace
+}  // namespace topo

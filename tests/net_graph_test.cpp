@@ -1,0 +1,95 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace topo::net {
+namespace {
+
+Topology triangle() {
+  Topology t;
+  const HostId a = t.add_host({HostKind::kTransit, 0, -1});
+  const HostId b = t.add_host({HostKind::kStub, 0, 0});
+  const HostId c = t.add_host({HostKind::kStub, 0, 0});
+  t.add_link(a, b, LinkClass::kTransitStub);
+  t.add_link(b, c, LinkClass::kIntraStub);
+  t.add_link(c, a, LinkClass::kTransitStub);
+  t.freeze();
+  return t;
+}
+
+TEST(Topology, HostAndLinkCounts) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.host_count(), 3u);
+  EXPECT_EQ(t.link_count(), 3u);
+}
+
+TEST(Topology, AdjacencyIsSymmetric) {
+  const Topology t = triangle();
+  for (HostId u = 0; u < t.host_count(); ++u) {
+    for (const auto& nb : t.neighbors(u)) {
+      const auto back = t.neighbors(nb.host);
+      const bool found =
+          std::any_of(back.begin(), back.end(),
+                      [&](const Topology::Neighbor& n) { return n.host == u; });
+      EXPECT_TRUE(found) << "edge " << u << "<->" << nb.host;
+    }
+  }
+}
+
+TEST(Topology, NeighborDegrees) {
+  const Topology t = triangle();
+  for (HostId u = 0; u < 3; ++u) EXPECT_EQ(t.neighbors(u).size(), 2u);
+}
+
+TEST(Topology, LinkIndexRoundTrip) {
+  const Topology t = triangle();
+  for (HostId u = 0; u < t.host_count(); ++u) {
+    for (const auto& nb : t.neighbors(u)) {
+      const Link& link = t.links()[nb.link_index];
+      EXPECT_TRUE((link.a == u && link.b == nb.host) ||
+                  (link.b == u && link.a == nb.host));
+    }
+  }
+}
+
+TEST(Topology, HostInfoPreserved) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.host(0).kind, HostKind::kTransit);
+  EXPECT_EQ(t.host(1).kind, HostKind::kStub);
+  EXPECT_EQ(t.host(1).stub_domain, 0);
+  EXPECT_EQ(t.host(0).stub_domain, -1);
+}
+
+TEST(Topology, HostsOfKind) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.hosts_of_kind(HostKind::kTransit).size(), 1u);
+  EXPECT_EQ(t.hosts_of_kind(HostKind::kStub).size(), 2u);
+}
+
+TEST(Topology, ConnectivityDetection) {
+  Topology t;
+  const HostId a = t.add_host({});
+  const HostId b = t.add_host({});
+  t.add_host({});  // isolated
+  t.add_link(a, b, LinkClass::kIntraStub);
+  t.freeze();
+  EXPECT_FALSE(t.is_connected());
+  EXPECT_TRUE(triangle().is_connected());
+}
+
+TEST(Topology, EmptyIsConnected) {
+  Topology t;
+  t.freeze();
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, MutableLinkLatency) {
+  Topology t = triangle();
+  t.mutable_link(0).latency_ms = 12.5;
+  EXPECT_DOUBLE_EQ(t.link_latency(0), 12.5);
+}
+
+}  // namespace
+}  // namespace topo::net

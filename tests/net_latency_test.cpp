@@ -1,0 +1,95 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/transit_stub.hpp"
+
+namespace topo::net {
+namespace {
+
+Topology tiny(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return generate_transit_stub(tsk_tiny(), rng);
+}
+
+TEST(Latency, ManualAssignsClassConstants) {
+  Topology t = tiny();
+  util::Rng rng(2);
+  const ManualLatencies manual;
+  assign_latencies(t, LatencyModel::kManual, rng, manual);
+  for (const Link& link : t.links()) {
+    switch (link.link_class) {
+      case LinkClass::kInterTransit:
+        EXPECT_DOUBLE_EQ(link.latency_ms, manual.inter_transit_ms);
+        break;
+      case LinkClass::kIntraTransit:
+        EXPECT_DOUBLE_EQ(link.latency_ms, manual.intra_transit_ms);
+        break;
+      case LinkClass::kTransitStub:
+        EXPECT_DOUBLE_EQ(link.latency_ms, manual.transit_stub_ms);
+        break;
+      case LinkClass::kIntraStub:
+        EXPECT_DOUBLE_EQ(link.latency_ms, manual.intra_stub_ms);
+        break;
+    }
+  }
+}
+
+TEST(Latency, ManualOrderingIsHierarchical) {
+  const ManualLatencies manual;
+  EXPECT_GT(manual.inter_transit_ms, manual.intra_transit_ms);
+  EXPECT_GT(manual.intra_transit_ms, manual.transit_stub_ms);
+  EXPECT_GE(manual.transit_stub_ms, manual.intra_stub_ms);
+}
+
+TEST(Latency, RandomStaysInClassRanges) {
+  Topology t = tiny();
+  util::Rng rng(3);
+  const GtItmRandomLatencies ranges;
+  assign_latencies(t, LatencyModel::kGtItmRandom, rng, {}, ranges);
+  for (const Link& link : t.links()) {
+    switch (link.link_class) {
+      case LinkClass::kInterTransit:
+        EXPECT_GE(link.latency_ms, ranges.inter_transit_lo);
+        EXPECT_LT(link.latency_ms, ranges.inter_transit_hi);
+        break;
+      case LinkClass::kIntraTransit:
+        EXPECT_GE(link.latency_ms, ranges.intra_transit_lo);
+        EXPECT_LT(link.latency_ms, ranges.intra_transit_hi);
+        break;
+      case LinkClass::kTransitStub:
+        EXPECT_GE(link.latency_ms, ranges.transit_stub_lo);
+        EXPECT_LT(link.latency_ms, ranges.transit_stub_hi);
+        break;
+      case LinkClass::kIntraStub:
+        EXPECT_GE(link.latency_ms, ranges.intra_stub_lo);
+        EXPECT_LT(link.latency_ms, ranges.intra_stub_hi);
+        break;
+    }
+  }
+}
+
+TEST(Latency, RandomIsIrregular) {
+  Topology t = tiny();
+  util::Rng rng(5);
+  assign_latencies(t, LatencyModel::kGtItmRandom, rng);
+  // Two links of the same class should (almost surely) differ.
+  double first_intra_stub = -1.0;
+  bool found_different = false;
+  for (const Link& link : t.links()) {
+    if (link.link_class != LinkClass::kIntraStub) continue;
+    if (first_intra_stub < 0.0)
+      first_intra_stub = link.latency_ms;
+    else if (link.latency_ms != first_intra_stub)
+      found_different = true;
+  }
+  EXPECT_TRUE(found_different);
+}
+
+TEST(Latency, ModelNames) {
+  EXPECT_STREQ(latency_model_name(LatencyModel::kManual), "manual");
+  EXPECT_STREQ(latency_model_name(LatencyModel::kGtItmRandom), "gtitm");
+}
+
+}  // namespace
+}  // namespace topo::net

@@ -1,0 +1,144 @@
+#include "net/rtt_oracle.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/shortest_path.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::net {
+namespace {
+
+Topology tiny_with_latencies(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Topology t = generate_transit_stub(tsk_tiny(), rng);
+  assign_latencies(t, LatencyModel::kGtItmRandom, rng);
+  return t;
+}
+
+TEST(RttOracle, MatchesDijkstra) {
+  const Topology t = tiny_with_latencies(1);
+  RttOracle oracle(t);
+  const auto reference = dijkstra(t, 0);
+  for (HostId h = 0; h < t.host_count(); h += 7)
+    EXPECT_NEAR(oracle.latency_ms(0, h), reference[h], 1e-9);
+}
+
+TEST(RttOracle, SelfLatencyZeroWithoutDijkstra) {
+  const Topology t = tiny_with_latencies(2);
+  RttOracle oracle(t);
+  EXPECT_DOUBLE_EQ(oracle.latency_ms(5, 5), 0.0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 0u);
+}
+
+TEST(RttOracle, Symmetry) {
+  const Topology t = tiny_with_latencies(3);
+  RttOracle oracle(t);
+  EXPECT_NEAR(oracle.latency_ms(1, 20), oracle.latency_ms(20, 1), 1e-9);
+}
+
+TEST(RttOracle, CachesRowsPerSource) {
+  const Topology t = tiny_with_latencies(4);
+  RttOracle oracle(t);
+  oracle.latency_ms(0, 1);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  oracle.latency_ms(0, 2);
+  oracle.latency_ms(0, 3);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);  // same source: cached
+  // Reverse direction reuses the cached row of the destination.
+  oracle.latency_ms(9, 0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  oracle.latency_ms(9, 10);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
+TEST(RttOracle, ClearCacheForcesRecompute) {
+  const Topology t = tiny_with_latencies(5);
+  RttOracle oracle(t);
+  oracle.latency_ms(0, 1);
+  oracle.clear_cache();
+  oracle.latency_ms(0, 1);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
+TEST(RttOracle, ProbeCounting) {
+  const Topology t = tiny_with_latencies(6);
+  RttOracle oracle(t);
+  EXPECT_EQ(oracle.probe_count(), 0u);
+  oracle.probe_rtt(0, 1);
+  EXPECT_EQ(oracle.probe_count(), 1u);
+  oracle.latency_ms(0, 2);  // simulator bookkeeping: not counted
+  EXPECT_EQ(oracle.probe_count(), 1u);
+  const std::vector<HostId> candidates = {1, 2, 3, 4};
+  oracle.probe_nearest(0, candidates);
+  EXPECT_EQ(oracle.probe_count(), 5u);
+  oracle.reset_probe_count();
+  EXPECT_EQ(oracle.probe_count(), 0u);
+}
+
+TEST(RttOracle, NearestPicksTrueMinimum) {
+  const Topology t = tiny_with_latencies(7);
+  RttOracle oracle(t);
+  const std::vector<HostId> candidates = {10, 20, 30, 40, 50};
+  const HostId best = oracle.nearest(0, candidates);
+  ASSERT_NE(best, kInvalidHost);
+  for (const HostId c : candidates)
+    EXPECT_LE(oracle.latency_ms(0, best), oracle.latency_ms(0, c));
+}
+
+TEST(RttOracle, NearestOfEmptyIsInvalid) {
+  const Topology t = tiny_with_latencies(8);
+  RttOracle oracle(t);
+  EXPECT_EQ(oracle.nearest(0, {}), kInvalidHost);
+}
+
+TEST(RttOracle, MeasurementNoiseAffectsProbesOnly) {
+  const Topology t = tiny_with_latencies(10);
+  RttOracle oracle(t);
+  const double truth = oracle.latency_ms(0, 50);
+  oracle.set_measurement_noise(0.25, 99);
+  // Bookkeeping stays exact.
+  EXPECT_DOUBLE_EQ(oracle.latency_ms(0, 50), truth);
+  // Probes jitter within the configured band and are not constant.
+  double lo = truth;
+  double hi = truth;
+  for (int i = 0; i < 200; ++i) {
+    const double sample = oracle.probe_rtt(0, 50);
+    EXPECT_GE(sample, truth * 0.75 - 1e-9);
+    EXPECT_LE(sample, truth * 1.25 + 1e-9);
+    lo = std::min(lo, sample);
+    hi = std::max(hi, sample);
+  }
+  EXPECT_LT(lo, truth * 0.99);
+  EXPECT_GT(hi, truth * 1.01);
+  EXPECT_DOUBLE_EQ(oracle.measurement_noise(), 0.25);
+}
+
+TEST(RttOracle, ProbeNearestUsesNoisyReadings) {
+  const Topology t = tiny_with_latencies(11);
+  RttOracle oracle(t);
+  oracle.set_measurement_noise(0.9, 7);  // extreme noise
+  const std::vector<HostId> candidates = {10, 20, 30, 40, 50};
+  // With heavy noise the noisy argmin must disagree with the true argmin
+  // at least once over repeated trials.
+  const HostId truth = oracle.nearest(0, candidates);
+  bool disagreed = false;
+  for (int i = 0; i < 50 && !disagreed; ++i)
+    disagreed = oracle.probe_nearest(0, candidates) != truth;
+  EXPECT_TRUE(disagreed);
+}
+
+TEST(RttOracle, WarmPrecomputesRows) {
+  const Topology t = tiny_with_latencies(9);
+  RttOracle oracle(t);
+  const std::vector<HostId> sources = {0, 1, 2};
+  oracle.warm(sources);
+  EXPECT_EQ(oracle.dijkstra_runs(), 3u);
+  oracle.latency_ms(1, 50);
+  EXPECT_EQ(oracle.dijkstra_runs(), 3u);
+}
+
+}  // namespace
+}  // namespace topo::net

@@ -1,0 +1,125 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "util/rng.hpp"
+
+namespace topo::net {
+namespace {
+
+/// Reference: Bellman-Ford (O(VE), fine for tiny graphs).
+std::vector<double> bellman_ford(const Topology& t, HostId source) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(t.host_count(), kInf);
+  dist[source] = 0.0;
+  for (std::size_t pass = 0; pass + 1 < t.host_count(); ++pass) {
+    bool changed = false;
+    for (const Link& link : t.links()) {
+      if (dist[link.a] + link.latency_ms < dist[link.b]) {
+        dist[link.b] = dist[link.a] + link.latency_ms;
+        changed = true;
+      }
+      if (dist[link.b] + link.latency_ms < dist[link.a]) {
+        dist[link.a] = dist[link.b] + link.latency_ms;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+Topology random_topology(std::uint64_t seed, LatencyModel model) {
+  util::Rng rng(seed);
+  Topology t = generate_transit_stub(tsk_tiny(), rng);
+  assign_latencies(t, model, rng);
+  return t;
+}
+
+class DijkstraVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraVsReference, MatchesBellmanFord) {
+  const Topology t = random_topology(GetParam(), LatencyModel::kGtItmRandom);
+  util::Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto source = static_cast<HostId>(rng.next_u64(t.host_count()));
+    const auto fast = dijkstra(t, source);
+    const auto reference = bellman_ford(t, source);
+    ASSERT_EQ(fast.size(), reference.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i], reference[i], 1e-9) << "host " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42));
+
+TEST(Dijkstra, SelfDistanceZero) {
+  const Topology t = random_topology(9, LatencyModel::kManual);
+  EXPECT_DOUBLE_EQ(dijkstra(t, 0)[0], 0.0);
+}
+
+TEST(Dijkstra, SymmetricOnUndirectedGraph) {
+  const Topology t = random_topology(13, LatencyModel::kGtItmRandom);
+  const auto from_zero = dijkstra(t, 0);
+  const auto from_ten = dijkstra(t, 10);
+  EXPECT_NEAR(from_zero[10], from_ten[0], 1e-9);
+}
+
+TEST(Dijkstra, TriangleInequalityHoldsOnShortestPaths) {
+  const Topology t = random_topology(17, LatencyModel::kGtItmRandom);
+  const auto d0 = dijkstra(t, 0);
+  const auto d5 = dijkstra(t, 5);
+  for (HostId k = 0; k < t.host_count(); ++k)
+    EXPECT_LE(d0[5], d0[k] + d5[k] + 1e-9);
+}
+
+TEST(DijkstraWithin, TruncatesBeyondRadius) {
+  const Topology t = random_topology(19, LatencyModel::kManual);
+  const auto full = dijkstra(t, 0);
+  double radius = 0.0;
+  for (double d : full)
+    if (d < std::numeric_limits<double>::infinity()) radius = std::max(radius, d);
+  radius /= 2.0;
+  const auto truncated = dijkstra_within(t, 0, radius);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i] <= radius)
+      EXPECT_NEAR(truncated[i], full[i], 1e-9);
+    else
+      EXPECT_TRUE(std::isinf(truncated[i]));
+  }
+}
+
+TEST(HostsWithinHops, RadiusZeroIsSelf) {
+  const Topology t = random_topology(23, LatencyModel::kManual);
+  const auto hosts = hosts_within_hops(t, 3, 0);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], 3u);
+}
+
+TEST(HostsWithinHops, RadiusOneIsNeighbors) {
+  const Topology t = random_topology(29, LatencyModel::kManual);
+  const auto hosts = hosts_within_hops(t, 3, 1);
+  EXPECT_EQ(hosts.size(), 1 + t.neighbors(3).size());
+}
+
+TEST(HostsWithinHops, GrowsMonotonicallyToWholeGraph) {
+  const Topology t = random_topology(31, LatencyModel::kManual);
+  std::size_t previous = 0;
+  for (int radius = 0; radius < 64; ++radius) {
+    const auto hosts = hosts_within_hops(t, 0, radius);
+    EXPECT_GE(hosts.size(), previous);
+    previous = hosts.size();
+    if (hosts.size() == t.host_count()) break;
+  }
+  EXPECT_EQ(previous, t.host_count());  // graph diameter < 64 hops
+}
+
+}  // namespace
+}  // namespace topo::net

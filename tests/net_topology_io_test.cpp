@@ -1,0 +1,120 @@
+#include "net/topology_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::net {
+namespace {
+
+Topology sample_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Topology t = generate_transit_stub(tsk_tiny(), rng);
+  assign_latencies(t, LatencyModel::kGtItmRandom, rng);
+  return t;
+}
+
+TEST(TopologyIo, RoundTripPreservesEverything) {
+  const Topology original = sample_topology(1);
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const Topology loaded = load_topology(buffer);
+
+  ASSERT_EQ(loaded.host_count(), original.host_count());
+  ASSERT_EQ(loaded.link_count(), original.link_count());
+  for (HostId h = 0; h < original.host_count(); ++h) {
+    EXPECT_EQ(loaded.host(h).kind, original.host(h).kind);
+    EXPECT_EQ(loaded.host(h).transit_domain, original.host(h).transit_domain);
+    EXPECT_EQ(loaded.host(h).stub_domain, original.host(h).stub_domain);
+  }
+  for (std::size_t i = 0; i < original.link_count(); ++i) {
+    EXPECT_EQ(loaded.links()[i].a, original.links()[i].a);
+    EXPECT_EQ(loaded.links()[i].b, original.links()[i].b);
+    EXPECT_EQ(loaded.links()[i].link_class, original.links()[i].link_class);
+    EXPECT_DOUBLE_EQ(loaded.links()[i].latency_ms,
+                     original.links()[i].latency_ms);
+  }
+  EXPECT_TRUE(loaded.is_connected());
+}
+
+TEST(TopologyIo, CommentsAndBlankLinesIgnored) {
+  const Topology original = sample_topology(2);
+  std::stringstream buffer;
+  buffer << "# a comment\n\n";
+  save_topology(original, buffer);
+  const Topology loaded = load_topology(buffer);
+  EXPECT_EQ(loaded.host_count(), original.host_count());
+}
+
+TEST(TopologyIo, RejectsMissingHeader) {
+  std::stringstream buffer("hosts 0\nlinks 0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsTruncatedHosts) {
+  std::stringstream buffer("topo-overlay-topology v1\nhosts 3\nh 0 0 -1\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsBadLinkEndpoints) {
+  std::stringstream buffer(
+      "topo-overlay-topology v1\n"
+      "hosts 2\nh 0 0 -1\nh 1 0 0\n"
+      "links 1\nl 0 5 2 1.0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsSelfLink) {
+  std::stringstream buffer(
+      "topo-overlay-topology v1\n"
+      "hosts 2\nh 0 0 -1\nh 1 0 0\n"
+      "links 1\nl 1 1 2 1.0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsNegativeLatency) {
+  std::stringstream buffer(
+      "topo-overlay-topology v1\n"
+      "hosts 2\nh 0 0 -1\nh 1 0 0\n"
+      "links 1\nl 0 1 2 -5\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsBadLinkClass) {
+  std::stringstream buffer(
+      "topo-overlay-topology v1\n"
+      "hosts 2\nh 0 0 -1\nh 1 0 0\n"
+      "links 1\nl 0 1 9 1.0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, FileRoundTrip) {
+  const Topology original = sample_topology(3);
+  const std::string path = ::testing::TempDir() + "/topo_io_test.topo";
+  save_topology_file(original, path);
+  const Topology loaded = load_topology_file(path);
+  EXPECT_EQ(loaded.host_count(), original.host_count());
+  EXPECT_EQ(loaded.link_count(), original.link_count());
+}
+
+TEST(TopologyIo, MissingFileThrows) {
+  EXPECT_THROW(load_topology_file("/nonexistent/nope.topo"),
+               std::runtime_error);
+}
+
+TEST(TopologyIo, EmptyTopologyRoundTrips) {
+  Topology empty;
+  empty.freeze();
+  std::stringstream buffer;
+  save_topology(empty, buffer);
+  const Topology loaded = load_topology(buffer);
+  EXPECT_EQ(loaded.host_count(), 0u);
+  EXPECT_EQ(loaded.link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace topo::net

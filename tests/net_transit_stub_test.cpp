@@ -1,0 +1,144 @@
+#include "net/transit_stub.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace topo::net {
+namespace {
+
+TEST(TransitStubPresets, HostCountsMatchPaperScale) {
+  EXPECT_EQ(tsk_large().total_hosts(), 32 + 9984);
+  EXPECT_EQ(tsk_small().total_hosts(), 8 + 9984);
+  // The contrast the paper relies on: same edge size, different backbones.
+  EXPECT_GT(tsk_large().transit_domains, tsk_small().transit_domains);
+  EXPECT_LT(tsk_large().hosts_per_stub, tsk_small().hosts_per_stub);
+}
+
+class TransitStubStructure
+    : public ::testing::TestWithParam<std::pair<const char*, std::uint64_t>> {
+ protected:
+  TransitStubConfig config() const {
+    const std::string name = GetParam().first;
+    if (name == "tiny") return tsk_tiny();
+    TransitStubConfig c = tsk_tiny();
+    if (name == "multihomed") {
+      c.stub_multihome_probability = 0.5;
+      c.name = "multihomed";
+    }
+    if (name == "single-domain") {
+      c.transit_domains = 1;
+      c.name = "single-domain";
+    }
+    if (name == "one-host-stubs") {
+      c.hosts_per_stub = 1;
+      c.name = "one-host-stubs";
+    }
+    return c;
+  }
+};
+
+TEST_P(TransitStubStructure, GeneratesValidTopology) {
+  util::Rng rng(GetParam().second);
+  const TransitStubConfig c = config();
+  const Topology t = generate_transit_stub(c, rng);
+
+  EXPECT_EQ(static_cast<int>(t.host_count()), c.total_hosts());
+  EXPECT_TRUE(t.is_connected());
+
+  // Transit / stub counts.
+  const auto transit = t.hosts_of_kind(HostKind::kTransit);
+  EXPECT_EQ(static_cast<int>(transit.size()),
+            c.transit_domains * c.transit_nodes_per_domain);
+
+  // Stub domains are correctly sized and homogeneous.
+  std::map<int, int> stub_sizes;
+  for (HostId h = 0; h < t.host_count(); ++h) {
+    const HostInfo& info = t.host(h);
+    if (info.kind == HostKind::kStub) {
+      ASSERT_GE(info.stub_domain, 0);
+      ++stub_sizes[info.stub_domain];
+    }
+  }
+  const int expected_stub_domains = c.transit_domains *
+                                    c.transit_nodes_per_domain *
+                                    c.stub_domains_per_transit;
+  EXPECT_EQ(static_cast<int>(stub_sizes.size()), expected_stub_domains);
+  for (const auto& [domain, size] : stub_sizes) {
+    (void)domain;
+    EXPECT_EQ(size, c.hosts_per_stub);
+  }
+}
+
+TEST_P(TransitStubStructure, LinkClassesAreConsistent) {
+  util::Rng rng(GetParam().second);
+  const TransitStubConfig c = config();
+  const Topology t = generate_transit_stub(c, rng);
+
+  for (const Link& link : t.links()) {
+    const HostInfo& a = t.host(link.a);
+    const HostInfo& b = t.host(link.b);
+    switch (link.link_class) {
+      case LinkClass::kInterTransit:
+        EXPECT_EQ(a.kind, HostKind::kTransit);
+        EXPECT_EQ(b.kind, HostKind::kTransit);
+        EXPECT_NE(a.transit_domain, b.transit_domain);
+        break;
+      case LinkClass::kIntraTransit:
+        EXPECT_EQ(a.kind, HostKind::kTransit);
+        EXPECT_EQ(b.kind, HostKind::kTransit);
+        EXPECT_EQ(a.transit_domain, b.transit_domain);
+        break;
+      case LinkClass::kTransitStub:
+        EXPECT_NE(a.kind, b.kind);
+        break;
+      case LinkClass::kIntraStub:
+        EXPECT_EQ(a.kind, HostKind::kStub);
+        EXPECT_EQ(b.kind, HostKind::kStub);
+        EXPECT_EQ(a.stub_domain, b.stub_domain);
+        break;
+    }
+  }
+}
+
+TEST_P(TransitStubStructure, DeterministicGivenSeed) {
+  const TransitStubConfig c = config();
+  util::Rng rng1(GetParam().second);
+  util::Rng rng2(GetParam().second);
+  const Topology t1 = generate_transit_stub(c, rng1);
+  const Topology t2 = generate_transit_stub(c, rng2);
+  ASSERT_EQ(t1.link_count(), t2.link_count());
+  for (std::size_t i = 0; i < t1.link_count(); ++i) {
+    EXPECT_EQ(t1.links()[i].a, t2.links()[i].a);
+    EXPECT_EQ(t1.links()[i].b, t2.links()[i].b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, TransitStubStructure,
+    ::testing::Values(std::make_pair("tiny", 1ULL),
+                      std::make_pair("tiny", 99ULL),
+                      std::make_pair("multihomed", 2ULL),
+                      std::make_pair("single-domain", 3ULL),
+                      std::make_pair("one-host-stubs", 4ULL)),
+    [](const auto& info) {
+      std::string name = std::string(info.param.first) + "_seed" +
+                         std::to_string(info.param.second);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(TransitStubFull, PaperScaleTopologiesGenerate) {
+  // The two ~10k-host presets build and are connected (used by benches).
+  for (const TransitStubConfig& c : {tsk_large(), tsk_small()}) {
+    util::Rng rng(7);
+    const Topology t = generate_transit_stub(c, rng);
+    EXPECT_EQ(static_cast<int>(t.host_count()), c.total_hosts());
+    EXPECT_TRUE(t.is_connected());
+  }
+}
+
+}  // namespace
+}  // namespace topo::net

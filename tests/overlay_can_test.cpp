@@ -1,0 +1,225 @@
+#include "overlay/can.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace topo::overlay {
+namespace {
+
+geom::Point make_point(double x, double y) {
+  geom::Point p(2);
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+TEST(Can, FirstJoinOwnsWholeSpace) {
+  CanNetwork can(2);
+  const NodeId id = can.join(0, make_point(0.3, 0.3));
+  EXPECT_EQ(can.size(), 1u);
+  EXPECT_DOUBLE_EQ(can.node(id).zone.volume(), 1.0);
+  EXPECT_TRUE(can.node(id).neighbors.empty());
+}
+
+TEST(Can, SecondJoinSplitsInHalf) {
+  CanNetwork can(2);
+  const NodeId a = can.join(0, make_point(0.1, 0.1));
+  const NodeId b = can.join(1, make_point(0.9, 0.9));
+  EXPECT_DOUBLE_EQ(can.node(a).zone.volume(), 0.5);
+  EXPECT_DOUBLE_EQ(can.node(b).zone.volume(), 0.5);
+  // The joiner takes the half containing its point.
+  EXPECT_TRUE(can.node(b).zone.contains(make_point(0.9, 0.9)));
+  EXPECT_TRUE(can.node(a).zone.contains(make_point(0.1, 0.1)));
+  // They are each other's neighbors.
+  EXPECT_EQ(can.node(a).neighbors, std::vector<NodeId>{b});
+  EXPECT_EQ(can.node(b).neighbors, std::vector<NodeId>{a});
+}
+
+TEST(Can, OwnerOfFindsCorrectZone) {
+  CanNetwork can(2);
+  util::Rng rng(3);
+  std::vector<NodeId> nodes;
+  for (net::HostId h = 0; h < 50; ++h)
+    nodes.push_back(can.join_random(h, rng));
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Point p = geom::Point::random(2, rng);
+    const NodeId owner = can.owner_of(p);
+    EXPECT_TRUE(can.node(owner).zone.contains(p));
+  }
+}
+
+TEST(Can, InvariantsAfterJoins) {
+  CanNetwork can(2);
+  util::Rng rng(5);
+  for (net::HostId h = 0; h < 64; ++h) {
+    can.join_random(h, rng);
+    if (h % 16 == 15) {
+      EXPECT_TRUE(can.check_invariants());
+    }
+  }
+  EXPECT_TRUE(can.check_invariants());
+}
+
+TEST(Can, RoutingReachesOwner) {
+  CanNetwork can(2);
+  util::Rng rng(7);
+  for (net::HostId h = 0; h < 100; ++h) can.join_random(h, rng);
+  const auto live = can.live_nodes();
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(2, rng);
+    const RouteResult route = can.route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.front(), from);
+    EXPECT_EQ(route.path.back(), can.owner_of(key));
+    // Path steps are actual neighbor links.
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      const auto& neighbors = can.node(route.path[i - 1]).neighbors;
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), route.path[i]),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(Can, RouteToOwnKeyIsZeroHops) {
+  CanNetwork can(2);
+  util::Rng rng(9);
+  for (net::HostId h = 0; h < 20; ++h) can.join_random(h, rng);
+  const NodeId node = can.live_nodes()[0];
+  const RouteResult route = can.route(node, can.node(node).zone.center());
+  EXPECT_TRUE(route.success);
+  EXPECT_EQ(route.hops(), 0u);
+}
+
+TEST(Can, LeaveWithLeafBuddyMerges) {
+  CanNetwork can(2);
+  const NodeId a = can.join(0, make_point(0.1, 0.1));
+  const NodeId b = can.join(1, make_point(0.9, 0.9));
+  const auto report = can.leave(b);
+  EXPECT_EQ(report.taker, a);
+  EXPECT_EQ(report.moved, kInvalidNode);
+  EXPECT_DOUBLE_EQ(can.node(a).zone.volume(), 1.0);
+  EXPECT_FALSE(can.alive(b));
+  EXPECT_TRUE(can.check_invariants());
+}
+
+TEST(Can, LeaveLastNodeEmptiesNetwork) {
+  CanNetwork can(2);
+  const NodeId a = can.join(0, make_point(0.5, 0.5));
+  can.leave(a);
+  EXPECT_EQ(can.size(), 0u);
+  EXPECT_TRUE(can.empty());
+  // The network is reusable afterwards.
+  const NodeId b = can.join(1, make_point(0.2, 0.2));
+  EXPECT_DOUBLE_EQ(can.node(b).zone.volume(), 1.0);
+}
+
+TEST(Can, LeaveWithDeepBuddyUsesHandoff) {
+  CanNetwork can(2);
+  util::Rng rng(11);
+  // Build an intentionally unbalanced tree: many nodes in one corner.
+  const NodeId first = can.join(0, make_point(0.9, 0.9));
+  for (net::HostId h = 1; h < 20; ++h) {
+    geom::Point p = geom::Point::random(2, rng);
+    p[0] *= 0.25;  // crowd the left edge
+    p[1] *= 0.25;
+    can.join(h, p);
+  }
+  // Departure of the big-zone node requires a deepest-buddy handoff.
+  const auto report = can.leave(first);
+  EXPECT_NE(report.taker, kInvalidNode);
+  EXPECT_TRUE(can.check_invariants());
+}
+
+TEST(Can, ChurnPropertyInvariantsHold) {
+  util::Rng rng(13);
+  CanNetwork can(2);
+  std::vector<NodeId> live;
+  net::HostId next_host = 0;
+  for (int step = 0; step < 400; ++step) {
+    const bool join = live.size() < 4 || rng.next_bool(0.6);
+    if (join) {
+      live.push_back(can.join_random(next_host++, rng));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      can.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (step % 50 == 49) {
+      ASSERT_TRUE(can.check_invariants()) << step;
+    }
+  }
+  EXPECT_TRUE(can.check_invariants());
+  EXPECT_EQ(can.size(), live.size());
+}
+
+TEST(Can, ChurnRoutingStillWorks) {
+  util::Rng rng(17);
+  CanNetwork can(3);  // exercise a higher dimension
+  std::vector<NodeId> live;
+  net::HostId next_host = 0;
+  for (int step = 0; step < 200; ++step) {
+    if (live.size() < 4 || rng.next_bool(0.55)) {
+      live.push_back(can.join_random(next_host++, rng));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      can.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(3, rng);
+    const RouteResult route = can.route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), can.owner_of(key));
+  }
+}
+
+TEST(Can, GreedyNextHopMakesProgress) {
+  CanNetwork can(2);
+  util::Rng rng(19);
+  for (net::HostId h = 0; h < 60; ++h) can.join_random(h, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto live = can.live_nodes();
+    const NodeId from = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(2, rng);
+    if (can.node(from).zone.contains(key)) continue;
+    const NodeId next = can.greedy_next_hop(from, key);
+    ASSERT_NE(next, kInvalidNode);
+    EXPECT_LT(can.node(next).zone.distance_to(key),
+              can.node(from).zone.distance_to(key));
+  }
+}
+
+TEST(Can, HigherDimensionalJoinAndRoute) {
+  for (std::size_t dims : {1UL, 4UL, 5UL}) {
+    CanNetwork can(dims);
+    util::Rng rng(21 + dims);
+    for (net::HostId h = 0; h < 40; ++h) can.join_random(h, rng);
+    EXPECT_TRUE(can.check_invariants());
+    const auto live = can.live_nodes();
+    const RouteResult route =
+        can.route(live[0], geom::Point::random(dims, rng));
+    EXPECT_TRUE(route.success);
+  }
+}
+
+TEST(Can, NodeIdsAreStableAcrossDepartures) {
+  CanNetwork can(2);
+  util::Rng rng(23);
+  const NodeId a = can.join_random(0, rng);
+  const NodeId b = can.join_random(1, rng);
+  const NodeId c = can.join_random(2, rng);
+  can.leave(b);
+  EXPECT_TRUE(can.alive(a));
+  EXPECT_FALSE(can.alive(b));
+  EXPECT_TRUE(can.alive(c));
+  const NodeId d = can.join_random(3, rng);
+  EXPECT_NE(d, b);  // ids never reused
+}
+
+}  // namespace
+}  // namespace topo::overlay

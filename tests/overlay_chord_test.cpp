@@ -1,0 +1,249 @@
+#include "overlay/chord.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topo::overlay {
+namespace {
+
+class FirstFinger final : public FingerSelector {
+ public:
+  NodeId select(NodeId, int, std::span<const NodeId> candidates) override {
+    return candidates.front();
+  }
+};
+
+TEST(Chord, JoinAssignsIdsAndRing) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 10);
+  const NodeId b = chord.join(1, 200);
+  EXPECT_EQ(chord.size(), 2u);
+  EXPECT_EQ(chord.node(a).id, 10u);
+  EXPECT_EQ(chord.node(b).id, 200u);
+  EXPECT_TRUE(chord.check_invariants());
+}
+
+TEST(Chord, SuccessorOfWrapsAroundRing) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 10);
+  const NodeId b = chord.join(1, 200);
+  EXPECT_EQ(chord.successor_of(5), a);
+  EXPECT_EQ(chord.successor_of(10), a);   // inclusive
+  EXPECT_EQ(chord.successor_of(11), b);
+  EXPECT_EQ(chord.successor_of(201), a);  // wrap
+  EXPECT_EQ(chord.successor_of(255), a);
+}
+
+TEST(Chord, SuccessorNodeIsNextOnRing) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 10);
+  const NodeId b = chord.join(1, 100);
+  const NodeId c = chord.join(2, 200);
+  EXPECT_EQ(chord.successor_node(a), b);
+  EXPECT_EQ(chord.successor_node(b), c);
+  EXPECT_EQ(chord.successor_node(c), a);
+}
+
+TEST(Chord, SingleNodeOwnsEverything) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 42);
+  EXPECT_EQ(chord.successor_of(0), a);
+  EXPECT_EQ(chord.successor_of(255), a);
+  EXPECT_EQ(chord.successor_node(a), a);
+  const RouteResult route = chord.route(a, 7);
+  EXPECT_TRUE(route.success);
+  EXPECT_EQ(route.hops(), 0u);
+}
+
+TEST(Chord, ClockwiseDistanceAndArc) {
+  ChordNetwork chord(8);
+  EXPECT_EQ(chord.clockwise_distance(10, 20), 10u);
+  EXPECT_EQ(chord.clockwise_distance(250, 4), 10u);
+  EXPECT_TRUE(chord.in_arc(3, 250, 10));
+  EXPECT_FALSE(chord.in_arc(20, 250, 10));
+  EXPECT_FALSE(chord.in_arc(10, 250, 10));  // hi exclusive
+  EXPECT_TRUE(chord.in_arc(250, 250, 10));  // lo inclusive
+}
+
+TEST(Chord, NodesInIntervalRespectsWrapAndLimit) {
+  ChordNetwork chord(8);
+  chord.join(0, 10);
+  const NodeId b = chord.join(1, 100);
+  const NodeId c = chord.join(2, 200);
+  const auto wrap = chord.nodes_in_interval(150, 50);
+  ASSERT_EQ(wrap.size(), 2u);  // 200 and 10
+  EXPECT_EQ(wrap[0], c);
+  const auto limited = chord.nodes_in_interval(0, 255, 1);
+  ASSERT_EQ(limited.size(), 1u);
+  const auto mid = chord.nodes_in_interval(50, 150);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0], b);
+  EXPECT_TRUE(chord.nodes_in_interval(20, 90).empty());
+}
+
+TEST(Chord, FingerIntervalsTileHalfRing) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 0);
+  // Finger intervals [2^i, 2^(i+1)) tile [1, 256) minus [1,2) start at 1.
+  ChordId expected_lo = 1;
+  for (int i = 0; i < 8; ++i) {
+    const auto [lo, hi] = chord.finger_interval(a, i);
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_EQ(chord.clockwise_distance(lo, hi), ChordId{1} << i);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 0u);  // wrapped exactly once around
+}
+
+TEST(Chord, BuildFingersLandInIntervals) {
+  ChordNetwork chord(10);
+  util::Rng rng(3);
+  for (int i = 0; i < 64; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  FirstFinger selector;
+  chord.build_all_fingers(selector);
+  EXPECT_TRUE(chord.check_invariants());
+}
+
+TEST(Chord, RoutingReachesResponsibleNode) {
+  ChordNetwork chord(16);
+  util::Rng rng(5);
+  for (int i = 0; i < 128; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  FirstFinger selector;
+  chord.build_all_fingers(selector);
+  const auto live = chord.live_nodes();
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const ChordId key = rng.next_u64(chord.ring_size());
+    const RouteResult route = chord.route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), chord.successor_of(key));
+  }
+}
+
+TEST(Chord, RoutingIsLogarithmic) {
+  ChordNetwork chord(20);
+  util::Rng rng(7);
+  for (int i = 0; i < 1024; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  FirstFinger selector;
+  chord.build_all_fingers(selector);
+  const auto live = chord.live_nodes();
+  util::Samples hops;
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const RouteResult route =
+        chord.route(from, rng.next_u64(chord.ring_size()));
+    ASSERT_TRUE(route.success);
+    hops.add(static_cast<double>(route.hops()));
+  }
+  // log2(1024)/2 = 5 expected; allow generous headroom.
+  EXPECT_LT(hops.mean(), 8.0);
+}
+
+TEST(Chord, RoutingWithoutFingersWalksSuccessors) {
+  ChordNetwork chord(10);
+  util::Rng rng(9);
+  for (int i = 0; i < 32; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  // No fingers built at all: successor walking still delivers.
+  const auto live = chord.live_nodes();
+  const RouteResult route =
+      chord.route(live[0], rng.next_u64(chord.ring_size()));
+  EXPECT_TRUE(route.success);
+}
+
+TEST(Chord, LeaveTransfersResponsibility) {
+  ChordNetwork chord(8);
+  const NodeId a = chord.join(0, 10);
+  const NodeId b = chord.join(1, 100);
+  chord.join(2, 200);
+  EXPECT_EQ(chord.successor_of(50), b);
+  chord.leave(b);
+  EXPECT_FALSE(chord.alive(b));
+  EXPECT_EQ(chord.successor_of(50), chord.successor_of(150));
+  EXPECT_TRUE(chord.check_invariants());
+  (void)a;
+}
+
+TEST(Chord, DeadFingersSkippedAndCounted) {
+  ChordNetwork chord(16);
+  util::Rng rng(11);
+  for (int i = 0; i < 128; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  FirstFinger selector;
+  chord.build_all_fingers(selector);
+  auto live = chord.live_nodes();
+  rng.shuffle(live);
+  for (int i = 0; i < 32; ++i) chord.leave(live[static_cast<std::size_t>(i)]);
+  const auto survivors = chord.live_nodes();
+  int delivered = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId from = survivors[rng.next_u64(survivors.size())];
+    if (chord.route(from, rng.next_u64(chord.ring_size())).success)
+      ++delivered;
+  }
+  EXPECT_EQ(delivered, 100);
+  EXPECT_GT(chord.broken_finger_encounters(), 0u);
+}
+
+TEST(Chord, RefreshFingerReplacesDeadEntry) {
+  ChordNetwork chord(12);
+  util::Rng rng(13);
+  for (int i = 0; i < 64; ++i)
+    chord.join_random(static_cast<net::HostId>(i), rng);
+  FirstFinger selector;
+  chord.build_all_fingers(selector);
+  // Find a node with a live finger, kill the finger, refresh.
+  for (const NodeId n : chord.live_nodes()) {
+    for (int i = 11; i >= 0; --i) {
+      const NodeId finger = chord.node(n).fingers[static_cast<std::size_t>(i)];
+      if (finger == kInvalidNode || finger == n) continue;
+      chord.leave(finger);
+      chord.refresh_finger(n, i, selector);
+      const NodeId fresh = chord.node(n).fingers[static_cast<std::size_t>(i)];
+      EXPECT_NE(fresh, finger);
+      return;
+    }
+  }
+  FAIL() << "no live finger found";
+}
+
+TEST(Chord, ChurnKeepsInvariantsWithRebuilds) {
+  ChordNetwork chord(16);
+  util::Rng rng(17);
+  FirstFinger selector;
+  std::vector<NodeId> live;
+  net::HostId next_host = 0;
+  for (int step = 0; step < 200; ++step) {
+    if (live.size() < 4 || rng.next_bool(0.6)) {
+      live.push_back(chord.join_random(next_host++, rng));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      chord.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (step % 50 == 49) {
+      chord.build_all_fingers(selector);
+      ASSERT_TRUE(chord.check_invariants()) << "step " << step;
+    }
+  }
+}
+
+TEST(Chord, UniqueRandomIds) {
+  ChordNetwork chord(8);  // tiny ring: collisions certain to be retried
+  util::Rng rng(19);
+  std::set<ChordId> ids;
+  for (int i = 0; i < 100; ++i) {
+    const NodeId n = chord.join_random(static_cast<net::HostId>(i), rng);
+    EXPECT_TRUE(ids.insert(chord.node(n).id).second);
+  }
+}
+
+}  // namespace
+}  // namespace topo::overlay

@@ -1,0 +1,207 @@
+#include "overlay/pastry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topo::overlay {
+namespace {
+
+class FirstSlot final : public RoutingSlotSelector {
+ public:
+  NodeId select(NodeId, int, int,
+                std::span<const NodeId> candidates) override {
+    return candidates.front();
+  }
+};
+
+TEST(Pastry, DigitExtraction) {
+  PastryNetwork pastry(16, 4);
+  EXPECT_EQ(pastry.digits(), 4);
+  EXPECT_EQ(pastry.base(), 16);
+  const PastryId id = 0xA3F0;
+  EXPECT_EQ(pastry.digit(id, 0), 0xA);
+  EXPECT_EQ(pastry.digit(id, 1), 0x3);
+  EXPECT_EQ(pastry.digit(id, 2), 0xF);
+  EXPECT_EQ(pastry.digit(id, 3), 0x0);
+}
+
+TEST(Pastry, SharedPrefixDigits) {
+  PastryNetwork pastry(16, 4);
+  EXPECT_EQ(pastry.shared_prefix_digits(0xA3F0, 0xA3F0), 4);
+  EXPECT_EQ(pastry.shared_prefix_digits(0xA3F0, 0xA3F1), 3);
+  EXPECT_EQ(pastry.shared_prefix_digits(0xA3F0, 0xA400), 1);
+  EXPECT_EQ(pastry.shared_prefix_digits(0xA3F0, 0xA3C0), 2);
+  EXPECT_EQ(pastry.shared_prefix_digits(0xA3F0, 0xB3F0), 0);
+}
+
+TEST(Pastry, SlotRange) {
+  PastryNetwork pastry(16, 4);
+  // Row 0, column 7: ids starting with digit 7.
+  auto [lo0, hi0] = pastry.slot_range(0xA3F0, 0, 7);
+  EXPECT_EQ(lo0, 0x7000u);
+  EXPECT_EQ(hi0, 0x8000u);
+  // Row 1 of 0xA3F0, column 5: ids 0xA5xx.
+  auto [lo1, hi1] = pastry.slot_range(0xA3F0, 1, 5);
+  EXPECT_EQ(lo1, 0xA500u);
+  EXPECT_EQ(hi1, 0xA600u);
+  // Deepest row.
+  auto [lo3, hi3] = pastry.slot_range(0xA3F0, 3, 0xC);
+  EXPECT_EQ(lo3, 0xA3FCu);
+  EXPECT_EQ(hi3, 0xA3FDu);
+}
+
+TEST(Pastry, NumericallyClosestWithWrapAndTies) {
+  PastryNetwork pastry(8, 4);
+  const NodeId a = pastry.join(0, 10);
+  const NodeId b = pastry.join(1, 250);
+  EXPECT_EQ(pastry.numerically_closest(5), a);
+  EXPECT_EQ(pastry.numerically_closest(253), b);
+  EXPECT_EQ(pastry.numerically_closest(1), b);  // wrap: 250 is 7 away, 10 is 9
+  EXPECT_EQ(pastry.numerically_closest(2), a);  // tie (8 vs 8): lower id wins
+  // Tie at 130: distances 120 each; lower id wins.
+  EXPECT_EQ(pastry.numerically_closest(130), a);
+}
+
+TEST(Pastry, LeafSetIsRingNeighbors) {
+  PastryNetwork pastry(8, 4, /*leaf_set_half=*/2);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(pastry.join(static_cast<net::HostId>(i),
+                              static_cast<PastryId>(i * 32)));
+  const auto leaves = pastry.leaf_set(ids[0]);  // id 0
+  // Two successors (32, 64) and two predecessors (224, 192).
+  std::set<PastryId> leaf_ids;
+  for (const auto n : leaves) leaf_ids.insert(pastry.node(n).id);
+  EXPECT_EQ(leaf_ids, (std::set<PastryId>{32, 64, 192, 224}));
+}
+
+TEST(Pastry, LeafSetTinyRing) {
+  PastryNetwork pastry(8, 4, 4);
+  const NodeId a = pastry.join(0, 10);
+  EXPECT_TRUE(pastry.leaf_set(a).empty());
+  const NodeId b = pastry.join(1, 200);
+  const auto leaves = pastry.leaf_set(a);
+  EXPECT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], b);
+}
+
+TEST(Pastry, BuildTablesRespectRegions) {
+  PastryNetwork pastry(16, 2);
+  util::Rng rng(3);
+  for (int i = 0; i < 128; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  EXPECT_TRUE(pastry.check_invariants());
+}
+
+TEST(Pastry, RoutingReachesNumericallyClosest) {
+  PastryNetwork pastry(24, 4);
+  util::Rng rng(5);
+  for (int i = 0; i < 256; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  const auto live = pastry.live_nodes();
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const PastryId key = rng.next_u64(pastry.ring_size());
+    const RouteResult route = pastry.route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), pastry.numerically_closest(key));
+  }
+}
+
+TEST(Pastry, RoutingIsLogarithmic) {
+  PastryNetwork pastry(32, 4);
+  util::Rng rng(7);
+  for (int i = 0; i < 1024; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  const auto live = pastry.live_nodes();
+  util::Samples hops;
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const RouteResult route =
+        pastry.route(from, rng.next_u64(pastry.ring_size()));
+    ASSERT_TRUE(route.success);
+    hops.add(static_cast<double>(route.hops()));
+  }
+  // log16(1024) = 2.5 expected; generous bound.
+  EXPECT_LT(hops.mean(), 5.0);
+}
+
+TEST(Pastry, RoutingSurvivesDeadSlots) {
+  PastryNetwork pastry(24, 4);
+  util::Rng rng(9);
+  for (int i = 0; i < 256; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  auto live = pastry.live_nodes();
+  rng.shuffle(live);
+  for (int i = 0; i < 64; ++i)
+    pastry.leave(live[static_cast<std::size_t>(i)]);
+  const auto survivors = pastry.live_nodes();
+  int delivered = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId from = survivors[rng.next_u64(survivors.size())];
+    if (pastry.route(from, rng.next_u64(pastry.ring_size())).success)
+      ++delivered;
+  }
+  EXPECT_EQ(delivered, 100);
+  EXPECT_GT(pastry.broken_slot_encounters(), 0u);
+}
+
+TEST(Pastry, RefreshSlotReplacesDeadEntry) {
+  PastryNetwork pastry(16, 2);
+  util::Rng rng(11);
+  for (int i = 0; i < 96; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  for (const NodeId n : pastry.live_nodes()) {
+    for (int row = 0; row < pastry.digits(); ++row) {
+      for (int column = 0; column < pastry.base(); ++column) {
+        const NodeId entry = pastry.table_entry(n, row, column);
+        if (entry == kInvalidNode || entry == n) continue;
+        pastry.leave(entry);
+        pastry.refresh_slot(n, row, column, selector);
+        EXPECT_NE(pastry.table_entry(n, row, column), entry);
+        return;
+      }
+    }
+  }
+  FAIL() << "no filled slot found";
+}
+
+TEST(Pastry, SingleNodeDelivery) {
+  PastryNetwork pastry(16, 4);
+  const NodeId only = pastry.join(0, 0x1234);
+  const RouteResult route = pastry.route(only, 0xFFFF);
+  EXPECT_TRUE(route.success);
+  EXPECT_EQ(route.hops(), 0u);
+}
+
+TEST(Pastry, OwnDigitColumnStaysEmpty) {
+  PastryNetwork pastry(16, 4);
+  util::Rng rng(13);
+  for (int i = 0; i < 64; ++i)
+    pastry.join_random(static_cast<net::HostId>(i), rng);
+  FirstSlot selector;
+  pastry.build_all_tables(selector);
+  for (const NodeId n : pastry.live_nodes()) {
+    const PastryId id = pastry.node(n).id;
+    for (int row = 0; row < pastry.digits(); ++row)
+      EXPECT_EQ(pastry.table_entry(n, row, pastry.digit(id, row)),
+                kInvalidNode);
+  }
+}
+
+}  // namespace
+}  // namespace topo::overlay

@@ -1,0 +1,73 @@
+#include "overlay/tacan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topo::overlay {
+namespace {
+
+TEST(Tacan, BinnedJoinLandsInSlice) {
+  CanNetwork can(2);
+  util::Rng rng(1);
+  // Fill bins 0..3 of 4 and check every node's zone-defining point.
+  for (std::size_t bin = 0; bin < 4; ++bin) {
+    for (net::HostId h = 0; h < 8; ++h) {
+      const NodeId id = join_binned(can, bin * 8 + h, bin, 4, rng);
+      const geom::Zone& zone = can.node(id).zone;
+      // The zone (after splits) must at least intersect the slice.
+      EXPECT_LT(zone.lo(0), (static_cast<double>(bin) + 1) / 4.0);
+      EXPECT_GT(zone.hi(0), static_cast<double>(bin) / 4.0);
+    }
+  }
+  EXPECT_TRUE(can.check_invariants());
+}
+
+TEST(Tacan, UniformJoinIsBalanced) {
+  CanNetwork can(2);
+  util::Rng rng(3);
+  for (net::HostId h = 0; h < 512; ++h) can.join_random(h, rng);
+  const ImbalanceReport report = measure_imbalance(can);
+  // Uniform random joins: top 1% of nodes hold a small share of space.
+  EXPECT_LT(report.top1pct_volume, 0.10);
+  EXPECT_LT(report.volume_gini, 0.75);
+}
+
+TEST(Tacan, ClusteredJoinIsSkewedVersusUniform) {
+  util::Rng rng(5);
+  // Geographic layout: 90% of nodes fall into one of 2 tiny bins out of
+  // 64, mimicking landmark-ordering clustering.
+  CanNetwork clustered(2);
+  for (net::HostId h = 0; h < 512; ++h) {
+    const std::size_t bin =
+        rng.next_bool(0.9) ? rng.next_u64(2) : rng.next_u64(64);
+    join_binned(clustered, h, bin, 64, rng);
+  }
+  CanNetwork uniform(2);
+  for (net::HostId h = 0; h < 512; ++h) uniform.join_random(h, rng);
+
+  const ImbalanceReport skewed = measure_imbalance(clustered);
+  const ImbalanceReport balanced = measure_imbalance(uniform);
+  EXPECT_GT(skewed.volume_gini, balanced.volume_gini);
+  EXPECT_GT(skewed.top5pct_volume, balanced.top5pct_volume);
+  // The intro's claim, qualitatively: a small elite holds most space.
+  EXPECT_GT(skewed.top10pct_volume, 0.5);
+}
+
+TEST(Tacan, EmptyNetworkReport) {
+  CanNetwork can(2);
+  const ImbalanceReport report = measure_imbalance(can);
+  EXPECT_EQ(report.volume_gini, 0.0);
+  EXPECT_EQ(report.max_neighbors, 0.0);
+}
+
+TEST(Tacan, NeighborStatsPopulated) {
+  CanNetwork can(2);
+  util::Rng rng(7);
+  for (net::HostId h = 0; h < 128; ++h) can.join_random(h, rng);
+  const ImbalanceReport report = measure_imbalance(can);
+  EXPECT_GT(report.mean_neighbors, 2.0);
+  EXPECT_GE(report.max_neighbors, report.p99_neighbors);
+  EXPECT_GE(report.p99_neighbors, report.mean_neighbors);
+}
+
+}  // namespace
+}  // namespace topo::overlay

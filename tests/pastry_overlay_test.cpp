@@ -1,0 +1,145 @@
+// End-to-end tests of the Pastry dynamic facade.
+#include "core/pastry_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::core {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+PastrySystemConfig small_config() {
+  PastrySystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  return config;
+}
+
+TEST(PastryOverlay, JoinPublishesIntoPrefixMaps) {
+  const net::Topology t = make_topology(1);
+  PastrySoftStateOverlay system(t, small_config());
+  util::Rng rng(10);
+  for (int i = 0; i < 64; ++i)
+    system.join(static_cast<net::HostId>(rng.next_u64(t.host_count())));
+  EXPECT_EQ(system.pastry().size(), 64u);
+  // One record per prefix row (4 by default) per node.
+  EXPECT_EQ(system.maps().total_entries(), 64u * 4u);
+  EXPECT_EQ(system.stats().joins, 64u);
+}
+
+TEST(PastryOverlay, LookupsReachOwner) {
+  const net::Topology t = make_topology(2);
+  PastrySoftStateOverlay system(t, small_config());
+  util::Rng rng(20);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 80; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto from = nodes[rng.next_u64(nodes.size())];
+    const auto key = rng.next_u64(system.pastry().ring_size());
+    const overlay::RouteResult route = system.lookup(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), system.pastry().numerically_closest(key));
+  }
+}
+
+TEST(PastryOverlay, LeaveScrubsOwnRecordsAndHandsStoreOver) {
+  const net::Topology t = make_topology(3);
+  PastrySoftStateOverlay system(t, small_config());
+  util::Rng rng(30);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 48; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  const std::size_t before = system.maps().total_entries();
+  system.leave(nodes[11]);
+  EXPECT_EQ(system.maps().total_entries(), before - 4);  // its 4 records
+  EXPECT_EQ(system.maps().store_size(nodes[11]), 0u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto from = nodes[rng.next_u64(nodes.size())];
+    if (!system.pastry().alive(from)) continue;
+    EXPECT_TRUE(
+        system.lookup(from, rng.next_u64(system.pastry().ring_size()))
+            .success);
+  }
+}
+
+TEST(PastryOverlay, CrashRecoversViaRepublish) {
+  const net::Topology t = make_topology(4);
+  PastrySystemConfig config = small_config();
+  config.ttl_ms = 8'000.0;
+  config.republish_interval_ms = 2'000.0;
+  PastrySoftStateOverlay system(t, config);
+  util::Rng rng(40);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 64; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+  rng.shuffle(nodes);
+  for (int i = 0; i < 16; ++i) system.crash(nodes[static_cast<std::size_t>(i)]);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto from = nodes[16 + rng.next_u64(nodes.size() - 16)];
+    ASSERT_TRUE(
+        system.lookup(from, rng.next_u64(system.pastry().ring_size()))
+            .success);
+  }
+  system.run_for(3'000.0);
+  // 48 survivors x 4 prefix rows, minus anything still decaying.
+  EXPECT_GE(system.maps().total_entries(), 48u * 3u);
+}
+
+TEST(PastryOverlay, ChurnStaysConsistent) {
+  const net::Topology t = make_topology(5);
+  PastrySystemConfig config = small_config();
+  config.ttl_ms = 20'000.0;
+  config.republish_interval_ms = 5'000.0;
+  PastrySoftStateOverlay system(t, config);
+  util::Rng rng(50);
+  std::vector<overlay::NodeId> live;
+  for (int step = 0; step < 200; ++step) {
+    const double dice = rng.next_double();
+    if (live.size() < 8 || dice < 0.5) {
+      live.push_back(system.join(
+          static_cast<net::HostId>(rng.next_u64(t.host_count()))));
+    } else if (dice < 0.75) {
+      const std::size_t pick = rng.next_u64(live.size());
+      system.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      system.crash(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    system.run_for(100.0);
+    if (step % 50 == 49) {
+      ASSERT_TRUE(system.maps().check_placement_invariant()) << "step " << step;
+      const auto from = live[rng.next_u64(live.size())];
+      ASSERT_TRUE(
+          system.lookup(from, rng.next_u64(system.pastry().ring_size()))
+              .success)
+          << "step " << step;
+    }
+  }
+  EXPECT_EQ(system.pastry().size(), live.size());
+}
+
+TEST(PastryOverlay, LastNodeLeaveIsClean) {
+  const net::Topology t = make_topology(6);
+  PastrySoftStateOverlay system(t, small_config());
+  const auto only = system.join(0);
+  system.leave(only);
+  EXPECT_EQ(system.pastry().size(), 0u);
+  EXPECT_EQ(system.maps().total_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace topo::core

@@ -1,0 +1,204 @@
+#include "core/pastry_selectors.hpp"
+#include "softstate/pastry_maps.hpp"
+
+#include <memory>
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::PastryNetwork> pastry;
+  std::unique_ptr<softstate::PastryMapService> maps;
+  core::PastryVectorStore vectors;
+  std::vector<overlay::NodeId> nodes;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 160) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 8, rng, {}));
+    pastry = std::make_unique<overlay::PastryNetwork>(24, 4);
+    core::FirstSlotSelector first;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(pastry->join_random(host, rng));
+    }
+    pastry->build_all_tables(first);
+    maps = std::make_unique<softstate::PastryMapService>(*pastry, *landmarks);
+    for (const auto id : nodes) {
+      vectors[id] = landmarks->measure(*oracle, pastry->node(id).host);
+      maps->publish(id, vectors[id], 0.0);
+    }
+  }
+};
+
+TEST(PastryMaps, PositionStaysInRegionAndPreservesOrder) {
+  Fixture f(1);
+  const int bits = f.landmarks->number_bits();
+  const auto small = util::BigUint(1) << (bits - 6);
+  const auto large = util::BigUint(40) << (bits - 6);
+  const auto p1 = f.maps->position_in(small, 0x100000, 0x200000);
+  const auto p2 = f.maps->position_in(large, 0x100000, 0x200000);
+  EXPECT_GE(p1, 0x100000u);
+  EXPECT_LT(p1, 0x200000u);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(PastryMaps, PublishCreatesOneEntryPerRow) {
+  Fixture f(2);
+  // Each node publishes into publish_rows maps (4 by default).
+  EXPECT_EQ(f.maps->total_entries(), f.nodes.size() * 4);
+}
+
+TEST(PastryMaps, RepublishReplaces) {
+  Fixture f(3);
+  const std::size_t before = f.maps->total_entries();
+  f.maps->publish(f.nodes[0], f.vectors[f.nodes[0]], 50.0);
+  EXPECT_EQ(f.maps->total_entries(), before);
+}
+
+TEST(PastryMaps, LookupReturnsRegionMembersSorted) {
+  Fixture f(4, 256);
+  const auto querier = f.nodes[0];
+  // Row-0 region of some other digit: a populated top-level region.
+  const auto id = f.pastry->node(querier).id;
+  const int own = f.pastry->digit(id, 0);
+  const int other = own == 0 ? 1 : 0;
+  const auto [lo, hi] = f.pastry->slot_range(id, 0, other);
+  const auto entries =
+      f.maps->lookup(querier, f.vectors[querier], 1, lo, hi, 0.0);
+  ASSERT_FALSE(entries.empty());
+  for (const auto& entry : entries) {
+    EXPECT_GE(f.pastry->node(entry.node).id, lo);
+    EXPECT_LT(f.pastry->node(entry.node).id, hi);
+  }
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_LE(proximity::vector_distance(entries[i - 1].vector,
+                                         f.vectors[querier]),
+              proximity::vector_distance(entries[i].vector,
+                                         f.vectors[querier]) +
+                  1e-12);
+}
+
+TEST(PastryMaps, TtlExpiryAndLazyDeletion) {
+  Fixture f(5);
+  EXPECT_GT(f.maps->total_entries(), 0u);
+  f.maps->expire_before(1e9);
+  EXPECT_EQ(f.maps->total_entries(), 0u);
+}
+
+TEST(PastryMaps, RemoveEverywhere) {
+  Fixture f(6);
+  const auto victim = f.nodes[2];
+  f.maps->remove_everywhere(victim);
+  const auto id = f.pastry->node(f.nodes[0]).id;
+  const int own = f.pastry->digit(id, 0);
+  for (int column = 0; column < f.pastry->base(); ++column) {
+    if (column == own) continue;
+    const auto [lo, hi] = f.pastry->slot_range(id, 0, column);
+    for (const auto& entry :
+         f.maps->lookup(f.nodes[0], f.vectors[f.nodes[0]], 1, lo, hi, 0.0))
+      EXPECT_NE(entry.node, victim);
+  }
+}
+
+TEST(PastryMaps, RehomeAfterOwnerDeparture) {
+  Fixture f(7);
+  overlay::NodeId owner = overlay::kInvalidNode;
+  for (const auto id : f.nodes)
+    if (f.maps->store_size(id) > 0) {
+      owner = id;
+      break;
+    }
+  ASSERT_NE(owner, overlay::kInvalidNode);
+  f.pastry->leave(owner);
+  f.maps->rehome_from(owner);
+  EXPECT_EQ(f.maps->store_size(owner), 0u);
+}
+
+TEST(PastrySelectors, OraclePicksClosest) {
+  Fixture f(8, 256);
+  core::OracleSlotSelector selector(*f.pastry, *f.oracle);
+  for (const auto n : f.nodes) {
+    const auto id = f.pastry->node(n).id;
+    const int own = f.pastry->digit(id, 0);
+    const int other = own == 0 ? 1 : 0;
+    const auto [lo, hi] = f.pastry->slot_range(id, 0, other);
+    auto candidates = f.pastry->nodes_in_range(lo, hi);
+    if (candidates.size() < 3) continue;
+    const auto pick = selector.select(n, 0, other, candidates);
+    const net::HostId from = f.pastry->node(n).host;
+    for (const auto c : candidates)
+      EXPECT_LE(f.oracle->latency_ms(from, f.pastry->node(pick).host),
+                f.oracle->latency_ms(from, f.pastry->node(c).host));
+    return;
+  }
+  GTEST_SKIP();
+}
+
+TEST(PastrySelectors, SoftStateTablesValidAndRoutingWorks) {
+  Fixture f(9, 256);
+  core::SoftStateSlotSelector selector(*f.pastry, *f.maps, *f.oracle,
+                                       f.vectors, 10, util::Rng(90));
+  f.pastry->build_all_tables(selector);
+  EXPECT_TRUE(f.pastry->check_invariants());
+  util::Rng rng(91);
+  const auto live = f.pastry->live_nodes();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto from = live[rng.next_u64(live.size())];
+    const auto key = rng.next_u64(f.pastry->ring_size());
+    const auto route = f.pastry->route(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), f.pastry->numerically_closest(key));
+  }
+}
+
+TEST(PastrySelectors, SoftStateImprovesStretchOverFirst) {
+  Fixture f(10, 256);
+
+  auto measure = [&](overlay::RoutingSlotSelector& selector) {
+    f.pastry->build_all_tables(selector);
+    util::Rng rng(101);
+    util::Samples stretch;
+    const auto live = f.pastry->live_nodes();
+    for (int q = 0; q < 400; ++q) {
+      const auto from = live[rng.next_u64(live.size())];
+      const auto key = rng.next_u64(f.pastry->ring_size());
+      const auto route = f.pastry->route(from, key);
+      if (!route.success || route.path.size() < 2) continue;
+      double path_latency = 0.0;
+      for (std::size_t i = 1; i < route.path.size(); ++i)
+        path_latency += f.oracle->latency_ms(
+            f.pastry->node(route.path[i - 1]).host,
+            f.pastry->node(route.path[i]).host);
+      const double direct = f.oracle->latency_ms(
+          f.pastry->node(from).host, f.pastry->node(route.path.back()).host);
+      if (direct <= 0.0) continue;
+      stretch.add(path_latency / direct);
+    }
+    return stretch.mean();
+  };
+
+  core::FirstSlotSelector first;
+  core::SoftStateSlotSelector soft(*f.pastry, *f.maps, *f.oracle, f.vectors,
+                                   16, util::Rng(102));
+  const double first_stretch = measure(first);
+  const double soft_stretch = measure(soft);
+  EXPECT_LT(soft_stretch, first_stretch);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,146 @@
+#include "proximity/hierarchical.hpp"
+
+#include <limits>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::proximity {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<HierarchicalLandmarks> landmarks;
+  std::vector<HierarchicalLandmarks::Record> database;
+
+  explicit Fixture(std::uint64_t seed) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<HierarchicalLandmarks>(
+        HierarchicalLandmarks::build(topology, 6, 3, rng));
+    for (net::HostId h = 1; h < topology.host_count(); h += 3)
+      database.push_back(HierarchicalLandmarks::Record{
+          h, landmarks->measure(*oracle, h)});
+  }
+};
+
+TEST(HierarchicalLandmarks, BuildsBothTiers) {
+  Fixture f(1);
+  EXPECT_EQ(f.landmarks->global_count(), 6);
+  EXPECT_EQ(f.landmarks->regions(), 3);  // tsk-tiny has 3 transit domains
+  for (int r = 0; r < f.landmarks->regions(); ++r) {
+    const auto& locals = f.landmarks->local_landmarks(r);
+    EXPECT_EQ(locals.size(), 3u);
+    // Local landmarks really live in their region.
+    for (const auto host : locals)
+      EXPECT_EQ(f.topology.host(host).transit_domain, r);
+  }
+}
+
+TEST(HierarchicalLandmarks, GlobalTierPrefersTransitNodes) {
+  Fixture f(2);
+  int transit = 0;
+  for (const auto host : f.landmarks->global_landmarks())
+    if (f.topology.host(host).kind == net::HostKind::kTransit) ++transit;
+  // tsk-tiny has 6 transit nodes and we asked for 6 globals.
+  EXPECT_EQ(transit, 6);
+}
+
+TEST(HierarchicalLandmarks, MeasureCostsBothTiers) {
+  Fixture f(3);
+  f.oracle->reset_probe_count();
+  const auto vector = f.landmarks->measure(*f.oracle, 10);
+  EXPECT_EQ(vector.global.size(), 6u);
+  EXPECT_EQ(vector.local.size(), 3u);
+  EXPECT_EQ(f.oracle->probe_count(), 9u);
+  EXPECT_EQ(vector.region, f.topology.host(10).transit_domain);
+}
+
+TEST(HierarchicalLandmarks, SearchRespectsBudgetAndFindsValidHost) {
+  Fixture f(4);
+  const net::HostId query = 0;
+  const auto qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult result =
+      f.landmarks->search(*f.oracle, query, qv, f.database, 20, 8);
+  EXPECT_NE(result.host, net::kInvalidHost);
+  EXPECT_LE(result.probes, 8u);
+}
+
+TEST(HierarchicalLandmarks, FullBudgetOverPreselectionFindsItsBest) {
+  Fixture f(5);
+  const net::HostId query = 9;  // not in the database (db hosts are 1 mod 3)
+  const auto qv = f.landmarks->measure(*f.oracle, query);
+  const std::size_t preselect = 15;
+  const NnResult result = f.landmarks->search(*f.oracle, query, qv,
+                                              f.database, preselect,
+                                              preselect);
+  // Probing the whole preselection returns the true best within it.
+  EXPECT_EQ(result.probes, preselect);
+  EXPECT_GT(result.rtt_ms, 0.0);
+}
+
+TEST(HierarchicalLandmarks, SameRegionCandidatesProbedFirst) {
+  Fixture f(6);
+  // A query whose region has database entries: with budget 1, the probed
+  // candidate must be from the query's own region (if the preselection
+  // contains any).
+  for (net::HostId query = 0; query < 40; query += 5) {
+    const auto qv = f.landmarks->measure(*f.oracle, query);
+    bool region_in_db = false;
+    for (const auto& record : f.database)
+      if (record.vector.region == qv.region) region_in_db = true;
+    if (!region_in_db) continue;
+    const NnResult result = f.landmarks->search(
+        *f.oracle, query, qv, f.database, f.database.size(), 1);
+    ASSERT_NE(result.host, net::kInvalidHost);
+    EXPECT_EQ(f.topology.host(result.host).transit_domain, qv.region);
+    return;
+  }
+  GTEST_SKIP() << "no region with database entries found";
+}
+
+TEST(HierarchicalLandmarks, CompetitiveWithFlatHybrid) {
+  // On same total probe overhead, the two-tier search should be in the
+  // same quality class as the flat hybrid (both find near-optimal with a
+  // moderate budget on a small network).
+  Fixture f(7);
+  util::Rng rng(70);
+  // Flat baseline: 9 flat landmarks (same measurement cost as 6+3).
+  const auto flat = LandmarkSet::choose_random(f.topology, 9, rng, {});
+  ProximityDatabase flat_db;
+  for (net::HostId h = 1; h < f.topology.host_count(); h += 3)
+    flat_db.push_back(ProximityRecord{h, flat.measure(*f.oracle, h)});
+
+  double hier_total = 0.0;
+  double flat_total = 0.0;
+  int queries = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto query =
+        static_cast<net::HostId>(rng.next_u64(f.topology.host_count()));
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& record : f.database)
+      if (record.host != query)
+        best = std::min(best, f.oracle->latency_ms(query, record.host));
+    if (best <= 0.0) continue;
+    const auto hq = f.landmarks->measure(*f.oracle, query);
+    const auto hier =
+        f.landmarks->search(*f.oracle, query, hq, f.database, 20, 8);
+    const auto fq = flat.measure(*f.oracle, query);
+    const auto plain = hybrid_nn_search(*f.oracle, query, fq, flat_db, 8);
+    hier_total += f.oracle->latency_ms(query, hier.host) / best;
+    flat_total += f.oracle->latency_ms(query, plain.host) / best;
+    ++queries;
+  }
+  ASSERT_GT(queries, 10);
+  EXPECT_LT(hier_total / queries, 2.0 * flat_total / queries + 0.5);
+}
+
+}  // namespace
+}  // namespace topo::proximity

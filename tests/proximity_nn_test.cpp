@@ -1,0 +1,188 @@
+#include "proximity/nn_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::proximity {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<LandmarkSet> landmarks;
+  ProximityDatabase database;
+
+  explicit Fixture(std::uint64_t seed, int landmark_count = 8) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<LandmarkSet>(LandmarkSet::choose_random(
+        topology, landmark_count, rng, LandmarkConfig{}));
+    // Database of every 3rd host.
+    for (net::HostId h = 1; h < topology.host_count(); h += 3)
+      database.push_back(
+          ProximityRecord{h, landmarks->measure(*oracle, h)});
+  }
+};
+
+TEST(RankByLandmarkDistance, OrderAndLimit) {
+  Fixture f(1);
+  const LandmarkVector query = f.landmarks->measure(*f.oracle, 0);
+  const auto ranked = rank_by_landmark_distance(f.database, query, 10);
+  ASSERT_EQ(ranked.size(), 10u);
+  // Verify ordering by recomputing distances.
+  auto dist_of = [&](net::HostId h) {
+    for (const auto& record : f.database)
+      if (record.host == h) return vector_distance(record.vector, query);
+    ADD_FAILURE();
+    return -1.0;
+  };
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(dist_of(ranked[i - 1]), dist_of(ranked[i]) + 1e-12);
+}
+
+TEST(RankByLandmarkDistance, LimitLargerThanDatabase) {
+  Fixture f(2);
+  const LandmarkVector query = f.landmarks->measure(*f.oracle, 0);
+  const auto ranked =
+      rank_by_landmark_distance(f.database, query, f.database.size() + 100);
+  EXPECT_EQ(ranked.size(), f.database.size());
+}
+
+TEST(HybridNnSearch, BudgetOneIsLandmarkOnly) {
+  Fixture f(3);
+  const net::HostId query = 0;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  f.oracle->reset_probe_count();
+  const NnResult result = hybrid_nn_search(*f.oracle, query, qv, f.database, 1);
+  EXPECT_EQ(result.probes, 1u);
+  EXPECT_EQ(f.oracle->probe_count(), 1u);
+  // It returns exactly the landmark-space top candidate.
+  const auto top = rank_by_landmark_distance(f.database, qv, 1);
+  EXPECT_EQ(result.host, top[0]);
+}
+
+TEST(HybridNnSearch, MoreProbesNeverWorse) {
+  Fixture f(4);
+  const net::HostId query = 50;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t budget : {1u, 2u, 5u, 10u, 20u, 40u}) {
+    const NnResult result =
+        hybrid_nn_search(*f.oracle, query, qv, f.database, budget);
+    EXPECT_LE(result.rtt_ms, previous + 1e-12);
+    previous = result.rtt_ms;
+  }
+}
+
+TEST(HybridNnSearch, FullBudgetFindsTrueNearest) {
+  Fixture f(5);
+  const net::HostId query = 7;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult result = hybrid_nn_search(*f.oracle, query, qv, f.database,
+                                           f.database.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& record : f.database)
+    best = std::min(best, f.oracle->latency_ms(query, record.host));
+  EXPECT_DOUBLE_EQ(result.rtt_ms, best);
+}
+
+TEST(HybridNnSearch, GoodStretchWithSmallBudget) {
+  // The paper's core claim: a handful of RTT probes guided by landmarks
+  // gets close to the true nearest neighbor.
+  Fixture f(6, 12);
+  util::Rng rng(60);
+  double stretch_total = 0.0;
+  int queries = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto query =
+        static_cast<net::HostId>(rng.next_u64(f.topology.host_count()));
+    const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+    const NnResult result =
+        hybrid_nn_search(*f.oracle, query, qv, f.database, 10);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& record : f.database) {
+      if (record.host == query) continue;
+      best = std::min(best, f.oracle->latency_ms(query, record.host));
+    }
+    if (best <= 0.0) continue;
+    stretch_total += result.rtt_ms / best;
+    ++queries;
+  }
+  ASSERT_GT(queries, 0);
+  EXPECT_LT(stretch_total / queries, 3.0);
+}
+
+TEST(ErsCurve, MonotoneNonIncreasing) {
+  Fixture f(7);
+  util::Rng rng(70);
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < f.topology.host_count(); ++h)
+    can.join_random(h, rng);
+  const auto curve =
+      ers_best_rtt_curve(can, *f.oracle, 0, can.live_nodes()[0], 60, rng);
+  ASSERT_EQ(curve.size(), 60u);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+}
+
+TEST(ErsCurve, CountsProbes) {
+  Fixture f(8);
+  util::Rng rng(80);
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < 50; ++h) can.join_random(h, rng);
+  f.oracle->reset_probe_count();
+  ers_best_rtt_curve(can, *f.oracle, 0, can.live_nodes()[0], 25, rng);
+  EXPECT_EQ(f.oracle->probe_count(), 25u);
+}
+
+TEST(ErsCurve, ExhaustedOverlayPadsWithBest) {
+  Fixture f(9);
+  util::Rng rng(90);
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < 5; ++h) can.join_random(h, rng);
+  const auto curve =
+      ers_best_rtt_curve(can, *f.oracle, 0, can.live_nodes()[0], 20, rng);
+  ASSERT_EQ(curve.size(), 20u);
+  EXPECT_DOUBLE_EQ(curve[19], curve[4]);  // padded after 5 visits
+}
+
+TEST(ErsCurve, NeedsManyProbesToMatchHybrid) {
+  // The paper's Figures 3-6: ERS is far less probe-efficient than
+  // landmark-guided probing on the same budget.
+  Fixture f(10, 12);
+  util::Rng rng(100);
+  overlay::CanNetwork can(2);
+  for (net::HostId h = 0; h < f.topology.host_count(); ++h)
+    can.join_random(h, rng);
+
+  double hybrid_total = 0.0;
+  double ers_total = 0.0;
+  const std::size_t budget = 10;
+  int queries = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto query =
+        static_cast<net::HostId>(rng.next_u64(f.topology.host_count()));
+    const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+    const NnResult hybrid =
+        hybrid_nn_search(*f.oracle, query, qv, f.database, budget);
+    const overlay::NodeId start =
+        can.live_nodes()[rng.next_u64(can.size())];
+    const auto ers =
+        ers_best_rtt_curve(can, *f.oracle, query, start, budget, rng);
+    hybrid_total += hybrid.rtt_ms;
+    ers_total += ers.back();
+    ++queries;
+  }
+  EXPECT_LE(hybrid_total, ers_total);
+}
+
+}  // namespace
+}  // namespace topo::proximity

@@ -1,0 +1,150 @@
+#include "proximity/variants.hpp"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::proximity {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<LandmarkSet> landmarks;
+  ProximityDatabase database;
+
+  explicit Fixture(std::uint64_t seed, int landmark_count = 12) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kGtItmRandom, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<LandmarkSet>(LandmarkSet::choose_random(
+        topology, landmark_count, rng, LandmarkConfig{}));
+    for (net::HostId h = 1; h < topology.host_count(); h += 4)
+      database.push_back(ProximityRecord{h, landmarks->measure(*oracle, h)});
+  }
+
+  double true_nearest(net::HostId query) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& record : database)
+      if (record.host != query)
+        best = std::min(best, oracle->latency_ms(query, record.host));
+    return best;
+  }
+};
+
+TEST(GroupedNnSearch, RespectsBudgetAndFindsValidHost) {
+  Fixture f(1);
+  const net::HostId query = 0;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult result =
+      grouped_nn_search(*f.oracle, query, qv, f.database, 3, 9);
+  EXPECT_NE(result.host, net::kInvalidHost);
+  EXPECT_LE(result.probes, 9u);
+  EXPECT_GE(result.rtt_ms, f.true_nearest(query));
+}
+
+TEST(GroupedNnSearch, SingleGroupEqualsHybrid) {
+  Fixture f(2);
+  const net::HostId query = 11;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult grouped =
+      grouped_nn_search(*f.oracle, query, qv, f.database, 1, 8);
+  const NnResult hybrid =
+      hybrid_nn_search(*f.oracle, query, qv, f.database, 8);
+  EXPECT_DOUBLE_EQ(grouped.rtt_ms, hybrid.rtt_ms);
+}
+
+TEST(GroupedNnSearch, MoreGroupsThanLandmarksClamps) {
+  Fixture f(3, 4);
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, 0);
+  const NnResult result =
+      grouped_nn_search(*f.oracle, 0, qv, f.database, 100, 5);
+  EXPECT_NE(result.host, net::kInvalidHost);
+}
+
+TEST(HierarchicalNnSearch, RespectsBudget) {
+  Fixture f(4);
+  const net::HostId query = 21;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult result = hierarchical_nn_search(*f.oracle, query, qv,
+                                                 f.database, 4, 30, 10);
+  EXPECT_NE(result.host, net::kInvalidHost);
+  EXPECT_LE(result.probes, 10u);
+}
+
+TEST(HierarchicalNnSearch, LargePreselectConvergesToHybrid) {
+  Fixture f(5);
+  const net::HostId query = 33;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  // Preselecting the whole database and re-ranking with the full vector is
+  // exactly the hybrid ranking.
+  const NnResult hierarchical = hierarchical_nn_search(
+      *f.oracle, query, qv, f.database, 4, f.database.size(), 12);
+  const NnResult hybrid =
+      hybrid_nn_search(*f.oracle, query, qv, f.database, 12);
+  EXPECT_DOUBLE_EQ(hierarchical.rtt_ms, hybrid.rtt_ms);
+}
+
+TEST(SvdNnSearch, RespectsBudgetAndFindsValidHost) {
+  Fixture f(6);
+  const net::HostId query = 42;
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+  const NnResult result =
+      svd_nn_search(*f.oracle, query, qv, f.database, 4, 10);
+  EXPECT_NE(result.host, net::kInvalidHost);
+  EXPECT_LE(result.probes, 10u);
+}
+
+TEST(SvdNnSearch, TinyDatabaseFallsBack) {
+  Fixture f(7);
+  ProximityDatabase tiny(f.database.begin(), f.database.begin() + 3);
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, 0);
+  const NnResult result = svd_nn_search(*f.oracle, 0, qv, tiny, 4, 5);
+  EXPECT_NE(result.host, net::kInvalidHost);
+}
+
+TEST(SvdNnSearch, EmptyDatabase) {
+  Fixture f(8);
+  const LandmarkVector qv = f.landmarks->measure(*f.oracle, 0);
+  const NnResult result = svd_nn_search(*f.oracle, 0, qv, {}, 4, 5);
+  EXPECT_EQ(result.host, net::kInvalidHost);
+  EXPECT_EQ(result.probes, 0u);
+}
+
+TEST(Variants, AllVariantsReasonableVersusOptimal) {
+  // None of the variants should be wildly worse than plain hybrid on the
+  // same budget (they are refinements, not regressions), averaged over
+  // queries.
+  Fixture f(9);
+  util::Rng rng(90);
+  double hybrid_total = 0.0;
+  double grouped_total = 0.0;
+  double hierarchical_total = 0.0;
+  double svd_total = 0.0;
+  const std::size_t budget = 8;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto query =
+        static_cast<net::HostId>(rng.next_u64(f.topology.host_count()));
+    const LandmarkVector qv = f.landmarks->measure(*f.oracle, query);
+    hybrid_total +=
+        hybrid_nn_search(*f.oracle, query, qv, f.database, budget).rtt_ms;
+    grouped_total +=
+        grouped_nn_search(*f.oracle, query, qv, f.database, 3, budget).rtt_ms;
+    hierarchical_total +=
+        hierarchical_nn_search(*f.oracle, query, qv, f.database, 4, 40, budget)
+            .rtt_ms;
+    svd_total +=
+        svd_nn_search(*f.oracle, query, qv, f.database, 5, budget).rtt_ms;
+  }
+  EXPECT_LT(grouped_total, 3.0 * hybrid_total + 1.0);
+  EXPECT_LT(hierarchical_total, 3.0 * hybrid_total + 1.0);
+  EXPECT_LT(svd_total, 3.0 * hybrid_total + 1.0);
+}
+
+}  // namespace
+}  // namespace topo::proximity

@@ -1,0 +1,247 @@
+#include "pubsub/pubsub.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::pubsub {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  std::unique_ptr<PubSubService> pubsub;
+  std::vector<overlay::NodeId> nodes;
+  std::unordered_map<overlay::NodeId, proximity::LandmarkVector> vectors;
+  std::vector<std::pair<overlay::NodeId, Notification>> received;
+
+  explicit Fixture(std::uint64_t seed, std::size_t overlay_nodes = 64) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 6, rng, {}));
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (std::size_t i = 0; i < overlay_nodes; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(ecan->join_random(host, rng));
+    }
+    maps = std::make_unique<softstate::MapService>(*ecan, *landmarks,
+                                                   softstate::MapConfig{});
+    pubsub = std::make_unique<PubSubService>(*ecan, *maps);
+    pubsub->set_handler(
+        [this](overlay::NodeId subscriber, const Notification& n) {
+          received.emplace_back(subscriber, n);
+        });
+    for (const auto id : nodes)
+      vectors[id] = landmarks->measure(*oracle, ecan->node(id).host);
+  }
+
+  Subscription base_subscription(overlay::NodeId subscriber, int level,
+                                 std::uint64_t cell_key) {
+    Subscription s;
+    s.subscriber = subscriber;
+    s.vector = vectors[subscriber];
+    s.level = level;
+    s.cell_key = cell_key;
+    return s;
+  }
+
+  std::uint64_t cell_key_of(overlay::NodeId node, int level) {
+    return ecan->pack_cell(level, ecan->cell_of_node(node, level));
+  }
+};
+
+TEST(PubSub, CloserCandidateTriggers) {
+  Fixture f(1);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 1e9;  // anything is closer
+  f.pubsub->subscribe(std::move(s));
+
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  ASSERT_GE(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].first, subscriber);
+  EXPECT_EQ(f.received[0].second.reason,
+            Notification::Reason::kCloserCandidate);
+  EXPECT_EQ(f.received[0].second.entry.node, publisher);
+  EXPECT_GT(f.pubsub->stats().notifications, 0u);
+}
+
+TEST(PubSub, FartherCandidateDoesNotTrigger) {
+  Fixture f(2);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 0.0;  // nothing can beat it
+  f.pubsub->subscribe(std::move(s));
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(PubSub, WrongCellDoesNotTrigger) {
+  Fixture f(3);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s = f.base_subscription(subscriber, 1, ~0ULL);  // bogus cell
+  s.current_best_distance = 1e9;
+  f.pubsub->subscribe(std::move(s));
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(PubSub, OwnPublishDoesNotNotifySelf) {
+  Fixture f(4);
+  const auto subscriber = f.nodes[0];
+  if (f.ecan->node_level(subscriber) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(subscriber, 1));
+  s.current_best_distance = 1e9;
+  f.pubsub->subscribe(std::move(s));
+  f.maps->publish(subscriber, f.vectors[subscriber], 0.0);
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(PubSub, LoadThresholdTriggers) {
+  Fixture f(5);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  if (f.ecan->node_level(watched) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(watched, 1));
+  s.watched = watched;
+  s.load_threshold = 0.8;
+  s.current_best_distance = 0.0;  // suppress closer-candidate path
+  f.pubsub->subscribe(std::move(s));
+
+  // Below threshold: no notification.
+  f.maps->publish(watched, f.vectors[watched], 0.0, /*load=*/0.5,
+                  /*capacity=*/1.0);
+  EXPECT_TRUE(f.received.empty());
+  // Above: notified with kLoadExceeded.
+  f.maps->publish(watched, f.vectors[watched], 1.0, /*load=*/0.9,
+                  /*capacity=*/1.0);
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second.reason,
+            Notification::Reason::kLoadExceeded);
+}
+
+TEST(PubSub, NewNodeWatchFiresOncePerNode) {
+  Fixture f(6);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.notify_on_new_node = true;
+  s.current_best_distance = 0.0;  // suppress closer-candidate path
+  f.pubsub->subscribe(std::move(s));
+
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  const std::size_t after_first = f.received.size();
+  EXPECT_GE(after_first, 1u);
+  // Republish: already seen, no second kNewNode.
+  f.maps->publish(publisher, f.vectors[publisher], 1.0);
+  EXPECT_EQ(f.received.size(), after_first);
+}
+
+TEST(PubSub, DepartureNotifiesWatchers) {
+  Fixture f(7);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  Subscription s = f.base_subscription(subscriber, 1, 0);
+  s.watched = watched;
+  f.pubsub->subscribe(std::move(s));
+  f.pubsub->notify_departure(watched);
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second.reason,
+            Notification::Reason::kWatchedDeparted);
+  // Non-watched departure is silent.
+  f.received.clear();
+  f.pubsub->notify_departure(f.nodes[2]);
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(PubSub, UnsubscribeStopsNotifications) {
+  Fixture f(8);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 1e9;
+  const SubscriptionId id = f.pubsub->subscribe(std::move(s));
+  f.pubsub->unsubscribe(id);
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.pubsub->active_subscriptions(), 0u);
+}
+
+TEST(PubSub, UpdateWatchChangesThresholds) {
+  Fixture f(9);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 1e9;
+  const SubscriptionId id = f.pubsub->subscribe(std::move(s));
+  // Tighten: now nothing triggers.
+  f.pubsub->update_watch(id, publisher, 0.0);
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.pubsub->find(id)->watched, publisher);
+}
+
+TEST(PubSub, HandlerMayResubscribeDuringDelivery) {
+  // Regression: mutating the subscription table from the handler must not
+  // invalidate iteration.
+  Fixture f(10);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  f.pubsub->set_handler(
+      [&](overlay::NodeId, const Notification& n) {
+        Subscription extra = f.base_subscription(f.nodes[2], 1, 12345);
+        f.pubsub->subscribe(std::move(extra));
+        f.pubsub->update_watch(n.subscription, n.entry.node, 0.0);
+      });
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 1e9;
+  f.pubsub->subscribe(std::move(s));
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  EXPECT_GE(f.pubsub->active_subscriptions(), 2u);
+}
+
+TEST(PubSub, NotificationRouteHopsAccounted) {
+  Fixture f(11, 128);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.current_best_distance = 1e9;
+  f.pubsub->subscribe(std::move(s));
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  if (!f.received.empty()) {
+    EXPECT_GT(f.pubsub->stats().predicate_evaluations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace topo::pubsub

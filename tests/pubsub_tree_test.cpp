@@ -1,0 +1,94 @@
+#include "pubsub/dissemination_tree.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace topo::pubsub {
+namespace {
+
+std::vector<TreeRecipient> make_recipients(std::size_t n, util::Rng& rng) {
+  std::vector<TreeRecipient> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(TreeRecipient{static_cast<overlay::NodeId>(i + 1),
+                                util::BigUint(rng())});
+  return out;
+}
+
+TEST(DisseminationTree, EveryRecipientCoveredExactlyOnce) {
+  util::Rng rng(1);
+  const auto recipients = make_recipients(33, rng);
+  const DisseminationPlan plan = build_dissemination_tree(0, recipients);
+  EXPECT_EQ(plan.edges.size(), 33u);
+  std::set<overlay::NodeId> receivers;
+  for (const auto& edge : plan.edges)
+    EXPECT_TRUE(receivers.insert(edge.to).second);
+  for (const auto& recipient : recipients)
+    EXPECT_TRUE(receivers.count(recipient.node));
+}
+
+TEST(DisseminationTree, DepthIsLogarithmic) {
+  util::Rng rng(2);
+  for (std::size_t n : {1UL, 7UL, 64UL, 255UL, 1000UL}) {
+    const DisseminationPlan plan =
+        build_dissemination_tree(0, make_recipients(n, rng));
+    const auto bound = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n) + 1)) + 1);
+    EXPECT_LE(plan.depth, bound) << "n=" << n;
+  }
+}
+
+TEST(DisseminationTree, FanoutAtMostTwo) {
+  util::Rng rng(3);
+  const DisseminationPlan plan =
+      build_dissemination_tree(0, make_recipients(200, rng));
+  EXPECT_LE(plan.max_fanout, 2u);
+}
+
+TEST(DisseminationTree, EdgesFormTreeRootedAtRoot) {
+  util::Rng rng(4);
+  const DisseminationPlan plan =
+      build_dissemination_tree(99, make_recipients(50, rng));
+  // Exactly one edge leaves the root's frontier at a time: check
+  // reachability from the root covers all receivers.
+  std::set<overlay::NodeId> reached = {99};
+  std::size_t grew = 1;
+  while (grew != 0) {
+    grew = 0;
+    for (const auto& edge : plan.edges) {
+      if (reached.count(edge.from) && !reached.count(edge.to)) {
+        reached.insert(edge.to);
+        ++grew;
+      }
+    }
+  }
+  EXPECT_EQ(reached.size(), 51u);
+}
+
+TEST(DisseminationTree, EmptyRecipients) {
+  const DisseminationPlan plan = build_dissemination_tree(0, {});
+  EXPECT_TRUE(plan.edges.empty());
+  EXPECT_EQ(plan.depth, 0u);
+  EXPECT_EQ(plan.max_fanout, 0u);
+}
+
+TEST(DisseminationTree, OrderKeySortGroupsNeighbors) {
+  // Recipients with adjacent order keys end up adjacent in the tree
+  // (parent-child or sibling), which is the locality the landmark-number
+  // ordering is meant to exploit.
+  std::vector<TreeRecipient> recipients;
+  for (int i = 0; i < 8; ++i)
+    recipients.push_back(TreeRecipient{static_cast<overlay::NodeId>(i + 10),
+                                       util::BigUint(
+                                           static_cast<std::uint64_t>(i))});
+  const DisseminationPlan plan = build_dissemination_tree(0, recipients);
+  // Median (node 14 = key 4) is the root's child.
+  EXPECT_EQ(plan.edges[0].from, 0u);
+  EXPECT_EQ(plan.edges[0].to, 14u);
+}
+
+}  // namespace
+}  // namespace topo::pubsub

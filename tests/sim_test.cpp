@@ -1,0 +1,128 @@
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.schedule_at(20.000001, [&] { ++fired; });
+  q.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 20.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) q.schedule_in(10.0, tick);
+  };
+  q.schedule_in(10.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(50.0, [&] {
+    q.schedule_in(25.0, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 75.0);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.clear();
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+struct MetricsFixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+
+  explicit MetricsFixture(std::uint64_t seed) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (int i = 0; i < 100; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      ecan->join_random(host, rng);
+    }
+  }
+};
+
+TEST(Metrics, PathLatencySumsHops) {
+  MetricsFixture f(1);
+  const auto live = f.ecan->live_nodes();
+  const std::vector<overlay::NodeId> path = {live[0], live[1], live[2]};
+  const double expected =
+      f.oracle->latency_ms(f.ecan->node(live[0]).host,
+                           f.ecan->node(live[1]).host) +
+      f.oracle->latency_ms(f.ecan->node(live[1]).host,
+                           f.ecan->node(live[2]).host);
+  EXPECT_DOUBLE_EQ(path_latency_ms(*f.ecan, *f.oracle, path), expected);
+  const std::vector<overlay::NodeId> single = {live[0]};
+  EXPECT_DOUBLE_EQ(path_latency_ms(*f.ecan, *f.oracle, single), 0.0);
+}
+
+TEST(Metrics, StretchAtLeastOne) {
+  MetricsFixture f(2);
+  util::Rng rng(20);
+  const RoutingSample sample =
+      measure_can_routing(*f.ecan, *f.oracle, 100, rng);
+  EXPECT_EQ(sample.failures, 0u);
+  ASSERT_GT(sample.stretch.count(), 0u);
+  EXPECT_GE(sample.stretch.min(), 1.0 - 1e-9);  // paths can't beat direct
+}
+
+TEST(Metrics, EcanRoutingSampleWorks) {
+  MetricsFixture f(3);
+  util::Rng rng(30);
+  const RoutingSample sample =
+      measure_ecan_routing(*f.ecan, *f.oracle, 100, rng);
+  EXPECT_EQ(sample.failures, 0u);
+  EXPECT_GT(sample.logical_hops.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace topo::sim

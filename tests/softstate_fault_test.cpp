@@ -1,0 +1,140 @@
+// Failure injection: soft state must absorb lost publish messages — the
+// maps degrade gracefully and the periodic republish restores them, which
+// is the whole point of soft (rather than hard) state.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/soft_state_overlay.hpp"
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "softstate/map_service.hpp"
+
+namespace topo {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  std::vector<overlay::NodeId> nodes;
+  std::unordered_map<overlay::NodeId, proximity::LandmarkVector> vectors;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 96) {
+    topology = make_topology(seed);
+    util::Rng rng(seed + 1);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 8, rng, {}));
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(ecan->join_random(host, rng));
+    }
+    maps = std::make_unique<softstate::MapService>(*ecan, *landmarks,
+                                                   softstate::MapConfig{});
+    for (const auto id : nodes)
+      vectors[id] = landmarks->measure(*oracle, ecan->node(id).host);
+  }
+
+  std::size_t expected_entries() const {
+    std::size_t total = 0;
+    for (const auto id : nodes)
+      total += static_cast<std::size_t>(ecan->node_level(id));
+    return total;
+  }
+};
+
+TEST(FaultInjection, LossDropsSomePublishes) {
+  Fixture f(1);
+  f.maps->inject_faults(0.3, 99);
+  for (const auto id : f.nodes) f.maps->publish(id, f.vectors[id], 0.0);
+  EXPECT_GT(f.maps->stats().lost_messages, 0u);
+  EXPECT_LT(f.maps->total_entries(), f.expected_entries());
+  // Roughly 30% lost (generous bounds; binomial over ~200+ messages).
+  const double loss_rate =
+      1.0 - static_cast<double>(f.maps->total_entries()) /
+                static_cast<double>(f.expected_entries());
+  EXPECT_GT(loss_rate, 0.15);
+  EXPECT_LT(loss_rate, 0.45);
+}
+
+TEST(FaultInjection, RepublishRoundsConverge) {
+  Fixture f(2);
+  f.maps->inject_faults(0.3, 77);
+  // Round 1 loses ~30%; each further round refills independently-lost
+  // slots (an entry survives if ANY round delivered it within TTL).
+  for (int round = 0; round < 6; ++round)
+    for (const auto id : f.nodes)
+      f.maps->publish(id, f.vectors[id], /*now=*/round * 1000.0);
+  // After 6 rounds the per-slot miss probability is 0.3^6 ~ 0.07%.
+  EXPECT_GE(f.maps->total_entries(), f.expected_entries() - 2);
+}
+
+TEST(FaultInjection, ZeroLossIsLossless) {
+  Fixture f(3);
+  f.maps->inject_faults(0.0, 1);
+  for (const auto id : f.nodes) f.maps->publish(id, f.vectors[id], 0.0);
+  EXPECT_EQ(f.maps->stats().lost_messages, 0u);
+  EXPECT_EQ(f.maps->total_entries(), f.expected_entries());
+}
+
+TEST(FaultInjection, LookupsDegradeGracefullyUnderLoss) {
+  Fixture f(4, 160);
+  f.maps->inject_faults(0.5, 5);
+  for (const auto id : f.nodes) f.maps->publish(id, f.vectors[id], 0.0);
+  // Even with half the records missing, lookups return candidates (ring
+  // expansion widens the search) and never crash.
+  int with_candidates = 0;
+  int lookups = 0;
+  for (const auto id : f.nodes) {
+    if (f.ecan->node_level(id) < 1) continue;
+    const auto cell = f.ecan->cell_of_node(id, 1);
+    const auto adj = f.ecan->adjacent_cell(cell, 1, 0, 1);
+    const auto result = f.maps->lookup(id, f.vectors[id], 1, adj, 0.0);
+    ++lookups;
+    if (!result.candidates.empty()) ++with_candidates;
+    if (lookups >= 30) break;
+  }
+  ASSERT_GT(lookups, 0);
+  EXPECT_GT(with_candidates, lookups / 2);
+}
+
+TEST(FaultInjection, EndToEndSystemSurvivesLossyNetwork) {
+  const net::Topology topology = make_topology(6);
+  core::SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  config.map.ttl_ms = 5'000.0;
+  config.republish_interval_ms = 1'000.0;
+  core::SoftStateOverlay system(topology, config);
+  system.maps().inject_faults(0.25, 123);
+
+  util::Rng rng(60);
+  std::vector<overlay::NodeId> nodes;
+  for (int i = 0; i < 64; ++i)
+    nodes.push_back(system.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+  system.run_for(20'000.0);
+  // Lossy network: entries still present (republish wins the race against
+  // TTL with margin 5:1), lookups all succeed.
+  EXPECT_GT(system.maps().total_entries(), 0u);
+  EXPECT_GT(system.maps().stats().lost_messages, 0u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto from = nodes[rng.next_u64(nodes.size())];
+    EXPECT_TRUE(system.lookup(from, geom::Point::random(2, rng)).success);
+  }
+}
+
+}  // namespace
+}  // namespace topo

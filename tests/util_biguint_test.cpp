@@ -1,0 +1,154 @@
+#include "util/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace topo::util {
+namespace {
+
+TEST(BigUint, ZeroAndOne) {
+  EXPECT_EQ(BigUint::zero().low64(), 0u);
+  EXPECT_EQ(BigUint::one().low64(), 1u);
+  EXPECT_TRUE(BigUint::zero() < BigUint::one());
+  EXPECT_EQ(BigUint::zero().highest_bit(), -1);
+  EXPECT_EQ(BigUint::one().highest_bit(), 0);
+}
+
+TEST(BigUint, BitSetAndGet) {
+  BigUint x;
+  for (int bit : {0, 1, 63, 64, 127, 128, 200, 255}) {
+    EXPECT_FALSE(x.bit(bit));
+    x.set_bit(bit, true);
+    EXPECT_TRUE(x.bit(bit));
+  }
+  EXPECT_EQ(x.highest_bit(), 255);
+  x.set_bit(255, false);
+  EXPECT_EQ(x.highest_bit(), 200);
+}
+
+TEST(BigUint, Pow2) {
+  EXPECT_EQ(BigUint::pow2(0).low64(), 1u);
+  EXPECT_EQ(BigUint::pow2(10).low64(), 1024u);
+  EXPECT_EQ(BigUint::pow2(100).highest_bit(), 100);
+}
+
+TEST(BigUint, ShiftsMatchLow64Semantics) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t v = rng();
+    const int s = static_cast<int>(rng.next_u64(63)) + 1;
+    EXPECT_EQ((BigUint(v) << s >> s).low64(), v);  // round trip, no overflow
+    EXPECT_EQ((BigUint(v) >> s).low64(), v >> s);
+  }
+}
+
+TEST(BigUint, ShiftAcrossWordBoundaries) {
+  const BigUint x(0xDEADBEEFCAFEF00DULL);
+  const BigUint shifted = x << 100;
+  EXPECT_EQ((shifted >> 100).low64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(shifted.highest_bit(), x.highest_bit() + 100);
+  // Whole-word shift.
+  EXPECT_EQ(((x << 64) >> 64).low64(), x.low64());
+  // Shift out entirely.
+  EXPECT_EQ((x << 256).highest_bit(), -1);
+  EXPECT_EQ((x >> 256).highest_bit(), -1);
+}
+
+TEST(BigUint, AdditionWithCarryChain) {
+  // (2^128 - 1) + 1 == 2^128.
+  BigUint almost;
+  for (int i = 0; i < 128; ++i) almost.set_bit(i, true);
+  const BigUint sum = almost + BigUint::one();
+  EXPECT_EQ(sum, BigUint::pow2(128));
+}
+
+TEST(BigUint, SubtractionInverse) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUint a;
+    BigUint b;
+    for (int w = 0; w < 3; ++w) {
+      a |= BigUint(rng()) << (w * 64);
+      b |= BigUint(rng()) << (w * 64);
+    }
+    EXPECT_EQ(a + b - b, a);
+  }
+}
+
+TEST(BigUint, ComparisonAgainstUint128Reference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a_lo = rng();
+    const std::uint64_t a_hi = rng.next_u64(4);
+    const std::uint64_t b_lo = rng();
+    const std::uint64_t b_hi = rng.next_u64(4);
+    const unsigned __int128 ra =
+        (static_cast<unsigned __int128>(a_hi) << 64) | a_lo;
+    const unsigned __int128 rb =
+        (static_cast<unsigned __int128>(b_hi) << 64) | b_lo;
+    const BigUint ba = (BigUint(a_hi) << 64) | BigUint(a_lo);
+    const BigUint bb = (BigUint(b_hi) << 64) | BigUint(b_lo);
+    EXPECT_EQ(ba < bb, ra < rb);
+    EXPECT_EQ(ba == bb, ra == rb);
+    EXPECT_EQ(ba >= bb, ra >= rb);
+  }
+}
+
+TEST(BigUint, BitwiseOps) {
+  const BigUint a = (BigUint(0xF0F0ULL) << 128) | BigUint(0xAAAAULL);
+  const BigUint b = (BigUint(0x0FF0ULL) << 128) | BigUint(0x5555ULL);
+  EXPECT_EQ(((a & b) >> 128).low64(), 0x00F0ULL);
+  EXPECT_EQ((a | b).low64(), 0xFFFFULL);
+  EXPECT_EQ((a ^ b).low64(), 0xFFFFULL);
+  EXPECT_EQ(((a ^ b) >> 128).low64(), 0xFF00ULL);
+}
+
+TEST(BigUint, ToUnitScalesCorrectly) {
+  // 2^7 out of 8 bits = 0.5.
+  EXPECT_DOUBLE_EQ(BigUint::pow2(7).to_unit(8), 0.5);
+  // 3 out of 2 bits = 0.75.
+  EXPECT_DOUBLE_EQ(BigUint(3).to_unit(2), 0.75);
+  // Zero.
+  EXPECT_DOUBLE_EQ(BigUint::zero().to_unit(200), 0.0);
+  // Max of 200 bits is just under 1.
+  BigUint max;
+  for (int i = 0; i < 200; ++i) max.set_bit(i, true);
+  EXPECT_LT(max.to_unit(200), 1.0);
+  EXPECT_GT(max.to_unit(200), 0.9999);
+}
+
+TEST(BigUint, ToUnitPreservesOrder) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUint a;
+    BigUint b;
+    for (int w = 0; w < 4; ++w) {
+      a |= BigUint(rng()) << (w * 64);
+      b |= BigUint(rng()) << (w * 64);
+    }
+    if (a < b)
+      EXPECT_LE(a.to_unit(256), b.to_unit(256));
+    else
+      EXPECT_GE(a.to_unit(256), b.to_unit(256));
+  }
+}
+
+TEST(BigUint, TopBits) {
+  // 0b1101 in 4 bits, top 2 bits = 0b11.
+  EXPECT_EQ(BigUint(0b1101).top_bits(4, 2), 0b11u);
+  // Wide value: 0xAB << 192 in 200 bits, top 8 bits = 0xAB.
+  const BigUint wide = BigUint(0xABULL) << 192;
+  EXPECT_EQ(wide.top_bits(200, 8), 0xABu);
+  // count >= total returns the value itself.
+  EXPECT_EQ(BigUint(0b101).top_bits(3, 64), 0b101u);
+}
+
+TEST(BigUint, ToHex) {
+  EXPECT_EQ(BigUint::zero().to_hex(), std::string(64, '0'));
+  const std::string hex = BigUint(0xDEADULL).to_hex();
+  EXPECT_EQ(hex.substr(60), "dead");
+}
+
+}  // namespace
+}  // namespace topo::util

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace topo::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, KnownValues) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(5);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double(-10, 10);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Samples, PercentilesOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, MeanStddevMatchAccumulator) {
+  Rng rng(7);
+  Samples s;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_double(0, 100);
+    s.add(v);
+    acc.add(v);
+  }
+  EXPECT_NEAR(s.mean(), acc.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), acc.stddev(), 1e-9);
+}
+
+TEST(Samples, AddAfterSortedAccessInvalidatesCache) {
+  Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // after a sorted access: cache must be invalidated
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Samples, DescribeMentionsCount) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_NE(s.describe().find("n=2"), std::string::npos);
+  Samples empty;
+  EXPECT_EQ(empty.describe(), "(no samples)");
+}
+
+TEST(Gini, UniformIsZero) {
+  EXPECT_NEAR(gini_coefficient({5, 5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeConcentration) {
+  // One holder of everything among many: approaches 1 - 1/n.
+  std::vector<double> v(100, 0.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(gini_coefficient(v), 0.99, 1e-9);
+}
+
+TEST(Gini, KnownSmallCase) {
+  // {1, 3}: gini = 0.25.
+  EXPECT_NEAR(gini_coefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroSafe) {
+  EXPECT_EQ(gini_coefficient({}), 0.0);
+  EXPECT_EQ(gini_coefficient({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace topo::util

@@ -1,0 +1,142 @@
+#include "util/svd.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace topo::util {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m.at(i, j) = rng.next_double(-5, 5);
+  return m;
+}
+
+double reconstruction_error(const Matrix& a, const SvdResult& r) {
+  // || A - U S V^T ||_F
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double reconstructed = 0.0;
+      for (std::size_t k = 0; k < r.singular.size(); ++k)
+        reconstructed += r.u.at(i, k) * r.singular[k] * r.v.at(j, k);
+      const double d = a.at(i, j) - reconstructed;
+      err += d * d;
+    }
+  return std::sqrt(err);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+
+  const Matrix product = a.multiply(at);  // 2x2
+  EXPECT_DOUBLE_EQ(product.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(product.at(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(product.at(1, 1), 77.0);
+}
+
+TEST(Svd, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const SvdResult r = svd(a);
+  ASSERT_EQ(r.singular.size(), 3u);
+  EXPECT_NEAR(r.singular[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.singular[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.singular[2], 1.0, 1e-10);
+}
+
+TEST(Svd, SingularValuesDescending) {
+  Rng rng(11);
+  const Matrix a = random_matrix(20, 6, rng);
+  const SvdResult r = svd(a);
+  for (std::size_t i = 1; i < r.singular.size(); ++i)
+    EXPECT_GE(r.singular[i - 1], r.singular[i]);
+}
+
+TEST(Svd, Reconstruction) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Matrix a = random_matrix(15, 5, rng);
+    const SvdResult r = svd(a);
+    EXPECT_LT(reconstruction_error(a, r), 1e-8);
+  }
+}
+
+TEST(Svd, RightSingularVectorsOrthonormal) {
+  Rng rng(17);
+  const Matrix a = random_matrix(30, 8, rng);
+  const SvdResult r = svd(a);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 8; ++k)
+        dot += r.v.at(k, i) * r.v.at(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Svd, RankDeficientHasZeroSingularValues) {
+  // Two identical columns -> rank 1.
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.at(i, 0) = static_cast<double>(i + 1);
+    a.at(i, 1) = static_cast<double>(i + 1);
+  }
+  const SvdResult r = svd(a);
+  EXPECT_GT(r.singular[0], 1.0);
+  EXPECT_NEAR(r.singular[1], 0.0, 1e-9);
+}
+
+TEST(SvdProject, PreservesDistancesWhenFullRank) {
+  // Projection onto all components is an isometry (rotation).
+  Rng rng(19);
+  const Matrix a = random_matrix(12, 4, rng);
+  const Matrix p = svd_project(a, 4);
+  auto dist = [](const Matrix& m, std::size_t r1, std::size_t r2) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double d = m.at(r1, j) - m.at(r2, j);
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  };
+  for (std::size_t i = 0; i < 11; ++i)
+    EXPECT_NEAR(dist(a, i, i + 1), dist(p, i, i + 1), 1e-8);
+}
+
+TEST(SvdProject, DropsNoiseDimension) {
+  // Points on a line in 3-d plus tiny noise: 1 component captures them.
+  Rng rng(23);
+  Matrix a(50, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double t = rng.next_double(-1, 1);
+    a.at(i, 0) = 3.0 * t + rng.next_double(-1e-4, 1e-4);
+    a.at(i, 1) = -2.0 * t + rng.next_double(-1e-4, 1e-4);
+    a.at(i, 2) = 1.0 * t + rng.next_double(-1e-4, 1e-4);
+  }
+  const SvdResult r = svd(a);
+  EXPECT_GT(r.singular[0], 100 * r.singular[1]);  // dominant direction
+  const Matrix p = svd_project(a, 1);
+  EXPECT_EQ(p.cols(), 1u);
+}
+
+}  // namespace
+}  // namespace topo::util

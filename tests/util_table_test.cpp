@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace topo::util {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same length (alignment).
+  std::istringstream stream(out);
+  std::string line;
+  std::getline(stream, line);
+  const std::size_t width = line.size();
+  while (std::getline(stream, line)) EXPECT_EQ(line.size(), width);
+}
+
+TEST(Table, TsvRendering) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.to_tsv(), "a\tb\tc\n1\t2\t3\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Banner, Format) {
+  std::ostringstream out;
+  print_banner(out, "Figure 2");
+  EXPECT_EQ(out.str(), "\n== Figure 2 ==\n");
+}
+
+TEST(Flags, EnvIntParsing) {
+  unsetenv("TO_TEST_FLAG");
+  EXPECT_EQ(env_int("TO_TEST_FLAG", 7), 7);
+  setenv("TO_TEST_FLAG", "42", 1);
+  EXPECT_EQ(env_int("TO_TEST_FLAG", 7), 42);
+  setenv("TO_TEST_FLAG", "not-a-number", 1);
+  EXPECT_EQ(env_int("TO_TEST_FLAG", 7), 7);
+  setenv("TO_TEST_FLAG", "-13", 1);
+  EXPECT_EQ(env_int("TO_TEST_FLAG", 7), -13);
+  unsetenv("TO_TEST_FLAG");
+}
+
+TEST(Flags, EnvDoubleParsing) {
+  unsetenv("TO_TEST_FLAG");
+  EXPECT_DOUBLE_EQ(env_double("TO_TEST_FLAG", 0.5), 0.5);
+  setenv("TO_TEST_FLAG", "2.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("TO_TEST_FLAG", 0.5), 2.75);
+  unsetenv("TO_TEST_FLAG");
+}
+
+TEST(Flags, EnvBoolParsing) {
+  unsetenv("TO_TEST_FLAG");
+  EXPECT_FALSE(env_bool("TO_TEST_FLAG"));
+  EXPECT_TRUE(env_bool("TO_TEST_FLAG", true));
+  setenv("TO_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_bool("TO_TEST_FLAG"));
+  setenv("TO_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_bool("TO_TEST_FLAG", true));
+  setenv("TO_TEST_FLAG", "false", 1);
+  EXPECT_FALSE(env_bool("TO_TEST_FLAG", true));
+  unsetenv("TO_TEST_FLAG");
+}
+
+TEST(Flags, EnvStringParsing) {
+  unsetenv("TO_TEST_FLAG");
+  EXPECT_EQ(env_string("TO_TEST_FLAG", "dflt"), "dflt");
+  setenv("TO_TEST_FLAG", "hello", 1);
+  EXPECT_EQ(env_string("TO_TEST_FLAG", "dflt"), "hello");
+  unsetenv("TO_TEST_FLAG");
+}
+
+TEST(Logging, LevelGate) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  TO_LOG_ERROR("this must not crash %d", 42);
+  set_log_level(LogLevel::kDebug);
+  TO_LOG_DEBUG("visible at debug %s", "ok");
+  set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace topo::util

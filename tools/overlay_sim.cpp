@@ -1,0 +1,125 @@
+// overlay_sim — run a configurable topology-aware-overlay experiment from
+// the command line; the general-purpose driver behind the figure benches.
+//
+//   overlay_sim [topology.topo]
+//     With no argument, generates the preset in TOPOLOGY (default
+//     tsk-large) instead of loading a file.
+//
+//   env:
+//     TOPOLOGY=tsk-large|tsk-small|tsk-tiny   generated preset
+//     LATENCY=gtitm|manual                    latency model (generated)
+//     NODES=1024          overlay size
+//     LANDMARKS=15        landmark count
+//     RTTS=10             probe budget per selection
+//     SELECTOR=soft|random|optimal
+//     CONDENSE=0.0625     map condense rate
+//     QUERIES=0           0 = twice the overlay size
+//     SEED=42
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/selectors.hpp"
+#include "net/latency.hpp"
+#include "net/topology_io.hpp"
+#include "net/transit_stub.hpp"
+#include "proximity/landmarks.hpp"
+#include "sim/metrics.hpp"
+#include "softstate/map_service.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+
+  const auto seed = static_cast<std::uint64_t>(util::env_int("SEED", 42));
+  util::Rng rng(seed);
+
+  net::Topology topology;
+  if (argc > 1) {
+    topology = net::load_topology_file(argv[1]);
+    std::printf("loaded %s: %zu hosts, %zu links\n", argv[1],
+                topology.host_count(), topology.link_count());
+  } else {
+    const std::string preset = util::env_string("TOPOLOGY", "tsk-large");
+    net::TransitStubConfig config = net::tsk_large();
+    if (preset == "tsk-small") config = net::tsk_small();
+    if (preset == "tsk-tiny") config = net::tsk_tiny();
+    topology = net::generate_transit_stub(config, rng);
+    const std::string latency = util::env_string("LATENCY", "gtitm");
+    net::assign_latencies(topology,
+                          latency == "manual"
+                              ? net::LatencyModel::kManual
+                              : net::LatencyModel::kGtItmRandom,
+                          rng);
+    std::printf("generated %s/%s: %zu hosts\n", preset.c_str(),
+                latency.c_str(), topology.host_count());
+  }
+
+  const auto overlay_nodes =
+      static_cast<std::size_t>(util::env_int("NODES", 1024));
+  const auto landmark_count =
+      static_cast<int>(util::env_int("LANDMARKS", 15));
+  const auto rtt_budget =
+      static_cast<std::size_t>(util::env_int("RTTS", 10));
+  const std::string selector_kind = util::env_string("SELECTOR", "soft");
+
+  net::RttOracle oracle(topology);
+  proximity::LandmarkConfig landmark_config;
+  landmark_config.scale_ms = 350.0;
+  const auto landmarks = proximity::LandmarkSet::choose_random(
+      topology, landmark_count, rng, landmark_config);
+  oracle.warm(landmarks.hosts());
+
+  overlay::EcanNetwork ecan(2);
+  std::vector<overlay::NodeId> nodes;
+  for (std::size_t i = 0; i < overlay_nodes; ++i) {
+    const auto host =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    nodes.push_back(ecan.join_random(host, rng));
+  }
+
+  softstate::MapConfig map_config;
+  map_config.condense_rate = util::env_double("CONDENSE", 0.0625);
+  softstate::MapService maps(ecan, landmarks, map_config);
+  core::VectorStore vectors;
+  for (const auto id : nodes) {
+    vectors[id] = landmarks.measure(oracle, ecan.node(id).host);
+    maps.publish(id, vectors[id], 0.0);
+  }
+  oracle.reset_probe_count();
+
+  std::unique_ptr<overlay::RepresentativeSelector> selector;
+  if (selector_kind == "random") {
+    selector = std::make_unique<core::RandomSelector>(rng.fork());
+  } else if (selector_kind == "optimal") {
+    selector = std::make_unique<core::OracleSelector>(ecan, oracle);
+  } else {
+    selector = std::make_unique<core::SoftStateSelector>(
+        ecan, maps, oracle, vectors, rtt_budget, rng.fork());
+  }
+  ecan.build_all_tables(*selector);
+  const auto selection_probes = oracle.probe_count();
+
+  auto queries =
+      static_cast<std::size_t>(util::env_int("QUERIES", 0));
+  if (queries == 0) queries = 2 * overlay_nodes;
+  util::Rng measure_rng(seed + 1);
+  const sim::RoutingSample sample =
+      sim::measure_ecan_routing(ecan, oracle, queries, measure_rng);
+
+  std::printf(
+      "overlay=%zu landmarks=%d selector=%s rtts=%zu condense=%.4g\n",
+      overlay_nodes, landmark_count, selector_kind.c_str(), rtt_budget,
+      map_config.condense_rate);
+  std::printf("selection probes: %llu (%.1f per node)\n",
+              static_cast<unsigned long long>(selection_probes),
+              static_cast<double>(selection_probes) /
+                  static_cast<double>(overlay_nodes));
+  std::printf("map state: %zu entries, %.1f per node (max %zu)\n",
+              maps.total_entries(), maps.mean_entries_per_node(),
+              maps.max_entries_per_node());
+  std::printf("stretch over %zu queries: %s\n", queries,
+              sample.stretch.describe().c_str());
+  std::printf("logical hops: mean %.2f\n", sample.logical_hops.mean());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// topogen — generate transit-stub topologies (GT-ITM family) from the
+// command line and save them in the library's text format.
+//
+//   topogen [preset] [output.topo]
+//     preset: tsk-large (default) | tsk-small | tsk-tiny
+//   env: SEED, LATENCY=manual|gtitm, and the structural overrides
+//        TRANSIT_DOMAINS, TRANSIT_NODES, STUB_DOMAINS, HOSTS_PER_STUB.
+//
+// Without an output path, prints topology statistics only.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/latency.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_io.hpp"
+#include "net/transit_stub.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+
+  net::TransitStubConfig config = net::tsk_large();
+  if (argc > 1) {
+    const std::string preset = argv[1];
+    if (preset == "tsk-large") {
+      config = net::tsk_large();
+    } else if (preset == "tsk-small") {
+      config = net::tsk_small();
+    } else if (preset == "tsk-tiny") {
+      config = net::tsk_tiny();
+    } else {
+      std::fprintf(stderr,
+                   "unknown preset '%s' (tsk-large|tsk-small|tsk-tiny)\n",
+                   preset.c_str());
+      return 1;
+    }
+  }
+  config.transit_domains = static_cast<int>(
+      util::env_int("TRANSIT_DOMAINS", config.transit_domains));
+  config.transit_nodes_per_domain = static_cast<int>(
+      util::env_int("TRANSIT_NODES", config.transit_nodes_per_domain));
+  config.stub_domains_per_transit = static_cast<int>(
+      util::env_int("STUB_DOMAINS", config.stub_domains_per_transit));
+  config.hosts_per_stub = static_cast<int>(
+      util::env_int("HOSTS_PER_STUB", config.hosts_per_stub));
+
+  const auto seed = static_cast<std::uint64_t>(util::env_int("SEED", 42));
+  const std::string latency = util::env_string("LATENCY", "gtitm");
+
+  util::Rng rng(seed);
+  net::Topology topology = net::generate_transit_stub(config, rng);
+  net::assign_latencies(topology,
+                        latency == "manual" ? net::LatencyModel::kManual
+                                            : net::LatencyModel::kGtItmRandom,
+                        rng);
+
+  std::printf("preset=%s seed=%llu latency=%s\n", config.name.c_str(),
+              static_cast<unsigned long long>(seed), latency.c_str());
+  std::printf("hosts=%zu (transit=%zu stub=%zu) links=%zu\n",
+              topology.host_count(),
+              topology.hosts_of_kind(net::HostKind::kTransit).size(),
+              topology.hosts_of_kind(net::HostKind::kStub).size(),
+              topology.link_count());
+
+  // Latency profile from a sample of sources.
+  util::Samples rtts;
+  for (net::HostId source = 0; source < topology.host_count();
+       source += topology.host_count() / 8 + 1) {
+    const auto row = net::dijkstra(topology, source);
+    for (std::size_t i = 0; i < row.size(); i += 97)
+      if (row[i] > 0.0) rtts.add(row[i]);
+  }
+  std::printf("pairwise latency sample: %s\n", rtts.describe().c_str());
+
+  if (argc > 2) {
+    net::save_topology_file(topology, argv[2]);
+    std::printf("wrote %s\n", argv[2]);
+  }
+  return 0;
+}
