@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_landmark_opts.dir/ablation_landmark_opts.cpp.o"
+  "CMakeFiles/ablation_landmark_opts.dir/ablation_landmark_opts.cpp.o.d"
+  "ablation_landmark_opts"
+  "ablation_landmark_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_landmark_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_pns.dir/chord_pns.cpp.o"
+  "CMakeFiles/chord_pns.dir/chord_pns.cpp.o.d"
+  "chord_pns"
+  "chord_pns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_pns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

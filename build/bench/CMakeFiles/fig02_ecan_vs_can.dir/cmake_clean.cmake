@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ecan_vs_can.dir/fig02_ecan_vs_can.cpp.o"
+  "CMakeFiles/fig02_ecan_vs_can.dir/fig02_ecan_vs_can.cpp.o.d"
+  "fig02_ecan_vs_can"
+  "fig02_ecan_vs_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ecan_vs_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

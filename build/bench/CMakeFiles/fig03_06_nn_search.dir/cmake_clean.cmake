@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_06_nn_search.dir/fig03_06_nn_search.cpp.o"
+  "CMakeFiles/fig03_06_nn_search.dir/fig03_06_nn_search.cpp.o.d"
+  "fig03_06_nn_search"
+  "fig03_06_nn_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_06_nn_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_06_nn_search.
+# This may be replaced when dependencies are built.

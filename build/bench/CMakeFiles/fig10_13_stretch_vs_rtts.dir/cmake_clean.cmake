@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_13_stretch_vs_rtts.dir/fig10_13_stretch_vs_rtts.cpp.o"
+  "CMakeFiles/fig10_13_stretch_vs_rtts.dir/fig10_13_stretch_vs_rtts.cpp.o.d"
+  "fig10_13_stretch_vs_rtts"
+  "fig10_13_stretch_vs_rtts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_13_stretch_vs_rtts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_13_stretch_vs_rtts.
+# This may be replaced when dependencies are built.

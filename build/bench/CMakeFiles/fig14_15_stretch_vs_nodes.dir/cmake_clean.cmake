@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_stretch_vs_nodes.dir/fig14_15_stretch_vs_nodes.cpp.o"
+  "CMakeFiles/fig14_15_stretch_vs_nodes.dir/fig14_15_stretch_vs_nodes.cpp.o.d"
+  "fig14_15_stretch_vs_nodes"
+  "fig14_15_stretch_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_stretch_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

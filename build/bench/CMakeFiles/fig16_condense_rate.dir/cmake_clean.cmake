@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_condense_rate.dir/fig16_condense_rate.cpp.o"
+  "CMakeFiles/fig16_condense_rate.dir/fig16_condense_rate.cpp.o.d"
+  "fig16_condense_rate"
+  "fig16_condense_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_condense_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_pubsub.dir/maintenance_pubsub.cpp.o"
+  "CMakeFiles/maintenance_pubsub.dir/maintenance_pubsub.cpp.o.d"
+  "maintenance_pubsub"
+  "maintenance_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

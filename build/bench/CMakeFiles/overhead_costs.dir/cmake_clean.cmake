@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_costs.dir/overhead_costs.cpp.o"
+  "CMakeFiles/overhead_costs.dir/overhead_costs.cpp.o.d"
+  "overhead_costs"
+  "overhead_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

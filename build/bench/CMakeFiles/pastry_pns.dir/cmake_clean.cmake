@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastry_pns.dir/pastry_pns.cpp.o"
+  "CMakeFiles/pastry_pns.dir/pastry_pns.cpp.o.d"
+  "pastry_pns"
+  "pastry_pns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastry_pns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

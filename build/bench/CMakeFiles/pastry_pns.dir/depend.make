@@ -1,0 +1,2 @@
+# Empty dependencies file for pastry_pns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacan_imbalance.dir/tacan_imbalance.cpp.o"
+  "CMakeFiles/tacan_imbalance.dir/tacan_imbalance.cpp.o.d"
+  "tacan_imbalance"
+  "tacan_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacan_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_techniques.dir/taxonomy_techniques.cpp.o"
+  "CMakeFiles/taxonomy_techniques.dir/taxonomy_techniques.cpp.o.d"
+  "taxonomy_techniques"
+  "taxonomy_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_maintenance.dir/churn_maintenance.cpp.o"
+  "CMakeFiles/churn_maintenance.dir/churn_maintenance.cpp.o.d"
+  "churn_maintenance"
+  "churn_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_aware_routing.dir/load_aware_routing.cpp.o"
+  "CMakeFiles/load_aware_routing.dir/load_aware_routing.cpp.o.d"
+  "load_aware_routing"
+  "load_aware_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_aware_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

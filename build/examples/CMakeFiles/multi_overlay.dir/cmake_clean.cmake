@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_overlay.dir/multi_overlay.cpp.o"
+  "CMakeFiles/multi_overlay.dir/multi_overlay.cpp.o.d"
+  "multi_overlay"
+  "multi_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

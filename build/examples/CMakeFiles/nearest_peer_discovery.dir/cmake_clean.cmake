@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_peer_discovery.dir/nearest_peer_discovery.cpp.o"
+  "CMakeFiles/nearest_peer_discovery.dir/nearest_peer_discovery.cpp.o.d"
+  "nearest_peer_discovery"
+  "nearest_peer_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_peer_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

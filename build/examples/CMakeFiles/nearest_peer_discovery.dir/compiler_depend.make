@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nearest_peer_discovery.
+# This may be replaced when dependencies are built.

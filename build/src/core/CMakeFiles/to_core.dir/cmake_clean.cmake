@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_core.dir/chord_overlay.cpp.o"
+  "CMakeFiles/to_core.dir/chord_overlay.cpp.o.d"
+  "CMakeFiles/to_core.dir/chord_selectors.cpp.o"
+  "CMakeFiles/to_core.dir/chord_selectors.cpp.o.d"
+  "CMakeFiles/to_core.dir/pastry_overlay.cpp.o"
+  "CMakeFiles/to_core.dir/pastry_overlay.cpp.o.d"
+  "CMakeFiles/to_core.dir/pastry_selectors.cpp.o"
+  "CMakeFiles/to_core.dir/pastry_selectors.cpp.o.d"
+  "CMakeFiles/to_core.dir/selectors.cpp.o"
+  "CMakeFiles/to_core.dir/selectors.cpp.o.d"
+  "CMakeFiles/to_core.dir/soft_state_overlay.cpp.o"
+  "CMakeFiles/to_core.dir/soft_state_overlay.cpp.o.d"
+  "libto_core.a"
+  "libto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

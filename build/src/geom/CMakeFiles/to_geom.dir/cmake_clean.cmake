@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_geom.dir/hilbert.cpp.o"
+  "CMakeFiles/to_geom.dir/hilbert.cpp.o.d"
+  "CMakeFiles/to_geom.dir/point.cpp.o"
+  "CMakeFiles/to_geom.dir/point.cpp.o.d"
+  "CMakeFiles/to_geom.dir/zone.cpp.o"
+  "CMakeFiles/to_geom.dir/zone.cpp.o.d"
+  "libto_geom.a"
+  "libto_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/to_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/to_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/latency.cpp.o.d"
+  "/root/repo/src/net/rtt_oracle.cpp" "src/net/CMakeFiles/to_net.dir/rtt_oracle.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/rtt_oracle.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/net/CMakeFiles/to_net.dir/shortest_path.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/net/topology_io.cpp" "src/net/CMakeFiles/to_net.dir/topology_io.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/topology_io.cpp.o.d"
+  "/root/repo/src/net/transit_stub.cpp" "src/net/CMakeFiles/to_net.dir/transit_stub.cpp.o" "gcc" "src/net/CMakeFiles/to_net.dir/transit_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/to_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_net.dir/graph.cpp.o"
+  "CMakeFiles/to_net.dir/graph.cpp.o.d"
+  "CMakeFiles/to_net.dir/latency.cpp.o"
+  "CMakeFiles/to_net.dir/latency.cpp.o.d"
+  "CMakeFiles/to_net.dir/rtt_oracle.cpp.o"
+  "CMakeFiles/to_net.dir/rtt_oracle.cpp.o.d"
+  "CMakeFiles/to_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/to_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/to_net.dir/topology_io.cpp.o"
+  "CMakeFiles/to_net.dir/topology_io.cpp.o.d"
+  "CMakeFiles/to_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/to_net.dir/transit_stub.cpp.o.d"
+  "libto_net.a"
+  "libto_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

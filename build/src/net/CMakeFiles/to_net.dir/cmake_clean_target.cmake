@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libto_net.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_overlay.dir/can.cpp.o"
+  "CMakeFiles/to_overlay.dir/can.cpp.o.d"
+  "CMakeFiles/to_overlay.dir/chord.cpp.o"
+  "CMakeFiles/to_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/to_overlay.dir/ecan.cpp.o"
+  "CMakeFiles/to_overlay.dir/ecan.cpp.o.d"
+  "CMakeFiles/to_overlay.dir/pastry.cpp.o"
+  "CMakeFiles/to_overlay.dir/pastry.cpp.o.d"
+  "CMakeFiles/to_overlay.dir/tacan.cpp.o"
+  "CMakeFiles/to_overlay.dir/tacan.cpp.o.d"
+  "libto_overlay.a"
+  "libto_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

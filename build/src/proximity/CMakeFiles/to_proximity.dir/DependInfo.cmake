@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proximity/hierarchical.cpp" "src/proximity/CMakeFiles/to_proximity.dir/hierarchical.cpp.o" "gcc" "src/proximity/CMakeFiles/to_proximity.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/proximity/landmarks.cpp" "src/proximity/CMakeFiles/to_proximity.dir/landmarks.cpp.o" "gcc" "src/proximity/CMakeFiles/to_proximity.dir/landmarks.cpp.o.d"
+  "/root/repo/src/proximity/nn_search.cpp" "src/proximity/CMakeFiles/to_proximity.dir/nn_search.cpp.o" "gcc" "src/proximity/CMakeFiles/to_proximity.dir/nn_search.cpp.o.d"
+  "/root/repo/src/proximity/variants.cpp" "src/proximity/CMakeFiles/to_proximity.dir/variants.cpp.o" "gcc" "src/proximity/CMakeFiles/to_proximity.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/to_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/to_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/to_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/to_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

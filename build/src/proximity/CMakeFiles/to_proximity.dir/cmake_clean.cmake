@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_proximity.dir/hierarchical.cpp.o"
+  "CMakeFiles/to_proximity.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/to_proximity.dir/landmarks.cpp.o"
+  "CMakeFiles/to_proximity.dir/landmarks.cpp.o.d"
+  "CMakeFiles/to_proximity.dir/nn_search.cpp.o"
+  "CMakeFiles/to_proximity.dir/nn_search.cpp.o.d"
+  "CMakeFiles/to_proximity.dir/variants.cpp.o"
+  "CMakeFiles/to_proximity.dir/variants.cpp.o.d"
+  "libto_proximity.a"
+  "libto_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

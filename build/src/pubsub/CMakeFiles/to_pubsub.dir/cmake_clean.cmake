@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_pubsub.dir/dissemination_tree.cpp.o"
+  "CMakeFiles/to_pubsub.dir/dissemination_tree.cpp.o.d"
+  "CMakeFiles/to_pubsub.dir/pubsub.cpp.o"
+  "CMakeFiles/to_pubsub.dir/pubsub.cpp.o.d"
+  "libto_pubsub.a"
+  "libto_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

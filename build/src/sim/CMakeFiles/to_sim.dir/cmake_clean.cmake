@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/to_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/to_sim.dir/metrics.cpp.o"
+  "CMakeFiles/to_sim.dir/metrics.cpp.o.d"
+  "libto_sim.a"
+  "libto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

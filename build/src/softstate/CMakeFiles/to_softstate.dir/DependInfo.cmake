@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softstate/chord_maps.cpp" "src/softstate/CMakeFiles/to_softstate.dir/chord_maps.cpp.o" "gcc" "src/softstate/CMakeFiles/to_softstate.dir/chord_maps.cpp.o.d"
+  "/root/repo/src/softstate/map_service.cpp" "src/softstate/CMakeFiles/to_softstate.dir/map_service.cpp.o" "gcc" "src/softstate/CMakeFiles/to_softstate.dir/map_service.cpp.o.d"
+  "/root/repo/src/softstate/pastry_maps.cpp" "src/softstate/CMakeFiles/to_softstate.dir/pastry_maps.cpp.o" "gcc" "src/softstate/CMakeFiles/to_softstate.dir/pastry_maps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proximity/CMakeFiles/to_proximity.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/to_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/to_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/to_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/to_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/to_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_softstate.dir/chord_maps.cpp.o"
+  "CMakeFiles/to_softstate.dir/chord_maps.cpp.o.d"
+  "CMakeFiles/to_softstate.dir/map_service.cpp.o"
+  "CMakeFiles/to_softstate.dir/map_service.cpp.o.d"
+  "CMakeFiles/to_softstate.dir/pastry_maps.cpp.o"
+  "CMakeFiles/to_softstate.dir/pastry_maps.cpp.o.d"
+  "libto_softstate.a"
+  "libto_softstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_softstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

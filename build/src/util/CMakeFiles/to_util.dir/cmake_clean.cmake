@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_util.dir/biguint.cpp.o"
+  "CMakeFiles/to_util.dir/biguint.cpp.o.d"
+  "CMakeFiles/to_util.dir/flags.cpp.o"
+  "CMakeFiles/to_util.dir/flags.cpp.o.d"
+  "CMakeFiles/to_util.dir/logging.cpp.o"
+  "CMakeFiles/to_util.dir/logging.cpp.o.d"
+  "CMakeFiles/to_util.dir/rng.cpp.o"
+  "CMakeFiles/to_util.dir/rng.cpp.o.d"
+  "CMakeFiles/to_util.dir/stats.cpp.o"
+  "CMakeFiles/to_util.dir/stats.cpp.o.d"
+  "CMakeFiles/to_util.dir/svd.cpp.o"
+  "CMakeFiles/to_util.dir/svd.cpp.o.d"
+  "CMakeFiles/to_util.dir/table.cpp.o"
+  "CMakeFiles/to_util.dir/table.cpp.o.d"
+  "libto_util.a"
+  "libto_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dht_storage_test.dir/core_dht_storage_test.cpp.o"
+  "CMakeFiles/core_dht_storage_test.dir/core_dht_storage_test.cpp.o.d"
+  "core_dht_storage_test"
+  "core_dht_storage_test.pdb"
+  "core_dht_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dht_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_hilbert_test.dir/geom_hilbert_test.cpp.o"
+  "CMakeFiles/geom_hilbert_test.dir/geom_hilbert_test.cpp.o.d"
+  "geom_hilbert_test"
+  "geom_hilbert_test.pdb"
+  "geom_hilbert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_hilbert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_point_test.dir/geom_point_test.cpp.o"
+  "CMakeFiles/geom_point_test.dir/geom_point_test.cpp.o.d"
+  "geom_point_test"
+  "geom_point_test.pdb"
+  "geom_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

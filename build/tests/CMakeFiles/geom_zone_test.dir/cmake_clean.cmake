@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_zone_test.dir/geom_zone_test.cpp.o"
+  "CMakeFiles/geom_zone_test.dir/geom_zone_test.cpp.o.d"
+  "geom_zone_test"
+  "geom_zone_test.pdb"
+  "geom_zone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

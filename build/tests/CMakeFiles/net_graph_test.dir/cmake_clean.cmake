@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_graph_test.dir/net_graph_test.cpp.o"
+  "CMakeFiles/net_graph_test.dir/net_graph_test.cpp.o.d"
+  "net_graph_test"
+  "net_graph_test.pdb"
+  "net_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rtt_oracle_test.dir/net_rtt_oracle_test.cpp.o"
+  "CMakeFiles/net_rtt_oracle_test.dir/net_rtt_oracle_test.cpp.o.d"
+  "net_rtt_oracle_test"
+  "net_rtt_oracle_test.pdb"
+  "net_rtt_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rtt_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_shortest_path_test.dir/net_shortest_path_test.cpp.o"
+  "CMakeFiles/net_shortest_path_test.dir/net_shortest_path_test.cpp.o.d"
+  "net_shortest_path_test"
+  "net_shortest_path_test.pdb"
+  "net_shortest_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_shortest_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_transit_stub_test.dir/net_transit_stub_test.cpp.o"
+  "CMakeFiles/net_transit_stub_test.dir/net_transit_stub_test.cpp.o.d"
+  "net_transit_stub_test"
+  "net_transit_stub_test.pdb"
+  "net_transit_stub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_transit_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

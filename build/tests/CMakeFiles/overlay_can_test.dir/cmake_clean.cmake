@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_can_test.dir/overlay_can_test.cpp.o"
+  "CMakeFiles/overlay_can_test.dir/overlay_can_test.cpp.o.d"
+  "overlay_can_test"
+  "overlay_can_test.pdb"
+  "overlay_can_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_can_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_ecan_test.dir/overlay_ecan_test.cpp.o"
+  "CMakeFiles/overlay_ecan_test.dir/overlay_ecan_test.cpp.o.d"
+  "overlay_ecan_test"
+  "overlay_ecan_test.pdb"
+  "overlay_ecan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_ecan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastry_softstate_test.dir/pastry_softstate_test.cpp.o"
+  "CMakeFiles/pastry_softstate_test.dir/pastry_softstate_test.cpp.o.d"
+  "pastry_softstate_test"
+  "pastry_softstate_test.pdb"
+  "pastry_softstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastry_softstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_hierarchical_test.dir/proximity_hierarchical_test.cpp.o"
+  "CMakeFiles/proximity_hierarchical_test.dir/proximity_hierarchical_test.cpp.o.d"
+  "proximity_hierarchical_test"
+  "proximity_hierarchical_test.pdb"
+  "proximity_hierarchical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

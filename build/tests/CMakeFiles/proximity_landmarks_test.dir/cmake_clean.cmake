@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_landmarks_test.dir/proximity_landmarks_test.cpp.o"
+  "CMakeFiles/proximity_landmarks_test.dir/proximity_landmarks_test.cpp.o.d"
+  "proximity_landmarks_test"
+  "proximity_landmarks_test.pdb"
+  "proximity_landmarks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_landmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

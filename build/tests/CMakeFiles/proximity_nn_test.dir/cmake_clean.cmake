@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_nn_test.dir/proximity_nn_test.cpp.o"
+  "CMakeFiles/proximity_nn_test.dir/proximity_nn_test.cpp.o.d"
+  "proximity_nn_test"
+  "proximity_nn_test.pdb"
+  "proximity_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_variants_test.dir/proximity_variants_test.cpp.o"
+  "CMakeFiles/proximity_variants_test.dir/proximity_variants_test.cpp.o.d"
+  "proximity_variants_test"
+  "proximity_variants_test.pdb"
+  "proximity_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

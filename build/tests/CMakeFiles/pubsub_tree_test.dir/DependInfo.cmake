@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pubsub_tree_test.cpp" "tests/CMakeFiles/pubsub_tree_test.dir/pubsub_tree_test.cpp.o" "gcc" "tests/CMakeFiles/pubsub_tree_test.dir/pubsub_tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/to_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/to_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/softstate/CMakeFiles/to_softstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/proximity/CMakeFiles/to_proximity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/to_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/to_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/to_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/to_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/to_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_tree_test.dir/pubsub_tree_test.cpp.o"
+  "CMakeFiles/pubsub_tree_test.dir/pubsub_tree_test.cpp.o.d"
+  "pubsub_tree_test"
+  "pubsub_tree_test.pdb"
+  "pubsub_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softstate_fault_test.dir/softstate_fault_test.cpp.o"
+  "CMakeFiles/softstate_fault_test.dir/softstate_fault_test.cpp.o.d"
+  "softstate_fault_test"
+  "softstate_fault_test.pdb"
+  "softstate_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softstate_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softstate_map_test.dir/softstate_map_test.cpp.o"
+  "CMakeFiles/softstate_map_test.dir/softstate_map_test.cpp.o.d"
+  "softstate_map_test"
+  "softstate_map_test.pdb"
+  "softstate_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softstate_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_config_sweep_test.dir/system_config_sweep_test.cpp.o"
+  "CMakeFiles/system_config_sweep_test.dir/system_config_sweep_test.cpp.o.d"
+  "system_config_sweep_test"
+  "system_config_sweep_test.pdb"
+  "system_config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

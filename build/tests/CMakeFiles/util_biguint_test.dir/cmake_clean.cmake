@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_biguint_test.dir/util_biguint_test.cpp.o"
+  "CMakeFiles/util_biguint_test.dir/util_biguint_test.cpp.o.d"
+  "util_biguint_test"
+  "util_biguint_test.pdb"
+  "util_biguint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_biguint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_svd_test.dir/util_svd_test.cpp.o"
+  "CMakeFiles/util_svd_test.dir/util_svd_test.cpp.o.d"
+  "util_svd_test"
+  "util_svd_test.pdb"
+  "util_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

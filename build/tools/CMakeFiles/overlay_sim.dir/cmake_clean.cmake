@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_sim.dir/overlay_sim.cpp.o"
+  "CMakeFiles/overlay_sim.dir/overlay_sim.cpp.o.d"
+  "overlay_sim"
+  "overlay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
