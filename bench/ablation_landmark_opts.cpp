@@ -177,7 +177,8 @@ void run_regime(const char* regime_label, double noise_fraction) {
 }  // namespace
 
 int main() {
-  bench::print_preamble("Section 5.4 ablation: landmark optimizations");
+  const auto bench_timer =
+      bench::print_preamble("Section 5.4 ablation: landmark optimizations");
   run_regime("clean RTT measurements", 0.0);
   run_regime("noisy RTT measurements (+-25%)", 0.25);
   run_two_tier();

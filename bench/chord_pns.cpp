@@ -53,7 +53,8 @@ double measure(bench::World& world, ChordRun& run,
 }  // namespace
 
 int main() {
-  bench::print_preamble("Appendix: global soft-state on Chord (PNS fingers)");
+  const auto bench_timer =
+      bench::print_preamble("Appendix: global soft-state on Chord (PNS fingers)");
 
   const std::uint64_t seed = bench::bench_seed();
   const auto n = static_cast<std::size_t>(

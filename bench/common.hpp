@@ -3,15 +3,20 @@
 // Every bench runs with no arguments at a scale that finishes in seconds to
 // a couple of minutes; environment variables scale it to the paper's full
 // setup:
-//   FULL=1     paper-scale sweeps (10k-host topologies are always used;
-//              FULL raises overlay sizes and query counts)
-//   SEED=n     alternate seed (printed by every bench)
+//   FULL=1        paper-scale sweeps (10k-host topologies are always used;
+//                 FULL raises overlay sizes and query counts)
+//   SEED=n        alternate seed (printed by every bench)
+//   THREADS=n     worker threads for the parallel sweeps (default: hardware
+//                 concurrency; same SEED prints the same numbers at any n)
+//   ORACLE_ROWS=n cap cached RTT-oracle rows (bounded-memory mode; 0 = off)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/selectors.hpp"
@@ -21,6 +26,7 @@
 #include "sim/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topo::bench {
 
@@ -29,6 +35,24 @@ inline std::uint64_t bench_seed() {
 }
 
 inline bool full_scale() { return util::env_bool("FULL"); }
+
+inline unsigned bench_threads() { return util::ThreadPool::global().size(); }
+
+/// Runs `fn(trial)` for every trial in [0, count) across the global thread
+/// pool and returns the results in trial order. Each trial must be
+/// self-contained (own RNGs seeded from the trial index, own overlay
+/// instance); sharing a World is fine — the RTT oracle is thread-safe and
+/// exact, so results are independent of interleaving and thread count.
+template <typename Fn>
+auto run_trials_parallel(std::size_t count, Fn&& fn) {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_void_v<Result>,
+                "trials must return their result (written by trial index)");
+  std::vector<Result> results(count);
+  util::ThreadPool::global().parallel_for(
+      0, count, 1, [&](std::size_t trial) { results[trial] = fn(trial); });
+  return results;
+}
 
 /// A topology + latency assignment + oracle + landmark set.
 struct World {
@@ -45,6 +69,10 @@ struct World {
     topology = net::generate_transit_stub(preset, rng);
     net::assign_latencies(topology, model, rng);
     oracle = std::make_unique<net::RttOracle>(topology);
+    // Long sweeps can bound the oracle's memory instead of clearing it at
+    // hand-picked points (results are identical; see docs/performance.md).
+    oracle->set_row_cap(
+        static_cast<std::size_t>(util::env_int("ORACLE_ROWS", 0)));
     proximity::LandmarkConfig config;
     // Scale the landmark grid to the topology's latency regime.
     config.scale_ms =
@@ -139,11 +167,34 @@ inline sim::RoutingSample run_stretch(World& world, OverlayInstance& instance,
                                    rng);
 }
 
-inline void print_preamble(const std::string& title) {
+/// Prints a closing banner with the bench's total wall-clock when it goes
+/// out of scope, so speedups from THREADS are visible in every bench log.
+class ScopedBenchTimer {
+ public:
+  ScopedBenchTimer() : start_(std::chrono::steady_clock::now()) {}
+  ScopedBenchTimer(const ScopedBenchTimer&) = delete;
+  ScopedBenchTimer& operator=(const ScopedBenchTimer&) = delete;
+  ~ScopedBenchTimer() {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    std::printf("\n== total wall-clock: %.2f s (THREADS=%u) ==\n",
+                elapsed.count(), bench_threads());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Opening banner; hold the returned timer in main so the closing banner
+/// reports the bench's wall-clock.
+[[nodiscard]] inline ScopedBenchTimer print_preamble(
+    const std::string& title) {
   util::print_banner(std::cout, title);
-  std::printf("seed=%llu scale=%s\n",
+  std::printf("seed=%llu scale=%s threads=%u\n",
               static_cast<unsigned long long>(bench_seed()),
-              full_scale() ? "FULL (paper)" : "default (use FULL=1)");
+              full_scale() ? "FULL (paper)" : "default (use FULL=1)",
+              bench_threads());
+  return {};
 }
 
 }  // namespace topo::bench

@@ -8,7 +8,7 @@
 
 int main() {
   using namespace topo;
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Figure 2: logical hops, CAN d=2..5 vs eCAN d=2 (EXP)");
 
   const std::uint64_t seed = bench::bench_seed();
@@ -18,47 +18,57 @@ int main() {
   util::Table table({"nodes", "CAN d=2", "CAN d=3", "CAN d=4", "CAN d=5",
                      "EXP (eCAN d=2)"});
 
-  for (const std::size_t n : sizes) {
-    std::vector<std::string> row = {util::Table::integer(
-        static_cast<long long>(n))};
+  // Every (overlay size, configuration) cell is an independent overlay
+  // build + query workload, so the grid fans out across the pool. Column
+  // order: CAN d=2..5 then eCAN; cell seeds match the historical serial
+  // sweep, so the table is identical at any THREADS.
+  constexpr std::size_t kConfigs = 5;  // CAN d=2..5, then EXP (eCAN d=2)
+  const auto cells = bench::run_trials_parallel(
+      sizes.size() * kConfigs, [&](std::size_t cell) {
+        const std::size_t n = sizes[cell / kConfigs];
+        const std::size_t config = cell % kConfigs;
+        util::Samples hops;
+        if (config < 4) {
+          // Plain CAN at d = 2..5. Logical hops only: no topology needed,
+          // but we keep the same query discipline as the rest of the paper
+          // (2N random lookups from random sources).
+          const std::size_t dims = config + 2;
+          util::Rng rng(seed + dims);
+          overlay::CanNetwork can(dims);
+          for (std::size_t i = 0; i < n; ++i)
+            can.join_random(static_cast<net::HostId>(i), rng);
+          const auto live = can.live_nodes();
+          for (std::size_t q = 0; q < 2 * n; ++q) {
+            const auto from = live[rng.next_u64(live.size())];
+            const auto route =
+                can.route(from, geom::Point::random(dims, rng));
+            if (route.success) hops.add(static_cast<double>(route.hops()));
+          }
+        } else {
+          // eCAN d=2 with expressway tables (selection policy does not
+          // matter for hop counts; use random).
+          util::Rng rng(seed + 99);
+          overlay::EcanNetwork ecan(2);
+          for (std::size_t i = 0; i < n; ++i)
+            ecan.join_random(static_cast<net::HostId>(i), rng);
+          core::RandomSelector selector{util::Rng(seed + 100)};
+          ecan.build_all_tables(selector);
+          const auto live = ecan.live_nodes();
+          for (std::size_t q = 0; q < 2 * n; ++q) {
+            const auto from = live[rng.next_u64(live.size())];
+            const auto route =
+                ecan.route_ecan(from, geom::Point::random(2, rng));
+            if (route.success) hops.add(static_cast<double>(route.hops()));
+          }
+        }
+        return hops.mean();
+      });
 
-    // Plain CAN at d = 2..5. Logical hops only: no topology needed, but we
-    // keep the same query discipline as the rest of the paper (2N random
-    // lookups from random sources).
-    for (std::size_t dims = 2; dims <= 5; ++dims) {
-      util::Rng rng(seed + dims);
-      overlay::CanNetwork can(dims);
-      for (std::size_t i = 0; i < n; ++i)
-        can.join_random(static_cast<net::HostId>(i), rng);
-      util::Samples hops;
-      const auto live = can.live_nodes();
-      for (std::size_t q = 0; q < 2 * n; ++q) {
-        const auto from = live[rng.next_u64(live.size())];
-        const auto route = can.route(from, geom::Point::random(dims, rng));
-        if (route.success) hops.add(static_cast<double>(route.hops()));
-      }
-      row.push_back(util::Table::num(hops.mean(), 2));
-    }
-
-    // eCAN d=2 with expressway tables (selection policy does not matter
-    // for hop counts; use random).
-    {
-      util::Rng rng(seed + 99);
-      overlay::EcanNetwork ecan(2);
-      for (std::size_t i = 0; i < n; ++i)
-        ecan.join_random(static_cast<net::HostId>(i), rng);
-      core::RandomSelector selector{util::Rng(seed + 100)};
-      ecan.build_all_tables(selector);
-      util::Samples hops;
-      const auto live = ecan.live_nodes();
-      for (std::size_t q = 0; q < 2 * n; ++q) {
-        const auto from = live[rng.next_u64(live.size())];
-        const auto route =
-            ecan.route_ecan(from, geom::Point::random(2, rng));
-        if (route.success) hops.add(static_cast<double>(route.hops()));
-      }
-      row.push_back(util::Table::num(hops.mean(), 2));
-    }
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<std::string> row = {
+        util::Table::integer(static_cast<long long>(sizes[si]))};
+    for (std::size_t config = 0; config < kConfigs; ++config)
+      row.push_back(util::Table::num(cells[si * kConfigs + config], 2));
     table.add_row(std::move(row));
   }
 

@@ -109,7 +109,7 @@ void run_topology(const net::TransitStubConfig& preset,
 }  // namespace
 
 int main() {
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Figures 3-6: finding the nearest neighbor — ERS vs landmark+RTT");
   run_topology(net::tsk_large(), "Figures 3-4");
   run_topology(net::tsk_small(), "Figures 5-6");

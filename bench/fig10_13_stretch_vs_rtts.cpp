@@ -29,23 +29,47 @@ void run_figure(const std::string& label,
       budgets.size(), std::vector<double>(landmark_counts.size(), 0.0));
   double optimal = 0.0;
 
-  for (std::size_t li = 0; li < landmark_counts.size(); ++li) {
-    bench::World world(preset, model, landmark_counts[li], seed);
-    bench::OverlayInstance instance =
-        bench::build_overlay(world, overlay_nodes, seed + 7);
-    for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
-      // Same seed for every budget: the query workload is identical, so
-      // differences along the column are purely due to selection quality.
-      const auto sample =
-          bench::run_stretch(world, instance, bench::SelectorKind::kSoftState,
-                             budgets[bi], seed + 11);
-      stretch[bi][li] = sample.stretch.mean();
-    }
-    if (li == 0) {
-      const auto sample = bench::run_stretch(
-          world, instance, bench::SelectorKind::kOracle, 1, seed + 999);
-      optimal = sample.stretch.mean();
-    }
+  // One shared (thread-safe) world per landmark count; each trial builds
+  // its own overlay instance from a fixed seed, so the query workload is
+  // identical for every budget and differences along a column are purely
+  // due to selection quality — and the table is the same at any THREADS.
+  std::vector<std::unique_ptr<bench::World>> worlds;
+  for (const int landmarks : landmark_counts)
+    worlds.push_back(
+        std::make_unique<bench::World>(preset, model, landmarks, seed));
+
+  struct TrialSpec {
+    std::size_t li;
+    std::size_t bi;                // == budgets.size() -> optimal line
+    bench::SelectorKind kind;
+    std::size_t budget;
+    std::uint64_t trial_seed;
+  };
+  std::vector<TrialSpec> specs;
+  for (std::size_t li = 0; li < landmark_counts.size(); ++li)
+    for (std::size_t bi = 0; bi < budgets.size(); ++bi)
+      specs.push_back({li, bi, bench::SelectorKind::kSoftState, budgets[bi],
+                       seed + 11});
+  specs.push_back(
+      {0, budgets.size(), bench::SelectorKind::kOracle, 1, seed + 999});
+
+  const auto means =
+      bench::run_trials_parallel(specs.size(), [&](std::size_t trial) {
+        const TrialSpec& spec = specs[trial];
+        bench::World& world = *worlds[spec.li];
+        bench::OverlayInstance instance =
+            bench::build_overlay(world, overlay_nodes, seed + 7);
+        return bench::run_stretch(world, instance, spec.kind, spec.budget,
+                                  spec.trial_seed)
+            .stretch.mean();
+      });
+
+  for (std::size_t trial = 0; trial < specs.size(); ++trial) {
+    const TrialSpec& spec = specs[trial];
+    if (spec.bi == budgets.size())
+      optimal = means[trial];
+    else
+      stretch[spec.bi][spec.li] = means[trial];
   }
 
   for (std::size_t bi = 0; bi < budgets.size(); ++bi)
@@ -63,7 +87,7 @@ void run_figure(const std::string& label,
 }  // namespace
 
 int main() {
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Figures 10-13: routing stretch vs #RTT measurements");
   run_figure("Figure 10: tsk-large, GT-ITM latencies", net::tsk_large(),
              net::LatencyModel::kGtItmRandom);

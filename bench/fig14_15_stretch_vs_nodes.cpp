@@ -27,42 +27,57 @@ void run_figure(const std::string& label, net::LatencyModel model) {
   const int landmarks = 15;
   const std::size_t budget = 10;
 
-  struct TopoRun {
-    std::unique_ptr<bench::World> world;
-  };
-  TopoRun runs[2];
-  runs[0].world =
+  std::unique_ptr<bench::World> worlds[2];
+  worlds[0] =
       std::make_unique<bench::World>(net::tsk_large(), model, landmarks, seed);
-  runs[1].world =
+  worlds[1] =
       std::make_unique<bench::World>(net::tsk_small(), model, landmarks, seed);
+  // The serial driver used to clear_cache() between sizes to bound memory;
+  // trials now run concurrently, so bound the oracle instead (evicted rows
+  // are recomputed on demand — the printed numbers are unchanged).
+  if (util::env_int("ORACLE_ROWS", 0) == 0)
+    for (auto& world : worlds)
+      world->oracle->set_row_cap(bench::full_scale() ? 6000 : 3000);
 
-  for (const std::size_t n : sizes) {
-    double soft[2], random_sel[2], optimal[2];
-    for (int t = 0; t < 2; ++t) {
-      bench::World& world = *runs[t].world;
-      bench::OverlayInstance instance =
-          bench::build_overlay(world, n, seed + n);
-      soft[t] = bench::run_stretch(world, instance,
-                                   bench::SelectorKind::kSoftState, budget,
-                                   seed + 3)
-                    .stretch.mean();
-      random_sel[t] = bench::run_stretch(world, instance,
-                                         bench::SelectorKind::kRandom, budget,
-                                         seed + 5)
-                          .stretch.mean();
-      optimal[t] = bench::run_stretch(world, instance,
-                                      bench::SelectorKind::kOracle, 1,
-                                      seed + 7)
-                       .stretch.mean();
-      world.oracle->clear_cache();
-      world.warm_landmark_rows();
-    }
+  // One trial per (overlay size, topology): the three selector runs share
+  // the trial's overlay instance, exactly as the serial sweep did.
+  struct TrialResult {
+    double soft, random_sel, optimal;
+  };
+  const std::size_t trials = sizes.size() * 2;
+  const auto results =
+      bench::run_trials_parallel(trials, [&](std::size_t trial) {
+        const std::size_t n = sizes[trial / 2];
+        bench::World& world = *worlds[trial % 2];
+        bench::OverlayInstance instance =
+            bench::build_overlay(world, n, seed + n);
+        TrialResult r;
+        r.soft = bench::run_stretch(world, instance,
+                                    bench::SelectorKind::kSoftState, budget,
+                                    seed + 3)
+                     .stretch.mean();
+        r.random_sel = bench::run_stretch(world, instance,
+                                          bench::SelectorKind::kRandom,
+                                          budget, seed + 5)
+                           .stretch.mean();
+        r.optimal = bench::run_stretch(world, instance,
+                                       bench::SelectorKind::kOracle, 1,
+                                       seed + 7)
+                        .stretch.mean();
+        return r;
+      });
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::size_t n = sizes[si];
+    const TrialResult& large = results[si * 2];
+    const TrialResult& small = results[si * 2 + 1];
     table.add_row({util::Table::integer(static_cast<long long>(n)),
-                   util::Table::num(soft[0], 3), util::Table::num(soft[1], 3),
-                   util::Table::num(random_sel[0], 3),
-                   util::Table::num(random_sel[1], 3),
-                   util::Table::num(optimal[0], 3),
-                   util::Table::num(optimal[1], 3)});
+                   util::Table::num(large.soft, 3),
+                   util::Table::num(small.soft, 3),
+                   util::Table::num(large.random_sel, 3),
+                   util::Table::num(small.random_sel, 3),
+                   util::Table::num(large.optimal, 3),
+                   util::Table::num(small.optimal, 3)});
     if (n == sizes.back()) {
       std::cout << table.to_string();
       std::printf(
@@ -72,8 +87,8 @@ void run_figure(const std::string& label, net::LatencyModel model) {
           "  lmk+rtt (this paper)    : %.3f\n"
           "  random neighbor         : %.3f  (lmk+rtt cuts %.0f%% of the\n"
           "                                   random-selection latency)\n",
-          n, optimal[0], (optimal[0] - 1.0) * 100.0, soft[0], random_sel[0],
-          (1.0 - soft[0] / random_sel[0]) * 100.0);
+          n, large.optimal, (large.optimal - 1.0) * 100.0, large.soft,
+          large.random_sel, (1.0 - large.soft / large.random_sel) * 100.0);
     }
   }
 }
@@ -81,7 +96,7 @@ void run_figure(const std::string& label, net::LatencyModel model) {
 }  // namespace
 
 int main() {
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Figures 14-15: stretch vs overlay size, global state vs random");
   run_figure("Figure 14: GT-ITM latencies", net::LatencyModel::kGtItmRandom);
   run_figure("Figure 15: manual latencies", net::LatencyModel::kManual);

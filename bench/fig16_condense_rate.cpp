@@ -11,7 +11,8 @@
 using namespace topo;
 
 int main() {
-  bench::print_preamble("Figure 16: map condense rate");
+  const auto bench_timer =
+      bench::print_preamble("Figure 16: map condense rate");
 
   const std::uint64_t seed = bench::bench_seed();
   const auto overlay_nodes = static_cast<std::size_t>(

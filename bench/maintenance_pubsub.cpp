@@ -88,7 +88,8 @@ ChurnResult run_churn(const net::Topology& topology, bool subscribe,
 }  // namespace
 
 int main() {
-  bench::print_preamble("Section 5.2: pub/sub maintenance under churn");
+  const auto bench_timer =
+      bench::print_preamble("Section 5.2: pub/sub maintenance under churn");
 
   const std::uint64_t seed = bench::bench_seed();
   util::Rng topo_rng(seed);

@@ -1,10 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: Hilbert
 // curve transforms, Dijkstra / RTT oracle, CAN & eCAN routing, soft-state
 // map operations.
+//
+// After the google-benchmark suite, a scaling suite times the parallel
+// oracle primitives (warm-up, latency lookup, probe_nearest) at 1/2/4/8
+// threads and writes machine-readable results to BENCH_parallel.json
+// (override the path with BENCH_JSON=...; skip with BENCH_PARALLEL=0), so
+// the perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "core/chord_selectors.hpp"
 #include "core/pastry_selectors.hpp"
 #include "core/selectors.hpp"
@@ -13,7 +25,9 @@
 #include "net/shortest_path.hpp"
 #include "net/transit_stub.hpp"
 #include "softstate/map_service.hpp"
+#include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topo {
 namespace {
@@ -68,6 +82,18 @@ void BM_Dijkstra10kHosts(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dijkstra10kHosts)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraScratch10kHosts(benchmark::State& state) {
+  const auto& topology = NetFixture::instance().topology;
+  util::Rng rng(4);
+  net::DijkstraScratch scratch;  // recycled buffers: no per-run allocation
+  for (auto _ : state) {
+    const auto source =
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    benchmark::DoNotOptimize(net::dijkstra(topology, source, scratch));
+  }
+}
+BENCHMARK(BM_DijkstraScratch10kHosts)->Unit(benchmark::kMillisecond);
 
 void BM_OracleCachedLatency(benchmark::State& state) {
   const auto& topology = NetFixture::instance().topology;
@@ -239,7 +265,124 @@ void BM_PastryRoute4k(benchmark::State& state) {
 }
 BENCHMARK(BM_PastryRoute4k);
 
+// ---------------------------------------------------------------------------
+// Thread-scaling suite: the parallel oracle primitives at 1/2/4/8 threads.
+// Uses its own pools (not the global one) so each row measures exactly the
+// thread count it reports, independent of the THREADS env var.
+
+struct ParallelSample {
+  unsigned threads = 0;
+  double warm_ms = 0.0;             // wall-clock to warm kWarmSources rows
+  double lookup_ns_per_op = 0.0;    // cached latency_ms, aggregate rate
+  double probe_nearest_us_per_op = 0.0;
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double, std::milli> d =
+      std::chrono::steady_clock::now() - start;
+  return d.count();
+}
+
+ParallelSample run_parallel_sample(unsigned threads) {
+  const auto& topology = NetFixture::instance().topology;
+  constexpr std::size_t kWarmSources = 48;
+  constexpr std::size_t kLookups = 200000;
+  constexpr std::size_t kProbeCalls = 2000;
+  constexpr std::size_t kCandidates = 8;
+
+  util::ThreadPool pool(threads);
+  ParallelSample sample;
+  sample.threads = threads;
+
+  net::RttOracle oracle(topology);
+  std::vector<net::HostId> sources(kWarmSources);
+  util::Rng rng(17);
+  for (auto& s : sources)
+    s = static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+
+  auto start = std::chrono::steady_clock::now();
+  oracle.warm(sources, pool);
+  sample.warm_ms = elapsed_ms(start);
+
+  // Cached lookups: every query hits a warmed row via either endpoint.
+  start = std::chrono::steady_clock::now();
+  pool.parallel_for(0, kLookups, 4096, [&](std::size_t i) {
+    // Stateless per-index mix: cheaper than an Rng in a ns-scale loop.
+    std::uint64_t s = 18 ^ i;
+    const auto from = sources[i % sources.size()];
+    const auto to = static_cast<net::HostId>(util::splitmix64(s) %
+                                             topology.host_count());
+    benchmark::DoNotOptimize(oracle.latency_ms(from, to));
+  });
+  sample.lookup_ns_per_op =
+      elapsed_ms(start) * 1e6 / static_cast<double>(kLookups);
+
+  // probe_nearest over small candidate sets drawn from the warmed sources.
+  start = std::chrono::steady_clock::now();
+  pool.parallel_for(0, kProbeCalls, 16, [&](std::size_t i) {
+    auto probe_rng = util::rng_for_index(19, i);
+    std::vector<net::HostId> candidates(kCandidates);
+    for (auto& c : candidates)
+      c = sources[probe_rng.next_u64(sources.size())];
+    const auto from = static_cast<net::HostId>(
+        probe_rng.next_u64(topology.host_count()));
+    benchmark::DoNotOptimize(oracle.probe_nearest(from, candidates));
+  });
+  sample.probe_nearest_us_per_op =
+      elapsed_ms(start) * 1e3 / static_cast<double>(kProbeCalls);
+  return sample;
+}
+
+void run_parallel_suite() {
+  const std::string path =
+      util::env_string("BENCH_JSON", "BENCH_parallel.json");
+  std::vector<ParallelSample> samples;
+  std::printf("\n-- parallel oracle scaling (configured threads: %u) --\n",
+              util::ThreadPool::configured_threads());
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    samples.push_back(run_parallel_sample(threads));
+    const auto& s = samples.back();
+    std::printf(
+        "threads=%u  warm=%.1f ms  lookup=%.1f ns/op  "
+        "probe_nearest=%.2f us/op\n",
+        s.threads, s.warm_ms, s.lookup_ns_per_op, s.probe_nearest_us_per_op);
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  const auto& topology = NetFixture::instance().topology;
+  out << "{\n"
+      << "  \"bench\": \"micro_benchmarks.parallel_oracle\",\n"
+      << "  \"host_count\": " << topology.host_count() << ",\n"
+      << "  \"warm_sources\": 48,\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    out << "    {\"threads\": " << s.threads
+        << ", \"warm_ms\": " << s.warm_ms
+        << ", \"latency_lookup_ns_per_op\": " << s.lookup_ns_per_op
+        << ", \"probe_nearest_us_per_op\": " << s.probe_nearest_us_per_op
+        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace topo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto bench_timer = topo::bench::print_preamble(
+      "Micro-benchmarks: hot primitives + parallel oracle scaling");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (topo::util::env_bool("BENCH_PARALLEL", true)) {
+    topo::run_parallel_suite();
+  }
+  return 0;
+}

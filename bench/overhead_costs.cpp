@@ -17,7 +17,8 @@
 using namespace topo;
 
 int main() {
-  bench::print_preamble("Overhead: what the global soft-state costs");
+  const auto bench_timer =
+      bench::print_preamble("Overhead: what the global soft-state costs");
 
   const std::uint64_t seed = bench::bench_seed();
   util::Rng topo_rng(seed);

@@ -49,7 +49,7 @@ double measure(bench::World& world, PastryRun& run,
 }  // namespace
 
 int main() {
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Section 5.1: prefix-region soft-state maps on Pastry");
 
   const std::uint64_t seed = bench::bench_seed();

@@ -13,7 +13,8 @@
 using namespace topo;
 
 int main() {
-  bench::print_preamble("Intro claim: Topologically-Aware CAN imbalance");
+  const auto bench_timer =
+      bench::print_preamble("Intro claim: Topologically-Aware CAN imbalance");
 
   const std::uint64_t seed = bench::bench_seed();
   const auto overlay_nodes = static_cast<std::size_t>(util::env_int(

@@ -19,7 +19,7 @@
 using namespace topo;
 
 int main() {
-  bench::print_preamble(
+  const auto bench_timer = bench::print_preamble(
       "Section 1 taxonomy: layout vs proximity routing vs PNS");
 
   const std::uint64_t seed = bench::bench_seed();

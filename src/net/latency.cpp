@@ -1,5 +1,7 @@
 #include "net/latency.hpp"
 
+#include <cmath>
+
 namespace topo::net {
 
 const char* latency_model_name(LatencyModel model) {
@@ -9,6 +11,23 @@ const char* latency_model_name(LatencyModel model) {
   }
   return "?";
 }
+
+namespace {
+
+// Snap a latency to the 2^-20 ms grid (flooring, so values stay inside
+// their [lo, hi) draw range). With every link weight a dyadic rational of
+// this granularity, path sums stay exact in double arithmetic for any
+// addition order, so dist(a->b) == dist(b->a) bit-for-bit. The RTT
+// oracle's either-endpoint caching relies on that: which endpoint's row
+// answers a query depends on cache state — and, under the parallel bench
+// drivers, on thread interleaving — so the two reads must agree exactly
+// for results to be reproducible at any THREADS.
+double quantize_ms(double latency_ms) {
+  constexpr double kGrid = 1048576.0;  // 2^20
+  return std::floor(latency_ms * kGrid) / kGrid;
+}
+
+}  // namespace
 
 void assign_latencies(Topology& topology, LatencyModel model, util::Rng& rng,
                       const ManualLatencies& manual,
@@ -53,6 +72,7 @@ void assign_latencies(Topology& topology, LatencyModel model, util::Rng& rng,
         }
         break;
     }
+    link.latency_ms = quantize_ms(link.latency_ms);
   }
 }
 

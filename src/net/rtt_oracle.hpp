@@ -7,42 +7,79 @@
 // network measurements a real node would have to perform (as opposed to the
 // simulator's own bookkeeping, which uses `latency_ms`). The probe counter
 // is what the paper's "number of RTT measurements" axes report.
+//
+// Concurrency model. The oracle is safe to query from many threads at
+// once, which is what lets the bench drivers fan trials out over a thread
+// pool while sharing one warmed cache:
+//
+//  - Rows live in a flat slot table indexed by HostId (one atomic pointer
+//    per host), so a cache hit is two array reads — no hashing, no lock.
+//  - Row construction is guarded by sharded mutexes with double-checked
+//    locking: concurrent queries for the same uncached source run exactly
+//    one Dijkstra between them, so `dijkstra_runs()` never exceeds the
+//    number of distinct sources touched.
+//  - `probe_count_` / `dijkstra_runs_` are atomic; results are exact
+//    shortest-path latencies, so the numbers a bench prints are identical
+//    at any thread count.
+//  - In the default unbounded mode rows are immortal until `clear_cache()`
+//    (which, like `set_row_cap`/`set_measurement_noise`, must be called
+//    while no other thread is querying). With a row cap set, eviction can
+//    run concurrently with queries: readers then take a sharded shared
+//    lock so a row is never freed mid-read.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "util/rng.hpp"
 
+namespace topo::util {
+class ThreadPool;
+}  // namespace topo::util
+
 namespace topo::net {
 
 class RttOracle {
  public:
-  explicit RttOracle(const Topology& topology) : topology_(&topology) {}
+  explicit RttOracle(const Topology& topology);
+  ~RttOracle();
+
+  RttOracle(const RttOracle&) = delete;
+  RttOracle& operator=(const RttOracle&) = delete;
 
   const Topology& topology() const { return *topology_; }
 
-  /// Simulator-side latency lookup (free; not counted as a probe).
+  /// Simulator-side latency lookup (free; not counted as a probe). Served
+  /// from whichever endpoint's row is cached; caches `from`'s otherwise.
   double latency_ms(HostId from, HostId to);
 
   /// A modeled network measurement: counted, and — unlike the simulator's
   /// own bookkeeping — subject to the configured measurement noise, the
   /// way a real ping sample jitters around the propagation latency.
   double probe_rtt(HostId from, HostId to) {
-    ++probe_count_;
+    probe_count_.fetch_add(1, std::memory_order_relaxed);
     double rtt = latency_ms(from, to);
-    if (noise_fraction_ > 0.0)
+    if (noise_fraction_ > 0.0) {
+      // The draw order (and thus each sample) depends on probe
+      // interleaving; parallel benches keep determinism by giving each
+      // trial its own oracle or its own seeded noise stream.
+      std::lock_guard lock(noise_mutex_);
       rtt *= 1.0 + noise_rng_.next_double(-noise_fraction_, noise_fraction_);
+    }
     return rtt;
   }
 
   /// Enables multiplicative measurement noise: each probe is scaled by a
   /// uniform factor in [1-f, 1+f]. This is what the Section 5.4 SVD
   /// optimization is designed to suppress; the ablation bench exercises
-  /// both regimes.
+  /// both regimes. Call before sharing the oracle across threads.
   void set_measurement_noise(double fraction, std::uint64_t seed) {
     TO_EXPECTS(fraction >= 0.0 && fraction < 1.0);
     noise_fraction_ = fraction;
@@ -57,26 +94,84 @@ class RttOracle {
   /// The true nearest host to `from` within `candidates` (oracle; free).
   HostId nearest(HostId from, std::span<const HostId> candidates);
 
-  std::uint64_t probe_count() const { return probe_count_; }
-  void reset_probe_count() { probe_count_ = 0; }
+  std::uint64_t probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
+  }
+  void reset_probe_count() {
+    probe_count_.store(0, std::memory_order_relaxed);
+  }
 
-  std::uint64_t dijkstra_runs() const { return dijkstra_runs_; }
+  std::uint64_t dijkstra_runs() const {
+    return dijkstra_runs_.load(std::memory_order_relaxed);
+  }
 
-  /// Drop all cached rows (memory control for long sweeps).
+  /// Drop all cached rows (memory control between sweep phases). Not safe
+  /// concurrently with queries — call at a quiescent point.
   void clear_cache();
 
   /// Precompute & pin rows for the given sources (bulk experiments).
+  /// Runs the Dijkstras in parallel on the global pool; pinned rows are
+  /// exempt from bounded-mode eviction.
   void warm(std::span<const HostId> sources);
+  void warm(std::span<const HostId> sources, util::ThreadPool& pool);
+
+  /// Bounded-memory mode for long sweeps: keep at most `cap` unpinned rows
+  /// cached, evicting approximately-least-recently-used rows as new ones
+  /// are built (0 = unbounded, the default). Evicted rows are recomputed
+  /// on demand, so results are unchanged — only Dijkstra counts and memory
+  /// differ. Call before sharing the oracle across threads.
+  void set_row_cap(std::size_t cap) {
+    row_cap_.store(cap, std::memory_order_relaxed);
+  }
+  std::size_t row_cap() const {
+    return row_cap_.load(std::memory_order_relaxed);
+  }
+
+  /// Rows currently cached (pinned + unpinned).
+  std::size_t cached_rows() const {
+    return cached_rows_.load(std::memory_order_relaxed);
+  }
 
  private:
-  const std::vector<double>& row(HostId source);
+  struct Row {
+    explicit Row(std::vector<double> d) : dist(std::move(d)) {}
+    std::vector<double> dist;
+    std::atomic<std::uint64_t> stamp{0};  // approximate-LRU access clock
+    std::atomic<bool> pinned{false};
+  };
+
+  static constexpr std::size_t kShards = 64;
+  std::size_t shard_of(HostId h) const { return h % kShards; }
+
+  bool bounded() const {
+    return row_cap_.load(std::memory_order_relaxed) > 0;
+  }
+  void touch(Row& row) {
+    row.stamp.store(access_clock_.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+
+  /// Reads slot `source` (exact-index hit only); returns the latency to
+  /// `to` through `out`. Takes the shard's shared lock in bounded mode.
+  bool try_read(HostId source, HostId to, double* out);
+
+  /// Builds (or finds, under double-checked locking) `from`'s row and
+  /// returns the latency to `to`. `pin` marks the row eviction-exempt.
+  double build_and_read(HostId from, HostId to, bool pin);
+
+  void evict_over_cap();
 
   const Topology* topology_;
-  std::unordered_map<HostId, std::vector<double>> rows_;
-  std::uint64_t probe_count_ = 0;
-  std::uint64_t dijkstra_runs_ = 0;
+  std::vector<std::atomic<Row*>> slots_;  // one per host; null = uncached
+  mutable std::array<std::shared_mutex, kShards> shard_mutex_;
+  std::atomic<std::uint64_t> probe_count_{0};
+  std::atomic<std::uint64_t> dijkstra_runs_{0};
+  std::atomic<std::uint64_t> access_clock_{0};
+  std::atomic<std::size_t> cached_rows_{0};
+  std::atomic<std::size_t> row_cap_{0};
   double noise_fraction_ = 0.0;
   util::Rng noise_rng_{0};
+  std::mutex noise_mutex_;
 };
 
 }  // namespace topo::net

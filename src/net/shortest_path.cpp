@@ -1,5 +1,6 @@
 #include "net/shortest_path.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <utility>
@@ -8,25 +9,32 @@ namespace topo::net {
 
 namespace {
 
-std::vector<double> dijkstra_impl(const Topology& topology, HostId source,
-                                  double radius_ms) {
+// Min-heap over (distance, host) on the scratch's recycled vector. The
+// pair's lexicographic order ties identical distances by HostId, matching
+// the std::priority_queue the original implementation used, so results are
+// bit-identical to the historical ones.
+std::span<const double> dijkstra_into(
+    const Topology& topology, HostId source, double radius_ms,
+    std::vector<double>& dist, std::vector<std::pair<double, HostId>>& heap) {
   TO_EXPECTS(source < topology.host_count());
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(topology.host_count(), kInf);
-  using Item = std::pair<double, HostId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist.assign(topology.host_count(), kInf);
+  heap.clear();
+  const auto by_distance = std::greater<std::pair<double, HostId>>{};
   dist[source] = 0.0;
-  heap.emplace(0.0, source);
+  heap.emplace_back(0.0, source);
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
+    const auto [d, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), by_distance);
+    heap.pop_back();
     if (d > dist[u]) continue;  // stale entry
     if (d > radius_ms) break;
     for (const Topology::Neighbor& nb : topology.neighbors(u)) {
       const double nd = d + topology.link_latency(nb.link_index);
       if (nd < dist[nb.host]) {
         dist[nb.host] = nd;
-        heap.emplace(nd, nb.host);
+        heap.emplace_back(nd, nb.host);
+        std::push_heap(heap.begin(), heap.end(), by_distance);
       }
     }
   }
@@ -39,15 +47,32 @@ std::vector<double> dijkstra_impl(const Topology& topology, HostId source,
 
 }  // namespace
 
+std::span<const double> dijkstra(const Topology& topology, HostId source,
+                                 DijkstraScratch& scratch) {
+  return dijkstra_into(topology, source,
+                       std::numeric_limits<double>::infinity(), scratch.dist_,
+                       scratch.heap_);
+}
+
+std::span<const double> dijkstra_within(const Topology& topology,
+                                        HostId source, double radius_ms,
+                                        DijkstraScratch& scratch) {
+  TO_EXPECTS(radius_ms >= 0.0);
+  return dijkstra_into(topology, source, radius_ms, scratch.dist_,
+                       scratch.heap_);
+}
+
 std::vector<double> dijkstra(const Topology& topology, HostId source) {
-  return dijkstra_impl(topology, source,
-                       std::numeric_limits<double>::infinity());
+  DijkstraScratch scratch;
+  dijkstra(topology, source, scratch);
+  return std::move(scratch.dist_);
 }
 
 std::vector<double> dijkstra_within(const Topology& topology, HostId source,
                                     double radius_ms) {
-  TO_EXPECTS(radius_ms >= 0.0);
-  return dijkstra_impl(topology, source, radius_ms);
+  DijkstraScratch scratch;
+  dijkstra_within(topology, source, radius_ms, scratch);
+  return std::move(scratch.dist_);
 }
 
 std::vector<HostId> hosts_within_hops(const Topology& topology, HostId source,

@@ -1,19 +1,53 @@
 // Single-source shortest paths over the physical topology.
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
 
 namespace topo::net {
 
-/// Dijkstra from `source`; returns one latency per host (ms).
-/// Unreachable hosts get +infinity (never happens for our generators, which
-/// guarantee connectivity).
-std::vector<double> dijkstra(const Topology& topology, HostId source);
+/// Reusable per-thread buffers for repeated Dijkstra runs. A 10k-host row
+/// is ~80 KB of distances plus heap storage; the oracle runs thousands of
+/// Dijkstras per bench, so recycling the buffers keeps the hot path free
+/// of allocator traffic (and of allocator lock contention across threads).
+/// Not thread-safe: use one scratch per thread (e.g. `thread_local`).
+class DijkstraScratch {
+ public:
+  DijkstraScratch() = default;
+
+  /// Distances from the most recent run (valid until the next run).
+  std::span<const double> last_row() const { return dist_; }
+
+ private:
+  friend std::span<const double> dijkstra(const Topology&, HostId,
+                                          DijkstraScratch&);
+  friend std::span<const double> dijkstra_within(const Topology&, HostId,
+                                                 double, DijkstraScratch&);
+  friend std::vector<double> dijkstra(const Topology&, HostId);
+  friend std::vector<double> dijkstra_within(const Topology&, HostId, double);
+
+  std::vector<double> dist_;
+  std::vector<std::pair<double, HostId>> heap_;
+};
+
+/// Dijkstra from `source` into `scratch`; returns one latency per host
+/// (ms), valid until the scratch's next run. Unreachable hosts get
+/// +infinity (never happens for our generators, which guarantee
+/// connectivity).
+std::span<const double> dijkstra(const Topology& topology, HostId source,
+                                 DijkstraScratch& scratch);
 
 /// Dijkstra truncated at `radius_ms`: hosts farther than the radius keep
 /// +infinity. Used by expanding-ring search simulation.
+std::span<const double> dijkstra_within(const Topology& topology,
+                                        HostId source, double radius_ms,
+                                        DijkstraScratch& scratch);
+
+/// Allocating conveniences for one-off callers (tools, tests).
+std::vector<double> dijkstra(const Topology& topology, HostId source);
 std::vector<double> dijkstra_within(const Topology& topology, HostId source,
                                     double radius_ms);
 

@@ -1,0 +1,139 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/flags.hpp"
+
+namespace topo::util {
+
+/// One parallel_for invocation. Lives on the caller's stack; workers only
+/// ever borrow a pointer, and the caller does not return before every
+/// borrowed pointer is either finished or reclaimed from the queue.
+struct ThreadPool::Job {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int pending = 0;  // queue entries not yet finished (guarded by mutex)
+  std::exception_ptr error;  // first exception (guarded by mutex)
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = configured_threads();
+  for (unsigned i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  const std::size_t chunk = job.chunk;
+  for (;;) {
+    const std::size_t start = job.next.fetch_add(chunk);
+    if (start >= job.end) break;
+    const std::size_t stop = std::min(start + chunk, job.end);
+    try {
+      for (std::size_t i = start; i < stop; ++i) (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(job.mutex);
+      if (!job.error) job.error = std::current_exception();
+      job.next.store(job.end);  // abandon the rest of the range
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    run_chunks(*job);
+    {
+      std::lock_guard lock(job->mutex);
+      --job->pending;
+      if (job->pending == 0) job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (chunk == 0) chunk = 1;
+
+  Job job;
+  job.next.store(begin);
+  job.end = end;
+  job.chunk = chunk;
+  job.fn = &fn;
+
+  // One helper entry per worker that could usefully participate.
+  const std::size_t chunks = (end - begin + chunk - 1) / chunk;
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), chunks > 0 ? chunks - 1 : 0);
+  if (helpers > 0) {
+    {
+      std::lock_guard lock(queue_mutex_);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(&job);
+      job.pending = static_cast<int>(helpers);
+    }
+    queue_cv_.notify_all();
+  }
+
+  // The caller drives the range too — this is what makes nested calls and
+  // a fully-busy pool safe (progress never depends on a free worker).
+  run_chunks(job);
+
+  if (helpers > 0) {
+    // Reclaim helper entries nobody picked up (the range is already done),
+    // then wait for the ones that are mid-chunk.
+    {
+      std::lock_guard lock(queue_mutex_);
+      const auto removed =
+          std::count(queue_.begin(), queue_.end(), &job);
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), &job),
+                   queue_.end());
+      std::lock_guard job_lock(job.mutex);
+      job.pending -= static_cast<int>(removed);
+    }
+    std::unique_lock lock(job.mutex);
+    job.done_cv.wait(lock, [&job] { return job.pending == 0; });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+unsigned ThreadPool::configured_threads() {
+  static const unsigned count = [] {
+    const auto requested = env_int("THREADS", 0);
+    if (requested > 0) return static_cast<unsigned>(requested);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+  }();
+  return count;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+}  // namespace topo::util

@@ -1,0 +1,80 @@
+// Fixed-size worker pool for the simulation engine.
+//
+// The design goal is *deterministic parallelism*: a bench must print the
+// same numbers at THREADS=1 and THREADS=16. The pool therefore exposes
+// index-based primitives only — `parallel_for(begin, end, chunk, fn)` runs
+// `fn(i)` for every index exactly once, and any randomness a body needs is
+// derived from `rng_for_index(seed, i)`, never from which worker happened
+// to pick the chunk. Work is distributed dynamically (atomic chunk
+// counter), so scheduling varies run to run, but outputs are keyed by
+// index and so cannot.
+//
+// The calling thread participates in the loop, which makes nested
+// `parallel_for` calls safe: even if every worker is busy, the caller
+// drains its own range and the posted helper tasks simply find the range
+// exhausted when they eventually run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace topo::util {
+
+/// Deterministic per-index RNG stream: the same (seed, index) pair yields
+/// the same stream at any thread count. Derived from `seed ^ index` with a
+/// SplitMix64 finalizer so adjacent indices are decorrelated.
+inline Rng rng_for_index(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t s = seed ^ index;
+  return Rng(splitmix64(s));
+}
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread too: a pool of size 1 spawns no
+  /// workers and runs everything inline. 0 means `configured_threads()`.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs `fn(i)` exactly once for every i in [begin, end), distributing
+  /// contiguous chunks of `chunk` indices across the pool. Blocks until the
+  /// whole range is done. `fn` must be safe to call concurrently; the first
+  /// exception thrown by any invocation is rethrown here (remaining chunks
+  /// are abandoned, in-flight ones finish).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Thread count from the `THREADS` env var, or hardware concurrency when
+  /// unset/0. Read once and cached (the global pool is sized with it).
+  static unsigned configured_threads();
+
+  /// Process-wide pool shared by the oracle and the bench drivers.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job*> queue_;  // borrowed; owned by the parallel_for frame
+  bool stopping_ = false;
+};
+
+}  // namespace topo::util

@@ -1,0 +1,185 @@
+// Concurrency coverage for the thread-safe RTT oracle: many threads
+// hammering latency_ms / probe_rtt must (a) return exactly the values a
+// single-threaded oracle returns, (b) never run duplicate Dijkstras for a
+// source under construction races, and (c) stay correct when bounded-memory
+// eviction is churning rows underneath the readers. Run under the tsan
+// preset (cmake --preset tsan) to catch data races, not just wrong answers.
+#include "net/rtt_oracle.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/shortest_path.hpp"
+#include "net/transit_stub.hpp"
+#include "util/thread_pool.hpp"
+
+namespace topo::net {
+namespace {
+
+constexpr unsigned kThreads = 8;
+
+Topology tiny_with_latencies(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Topology t = generate_transit_stub(tsk_tiny(), rng);
+  assign_latencies(t, LatencyModel::kGtItmRandom, rng);
+  return t;
+}
+
+/// A deterministic batch of query pairs, independent of thread count.
+std::vector<std::pair<HostId, HostId>> query_batch(const Topology& t,
+                                                   std::uint64_t seed,
+                                                   std::size_t count,
+                                                   std::size_t host_limit) {
+  const auto hosts = std::min<std::size_t>(host_limit, t.host_count());
+  std::vector<std::pair<HostId, HostId>> pairs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto rng = util::rng_for_index(seed, i);
+    pairs[i] = {static_cast<HostId>(rng.next_u64(hosts)),
+                static_cast<HostId>(rng.next_u64(t.host_count()))};
+  }
+  return pairs;
+}
+
+TEST(RttOracleParallel, MatchesSingleThreadedOracleExactly) {
+  const Topology t = tiny_with_latencies(21);
+  const auto pairs = query_batch(t, 31, 4096, 64);
+
+  RttOracle serial(t);
+  std::vector<double> expected(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    expected[i] = serial.latency_ms(pairs[i].first, pairs[i].second);
+
+  RttOracle shared(t);
+  util::ThreadPool pool(kThreads);
+  std::vector<double> actual(pairs.size());
+  pool.parallel_for(0, pairs.size(), 7, [&](std::size_t i) {
+    actual[i] = shared.latency_ms(pairs[i].first, pairs[i].second);
+  });
+
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    ASSERT_EQ(actual[i], expected[i]) << "query " << i;
+}
+
+TEST(RttOracleParallel, NoDuplicateRowConstructionUnderRaces) {
+  const Topology t = tiny_with_latencies(22);
+  // Few sources, many threads: maximal construction contention.
+  const auto pairs = query_batch(t, 32, 2048, 8);
+  // Rows are only ever built for the `from` endpoint, and double-checked
+  // locking must collapse every construction race to one Dijkstra.
+  std::set<HostId> touched;
+  for (const auto& [from, to] : pairs) touched.insert(from);
+
+  RttOracle oracle(t);
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(0, pairs.size(), 3, [&](std::size_t i) {
+    (void)oracle.latency_ms(pairs[i].first, pairs[i].second);
+  });
+  EXPECT_LE(oracle.dijkstra_runs(), touched.size());
+  EXPECT_GE(oracle.dijkstra_runs(), 1u);
+}
+
+TEST(RttOracleParallel, ProbeRttCountsAndStaysExactWithoutNoise) {
+  const Topology t = tiny_with_latencies(23);
+  const auto pairs = query_batch(t, 33, 1024, 32);
+
+  RttOracle serial(t);
+  std::vector<double> expected(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    expected[i] = serial.latency_ms(pairs[i].first, pairs[i].second);
+
+  RttOracle shared(t);
+  util::ThreadPool pool(kThreads);
+  std::vector<double> actual(pairs.size());
+  pool.parallel_for(0, pairs.size(), 5, [&](std::size_t i) {
+    actual[i] = shared.probe_rtt(pairs[i].first, pairs[i].second);
+  });
+  EXPECT_EQ(shared.probe_count(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    ASSERT_EQ(actual[i], expected[i]) << "probe " << i;
+}
+
+TEST(RttOracleParallel, NoisyProbesStayWithinBandUnderConcurrency) {
+  const Topology t = tiny_with_latencies(24);
+  const auto pairs = query_batch(t, 34, 512, 16);
+
+  RttOracle serial(t);
+  RttOracle shared(t);
+  shared.set_measurement_noise(0.2, 77);
+  util::ThreadPool pool(kThreads);
+  std::atomic<int> out_of_band{0};
+  pool.parallel_for(0, pairs.size(), 5, [&](std::size_t i) {
+    const double truth = serial.latency_ms(pairs[i].first, pairs[i].second);
+    const double sample = shared.probe_rtt(pairs[i].first, pairs[i].second);
+    if (sample < truth * 0.8 - 1e-9 || sample > truth * 1.2 + 1e-9)
+      out_of_band.fetch_add(1);
+  });
+  EXPECT_EQ(out_of_band.load(), 0);
+}
+
+TEST(RttOracleParallel, EvictionModeNeverReturnsWrongLatency) {
+  const Topology t = tiny_with_latencies(25);
+  const auto pairs = query_batch(t, 35, 4096, 48);
+
+  RttOracle serial(t);
+  std::vector<double> expected(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    expected[i] = serial.latency_ms(pairs[i].first, pairs[i].second);
+
+  // A cap far below the working set keeps eviction churning while the
+  // readers run; every answer must still be the exact Dijkstra value.
+  RttOracle bounded(t);
+  bounded.set_row_cap(4);
+  util::ThreadPool pool(kThreads);
+  std::vector<double> actual(pairs.size());
+  pool.parallel_for(0, pairs.size(), 3, [&](std::size_t i) {
+    actual[i] = bounded.latency_ms(pairs[i].first, pairs[i].second);
+  });
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    ASSERT_EQ(actual[i], expected[i]) << "query " << i;
+  EXPECT_LE(bounded.cached_rows(), 4u + kThreads);  // transient overshoot
+}
+
+TEST(RttOracleParallel, ParallelWarmPinsEachSourceOnce) {
+  const Topology t = tiny_with_latencies(26);
+  std::vector<HostId> sources;
+  for (HostId h = 0; h < 32; ++h) sources.push_back(h);
+  // Duplicates must not trigger duplicate Dijkstras either.
+  sources.insert(sources.end(), sources.begin(), sources.begin() + 8);
+
+  RttOracle oracle(t);
+  util::ThreadPool pool(kThreads);
+  oracle.warm(sources, pool);
+  EXPECT_EQ(oracle.dijkstra_runs(), 32u);
+  EXPECT_EQ(oracle.cached_rows(), 32u);
+
+  const auto reference = dijkstra(t, 5);
+  for (HostId h = 0; h < t.host_count(); h += 11)
+    EXPECT_DOUBLE_EQ(oracle.latency_ms(5, h), reference[h]);
+  EXPECT_EQ(oracle.dijkstra_runs(), 32u);  // all served from warmed rows
+}
+
+TEST(RttOracleParallel, WarmedRowsSurviveBoundedChurn) {
+  const Topology t = tiny_with_latencies(27);
+  RttOracle oracle(t);
+  oracle.set_row_cap(6);
+  const std::vector<HostId> landmarks = {0, 1, 2, 3};
+  util::ThreadPool pool(kThreads);
+  oracle.warm(landmarks, pool);
+
+  const auto pairs = query_batch(t, 36, 2048, 64);
+  pool.parallel_for(0, pairs.size(), 5, [&](std::size_t i) {
+    (void)oracle.latency_ms(pairs[i].first, pairs[i].second);
+  });
+
+  const auto runs = oracle.dijkstra_runs();
+  for (const HostId lm : landmarks) (void)oracle.latency_ms(lm, 100);
+  EXPECT_EQ(oracle.dijkstra_runs(), runs);  // pinned rows never evicted
+}
+
+}  // namespace
+}  // namespace topo::net

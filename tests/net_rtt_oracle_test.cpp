@@ -54,6 +54,49 @@ TEST(RttOracle, CachesRowsPerSource) {
   EXPECT_EQ(oracle.dijkstra_runs(), 2u);
 }
 
+// Regression: the pre-rewrite oracle did two hash lookups before falling
+// back to building `from`'s row; the flat slot table must keep the
+// either-endpoint-cached semantics — querying (to, from) after (from, to)
+// is served from the existing row, with no extra Dijkstra.
+TEST(RttOracle, ReverseQueryReusesCachedRow) {
+  const Topology t = tiny_with_latencies(12);
+  RttOracle oracle(t);
+  const double forward = oracle.latency_ms(3, 47);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  EXPECT_DOUBLE_EQ(oracle.latency_ms(47, 3), forward);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  EXPECT_EQ(oracle.cached_rows(), 1u);
+}
+
+TEST(RttOracle, BoundedModeEvictsOldestUnpinnedRow) {
+  const Topology t = tiny_with_latencies(13);
+  RttOracle oracle(t);
+  oracle.set_row_cap(2);
+  const double d01 = oracle.latency_ms(0, 1);
+  oracle.latency_ms(10, 1);
+  oracle.latency_ms(20, 1);  // over cap: row 0 (oldest) is evicted
+  EXPECT_EQ(oracle.cached_rows(), 2u);
+  EXPECT_EQ(oracle.dijkstra_runs(), 3u);
+  // Values stay exact — the evicted row is simply recomputed.
+  EXPECT_DOUBLE_EQ(oracle.latency_ms(0, 1), d01);
+  EXPECT_EQ(oracle.dijkstra_runs(), 4u);
+}
+
+TEST(RttOracle, BoundedModeNeverEvictsPinnedRows) {
+  const Topology t = tiny_with_latencies(14);
+  RttOracle oracle(t);
+  oracle.set_row_cap(2);
+  const std::vector<HostId> pinned = {0, 1};
+  oracle.warm(pinned);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+  for (HostId h = 10; h < 20; ++h) oracle.latency_ms(h, 5);
+  // Warmed rows survived the churn: querying them adds no Dijkstra runs.
+  const auto runs = oracle.dijkstra_runs();
+  oracle.latency_ms(0, 9);
+  oracle.latency_ms(1, 9);
+  EXPECT_EQ(oracle.dijkstra_runs(), runs);
+}
+
 TEST(RttOracle, ClearCacheForcesRecompute) {
   const Topology t = tiny_with_latencies(5);
   RttOracle oracle(t);

@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace topo::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), 7,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, RespectsBeginOffsetAndEmptyRange) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 25, 4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 15);
+  pool.parallel_for(5, 5, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  // No workers: the caller runs every chunk itself, in index order.
+  pool.parallel_for(0, 8, 2,
+                    [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // The determinism contract: per-index results (with per-index RNG
+  // streams) are identical at any pool size.
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(256);
+    pool.parallel_for(0, out.size(), 3, [&](std::size_t i) {
+      auto rng = rng_for_index(1234, i);
+      out[i] = rng.next_u64(1'000'000);
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPool, RngForIndexIsDeterministicAndDecorrelated) {
+  auto a = rng_for_index(7, 0);
+  auto b = rng_for_index(7, 0);
+  EXPECT_EQ(a.next_u64(1ull << 62), b.next_u64(1ull << 62));
+  // Adjacent indices must not produce the same stream.
+  auto c = rng_for_index(7, 1);
+  EXPECT_NE(rng_for_index(7, 0).next_u64(1ull << 62),
+            c.next_u64(1ull << 62));
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t) {
+    // Nested use of the *same* pool must not deadlock: the inner caller
+    // participates in its own range even when every worker is busy.
+    pool.parallel_for(0, 16, 4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 10000, 1,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The failing chunk abandons the remainder of the range.
+  EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(0, 64, 8,
+                                    [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace topo::util
