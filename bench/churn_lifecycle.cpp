@@ -1,0 +1,280 @@
+// Lifecycle under churn — routing stretch and map population versus churn
+// rate and republish interval, driven by sim::LifecycleEngine (jittered
+// republish timers, owner-side expiry sweeps, Poisson joins, graceful
+// leaves and crashes).
+//
+// Each trial runs a 1k-node overlay through >= 10 simulated minutes of
+// churn, checks the map placement invariant at every checkpoint, then
+// stops churn and lets soft-state decay + republish converge. The paper's
+// claim under test: stretch degrades gracefully while members come and go,
+// and recovers once churn stops, with the map population bounded by one
+// TTL's worth of stale records throughout.
+//
+// Environment knobs (on top of the common SEED/FULL/THREADS):
+//   NODES=n          overlay size (default 1024)
+//   CHURN_MINUTES=n  simulated churn phase length (default 10)
+//   BENCH_JSON=path  output path (default BENCH_churn.json)
+//
+// Exit status is non-zero if any placement-invariant check failed.
+#include "common.hpp"
+
+#include <fstream>
+
+#include "core/lifecycle_adapter.hpp"
+
+using namespace topo;
+
+namespace {
+
+struct TrialConfig {
+  double churn_rate_hz = 0.0;        // join rate == departure rate
+  double republish_interval_ms = 0;  // soft-state refresh period (< TTL)
+};
+
+struct TrialResult {
+  TrialConfig config;
+  double stretch_before = 0.0;     // median, freshly built overlay
+  double stretch_churn = 0.0;      // median, at the end of the churn phase
+  double stretch_recovered = 0.0;  // median, after decay + refresh converge
+  double entries_churn_mean = 0.0;
+  std::size_t entries_peak = 0;
+  std::size_t entries_final = 0;
+  std::size_t clean_final = 0;  // one record per live node per level
+  std::size_t invariant_violations = 0;
+  std::size_t failed_lookups = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t graceful_leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t republishes = 0;
+  std::uint64_t rehomed = 0;
+  std::uint64_t failed_routes = 0;
+  std::uint64_t lazy_deletions = 0;
+  std::uint64_t notifications = 0;
+  std::uint64_t reselections = 0;
+};
+
+/// Median stretch of `queries` random lookups (each repairs lazily, as in
+/// live operation). Lookups that cannot complete are counted, not sampled.
+double median_stretch(core::SoftStateOverlay& system, std::size_t queries,
+                      util::Rng& rng, std::size_t& failed) {
+  util::Samples stretch;
+  const auto live = system.ecan().live_nodes();
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto from = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(2, rng);
+    const auto route = system.lookup(from, key);
+    if (!route.success || route.path.size() < 2) {
+      if (!route.success) ++failed;
+      continue;
+    }
+    const double direct = system.oracle().latency_ms(
+        system.ecan().node(from).host,
+        system.ecan().node(route.path.back()).host);
+    if (direct <= 0.0) continue;
+    stretch.add(
+        sim::path_latency_ms(system.ecan(), system.oracle(), route.path) /
+        direct);
+  }
+  return stretch.count() == 0 ? 0.0 : stretch.median();
+}
+
+std::size_t clean_entry_count(const core::SoftStateOverlay& system) {
+  std::size_t total = 0;
+  for (const auto id : system.ecan().live_nodes())
+    total += static_cast<std::size_t>(system.ecan().node_level(id));
+  return total;
+}
+
+TrialResult run_trial(const net::Topology& topology, TrialConfig tc,
+                      std::size_t nodes, double churn_ms,
+                      std::uint64_t seed) {
+  core::SystemConfig config;
+  config.landmark_count = 15;
+  config.rtt_budget = 8;
+  config.map.ttl_ms = 60'000.0;
+  config.auto_republish = false;  // the lifecycle engine owns the timers
+  config.seed = seed;
+  core::SoftStateOverlay system(topology, config);
+
+  sim::LifecycleConfig lifecycle;
+  lifecycle.republish_interval_ms = tc.republish_interval_ms;
+  lifecycle.republish_jitter = 0.2;
+  lifecycle.expiry_sweep_interval_ms = 5'000.0;
+  lifecycle.crash_fraction = 0.5;
+  lifecycle.min_population = nodes / 2;
+  lifecycle.seed = seed + 1;
+  core::LifecycleRuntime runtime(system, topology.host_count(), lifecycle);
+  auto& engine = runtime.engine();
+
+  util::Rng rng(seed + 2);
+  for (std::size_t i = 0; i < nodes; ++i)
+    engine.adopt(system.join(
+        static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+
+  TrialResult r;
+  r.config = tc;
+  const std::size_t queries = bench::full_scale() ? 2 * nodes : 256;
+  r.stretch_before = median_stretch(system, queries, rng, r.failed_lookups);
+
+  // -- Churn phase: invariant + population checked every 30 s ----------
+  engine.set_churn(tc.churn_rate_hz, tc.churn_rate_hz);
+  const int checkpoints = std::max(1, static_cast<int>(churn_ms / 30'000.0));
+  util::Samples population;
+  for (int c = 0; c < checkpoints; ++c) {
+    engine.run_for(churn_ms / checkpoints);
+    if (!system.maps().check_placement_invariant())
+      ++r.invariant_violations;
+    const std::size_t total = system.maps().total_entries();
+    population.add(static_cast<double>(total));
+    r.entries_peak = std::max(r.entries_peak, total);
+  }
+  r.entries_churn_mean = population.mean();
+  r.stretch_churn = median_stretch(system, queries, rng, r.failed_lookups);
+
+  // -- Recovery: decay scrubs the departed, republish refills the live --
+  engine.set_churn(0.0, 0.0);
+  engine.run_for(2.0 * config.map.ttl_ms + 2.0 * tc.republish_interval_ms);
+  if (!system.maps().check_placement_invariant()) ++r.invariant_violations;
+  r.stretch_recovered = median_stretch(system, queries, rng, r.failed_lookups);
+  r.entries_final = system.maps().total_entries();
+  r.clean_final = clean_entry_count(system);
+
+  r.joins = engine.stats().joins;
+  r.graceful_leaves = engine.stats().graceful_leaves;
+  r.crashes = engine.stats().crashes;
+  r.republishes = engine.stats().republishes;
+  r.rehomed = system.maps().stats().rehomed_entries;
+  r.failed_routes = system.maps().stats().failed_routes;
+  r.lazy_deletions = system.maps().stats().lazy_deletions;
+  r.notifications = system.pubsub().stats().notifications;
+  r.reselections = system.stats().reselections;
+  return r;
+}
+
+void write_json(const std::string& path, const net::Topology& topology,
+                std::size_t nodes, double churn_ms,
+                const std::vector<TrialResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"churn_lifecycle\",\n"
+      << "  \"seed\": " << bench::bench_seed() << ",\n"
+      << "  \"host_count\": " << topology.host_count() << ",\n"
+      << "  \"nodes\": " << nodes << ",\n"
+      << "  \"churn_minutes\": " << churn_ms / 60'000.0 << ",\n"
+      << "  \"ttl_ms\": 60000,\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"churn_rate_hz\": " << r.config.churn_rate_hz
+        << ", \"republish_interval_ms\": " << r.config.republish_interval_ms
+        << ", \"stretch_before\": " << r.stretch_before
+        << ", \"stretch_churn\": " << r.stretch_churn
+        << ", \"stretch_recovered\": " << r.stretch_recovered
+        << ", \"entries_churn_mean\": " << r.entries_churn_mean
+        << ", \"entries_peak\": " << r.entries_peak
+        << ", \"entries_final\": " << r.entries_final
+        << ", \"entries_clean\": " << r.clean_final
+        << ", \"invariant_violations\": " << r.invariant_violations
+        << ", \"failed_lookups\": " << r.failed_lookups
+        << ", \"joins\": " << r.joins
+        << ", \"graceful_leaves\": " << r.graceful_leaves
+        << ", \"crashes\": " << r.crashes
+        << ", \"republishes\": " << r.republishes
+        << ", \"rehomed_entries\": " << r.rehomed
+        << ", \"failed_routes\": " << r.failed_routes
+        << ", \"lazy_deletions\": " << r.lazy_deletions
+        << ", \"notifications\": " << r.notifications
+        << ", \"reselections\": " << r.reselections << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto bench_timer = bench::print_preamble(
+      "Lifecycle churn: stretch + map population vs churn rate / republish");
+
+  const std::uint64_t seed = bench::bench_seed();
+  util::Rng topo_rng(seed);
+  net::Topology topology = net::generate_transit_stub(
+      bench::full_scale() ? net::tsk_large() : net::tsk_small(), topo_rng);
+  net::assign_latencies(topology, net::LatencyModel::kManual, topo_rng);
+
+  const auto nodes =
+      static_cast<std::size_t>(util::env_int("NODES", 1024));
+  const double churn_ms =
+      static_cast<double>(util::env_int("CHURN_MINUTES", 10)) * 60'000.0;
+
+  std::vector<TrialConfig> configs;
+  const std::vector<double> rates =
+      bench::full_scale() ? std::vector<double>{0.5, 1.0, 2.0, 4.0}
+                          : std::vector<double>{0.5, 2.0};
+  const std::vector<double> intervals =
+      bench::full_scale() ? std::vector<double>{10'000.0, 20'000.0, 40'000.0}
+                          : std::vector<double>{15'000.0, 30'000.0};
+  for (const double rate : rates)
+    for (const double interval : intervals)
+      configs.push_back(TrialConfig{rate, interval});
+
+  std::printf("nodes=%zu churn=%.0f min  configs=%zu (trials in parallel)\n",
+              nodes, churn_ms / 60'000.0, configs.size());
+
+  const auto results = bench::run_trials_parallel(
+      configs.size(), [&](std::size_t trial) {
+        return run_trial(topology, configs[trial], nodes, churn_ms,
+                         seed + 1000 * (trial + 1));
+      });
+
+  util::Table table({"churn Hz", "republish s", "stretch fresh",
+                     "stretch churn", "stretch recovered", "entries churn",
+                     "entries final/clean", "invariant"});
+  std::size_t total_violations = 0;
+  for (const auto& r : results) {
+    total_violations += r.invariant_violations;
+    table.add_row(
+        {util::Table::num(r.config.churn_rate_hz, 1),
+         util::Table::num(r.config.republish_interval_ms / 1000.0, 0),
+         util::Table::num(r.stretch_before, 3),
+         util::Table::num(r.stretch_churn, 3),
+         util::Table::num(r.stretch_recovered, 3),
+         util::Table::num(r.entries_churn_mean, 0),
+         util::Table::integer(static_cast<long long>(r.entries_final)) + "/" +
+             util::Table::integer(static_cast<long long>(r.clean_final)),
+         r.invariant_violations == 0 ? "ok" : "VIOLATED"});
+  }
+  std::cout << table.to_string();
+
+  util::Table detail({"churn Hz", "republish s", "joins", "leaves", "crashes",
+                      "republishes", "rehomed", "lazy del", "failed routes",
+                      "notifications", "reselections"});
+  for (const auto& r : results)
+    detail.add_row(
+        {util::Table::num(r.config.churn_rate_hz, 1),
+         util::Table::num(r.config.republish_interval_ms / 1000.0, 0),
+         util::Table::integer(static_cast<long long>(r.joins)),
+         util::Table::integer(static_cast<long long>(r.graceful_leaves)),
+         util::Table::integer(static_cast<long long>(r.crashes)),
+         util::Table::integer(static_cast<long long>(r.republishes)),
+         util::Table::integer(static_cast<long long>(r.rehomed)),
+         util::Table::integer(static_cast<long long>(r.lazy_deletions)),
+         util::Table::integer(static_cast<long long>(r.failed_routes)),
+         util::Table::integer(static_cast<long long>(r.notifications)),
+         util::Table::integer(static_cast<long long>(r.reselections))});
+  std::cout << detail.to_string();
+
+  write_json(util::env_string("BENCH_JSON", "BENCH_churn.json"), topology,
+             nodes, churn_ms, results);
+
+  std::cout << "\nReading: stretch rises while members churn and falls back\n"
+               "toward the fresh-overlay value once churn stops; the map\n"
+               "population carries at most a TTL's worth of stale records\n"
+               "and converges to exactly one record per live node per level.\n";
+  return total_violations == 0 ? 0 : 1;
+}

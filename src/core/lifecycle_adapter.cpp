@@ -1,0 +1,34 @@
+#include "core/lifecycle_adapter.hpp"
+
+namespace topo::core {
+
+OverlayLifecycle::OverlayLifecycle(SoftStateOverlay& system,
+                                   std::size_t host_count, util::Rng rng)
+    : system_(&system), host_count_(host_count), rng_(rng) {
+  TO_EXPECTS(host_count_ > 0);
+}
+
+overlay::NodeId OverlayLifecycle::spawn_node() {
+  const auto host = static_cast<net::HostId>(rng_.next_u64(host_count_));
+  return system_->join(host);
+}
+
+void OverlayLifecycle::graceful_leave(overlay::NodeId id) {
+  system_->leave(id);
+}
+
+void OverlayLifecycle::crash_node(overlay::NodeId id) { system_->crash(id); }
+
+void OverlayLifecycle::republish(overlay::NodeId id) {
+  system_->republish_now(id);
+}
+
+std::size_t OverlayLifecycle::expire(sim::Time now) {
+  return system_->maps().expire_before(now);
+}
+
+bool OverlayLifecycle::alive(overlay::NodeId id) const {
+  return system_->ecan().alive(id);
+}
+
+}  // namespace topo::core

@@ -1,0 +1,53 @@
+// Glue between sim::LifecycleEngine and the SoftStateOverlay facade: the
+// engine drives the full maintenance loop (jittered republish, expiry
+// sweeps, Poisson churn) through these hooks, while the facade's pub/sub
+// notifications keep re-probing and rewiring proximity neighbors as the
+// maps change underneath.
+#pragma once
+
+#include "core/soft_state_overlay.hpp"
+#include "sim/lifecycle.hpp"
+
+namespace topo::core {
+
+class OverlayLifecycle final : public sim::LifecycleHooks {
+ public:
+  /// Spawned nodes join from a uniformly random host in [0, host_count).
+  OverlayLifecycle(SoftStateOverlay& system, std::size_t host_count,
+                   util::Rng rng);
+
+  overlay::NodeId spawn_node() override;
+  void graceful_leave(overlay::NodeId id) override;
+  void crash_node(overlay::NodeId id) override;
+  void republish(overlay::NodeId id) override;
+  std::size_t expire(sim::Time now) override;
+  bool alive(overlay::NodeId id) const override;
+
+ private:
+  SoftStateOverlay* system_;
+  std::size_t host_count_;
+  util::Rng rng_;
+};
+
+/// A SoftStateOverlay put under lifecycle control: the engine shares the
+/// system's event queue (one virtual clock for the engine's timers and
+/// any facade-scheduled events). Build the system with
+/// `SystemConfig::auto_republish = false` — the engine owns the republish
+/// timers, jitter included; leaving both active would double the refresh
+/// traffic.
+class LifecycleRuntime {
+ public:
+  LifecycleRuntime(SoftStateOverlay& system, std::size_t host_count,
+                   sim::LifecycleConfig config)
+      : hooks_(system, host_count, util::Rng(config.seed).fork()),
+        engine_(hooks_, config, &system.events()) {}
+
+  sim::LifecycleEngine& engine() { return engine_; }
+  OverlayLifecycle& hooks() { return hooks_; }
+
+ private:
+  OverlayLifecycle hooks_;
+  sim::LifecycleEngine engine_;
+};
+
+}  // namespace topo::core

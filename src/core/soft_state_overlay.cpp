@@ -63,7 +63,7 @@ overlay::NodeId SoftStateOverlay::join(net::HostId host) {
     }
   }
 
-  schedule_republish(id);
+  if (config_.auto_republish) schedule_republish(id);
   ++stats_.joins;
   return id;
 }

@@ -46,6 +46,11 @@ struct SystemConfig {
   /// must be < map.ttl_ms or records decay between refreshes.
   sim::Time republish_interval_ms = 30'000.0;
 
+  /// When false, join() does not start the node's republish chain — an
+  /// external driver (sim::LifecycleEngine via core::OverlayLifecycle)
+  /// owns the refresh timers instead, with per-period jitter.
+  bool auto_republish = true;
+
   bool subscribe_on_join = true;
   double closer_margin = 0.95;
 

@@ -81,10 +81,7 @@ void PubSubService::on_publish(overlay::NodeId owner,
 
     // New-node watch.
     if (subscription.notify_on_new_node) {
-      auto& seen = seen_[id];
-      if (std::find(seen.begin(), seen.end(), stored.entry.node) ==
-          seen.end()) {
-        seen.push_back(stored.entry.node);
+      if (seen_[id].insert(stored.entry.node).second) {
         Notification n;
         n.reason = Notification::Reason::kNewNode;
         n.subscription = id;
@@ -111,6 +108,12 @@ void PubSubService::on_publish(overlay::NodeId owner,
 }
 
 void PubSubService::notify_departure(overlay::NodeId departed) {
+  // Forget the departed node in every new-node watch: if it rejoins, its
+  // first publish must count as new again.
+  for (auto& [id, seen] : seen_) {
+    (void)id;
+    seen.erase(departed);
+  }
   // Two-phase for the same reason as on_publish.
   std::vector<std::pair<overlay::NodeId, Notification>> matched;
   for (auto& [id, subscription] : subscriptions_) {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "softstate/map_service.hpp"
@@ -91,7 +92,8 @@ class PubSubService {
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
   /// Called by the departure protocol (proactive update): notifies every
-  /// subscriber watching `departed`.
+  /// subscriber watching `departed` and forgets the node in every
+  /// new-node watch, so a leave-then-rejoin retriggers kNewNode.
   void notify_departure(overlay::NodeId departed);
 
   const PubSubStats& stats() const { return stats_; }
@@ -108,9 +110,10 @@ class PubSubService {
   softstate::MapService* maps_;
   Handler handler_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
-  // Which nodes each (level, cell) subscription set has already seen
-  // (for notify_on_new_node).
-  std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>> seen_;
+  // Which nodes each new-node watch has already seen. Departed nodes are
+  // purged in notify_departure so a rejoin counts as new again.
+  std::unordered_map<SubscriptionId, std::unordered_set<overlay::NodeId>>
+      seen_;
   SubscriptionId next_id_ = 1;
   PubSubStats stats_;
 };

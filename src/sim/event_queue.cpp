@@ -1,20 +1,28 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace topo::sim {
 
 void EventQueue::schedule_at(Time at, Callback fn) {
   TO_EXPECTS(at >= now_);
-  heap_.push(Item{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Item{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Item EventQueue::pop_earliest() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Item item = std::move(heap_.back());
+  heap_.pop_back();
+  return item;
 }
 
 void EventQueue::run_until(Time until) {
   TO_EXPECTS(until >= now_);
-  while (!heap_.empty() && heap_.top().at <= until) {
-    // Copy out before pop: the callback may schedule new events.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().at <= until) {
+    // Extract before running: the callback may schedule new events.
+    const Item item = pop_earliest();
     now_ = item.at;
     item.fn();
   }
@@ -23,15 +31,12 @@ void EventQueue::run_until(Time until) {
 
 void EventQueue::run_all() {
   while (!heap_.empty()) {
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
+    const Item item = pop_earliest();
     now_ = item.at;
     item.fn();
   }
 }
 
-void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-}
+void EventQueue::clear() { heap_.clear(); }
 
 }  // namespace topo::sim

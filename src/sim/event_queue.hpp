@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -53,9 +52,17 @@ class EventQueue {
     }
   };
 
+  /// Moves the earliest item out of the heap (std::pop_heap shifts it to
+  /// the back first, so the heap never compares a moved-from item).
+  Item pop_earliest();
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  // An explicit binary heap (std::push_heap/pop_heap over a vector)
+  // instead of std::priority_queue: priority_queue::top() is const, and
+  // moving the callback out through const_cast mutates the heap's top
+  // while it is still inside the heap ordering.
+  std::vector<Item> heap_;
 };
 
 }  // namespace topo::sim

@@ -1,0 +1,142 @@
+#include "sim/lifecycle.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topo::sim {
+
+LifecycleEngine::LifecycleEngine(LifecycleHooks& hooks,
+                                 LifecycleConfig config, EventQueue* queue)
+    : hooks_(&hooks),
+      config_(config),
+      queue_(queue != nullptr ? queue : &owned_),
+      rng_(config.seed) {
+  TO_EXPECTS(config_.republish_interval_ms > 0.0);
+  TO_EXPECTS(config_.republish_jitter >= 0.0 &&
+             config_.republish_jitter < 1.0);
+  TO_EXPECTS(config_.expiry_sweep_interval_ms >= 0.0);
+  TO_EXPECTS(config_.crash_fraction >= 0.0 && config_.crash_fraction <= 1.0);
+  schedule_expiry_sweep();
+  schedule_next_join();
+  schedule_next_departure();
+}
+
+Time LifecycleEngine::exponential_ms(double rate_hz) {
+  TO_EXPECTS(rate_hz > 0.0);
+  // Inverse-CDF sampling; 1 - U keeps the argument strictly positive.
+  return -std::log(1.0 - rng_.next_double()) / rate_hz * 1000.0;
+}
+
+Time LifecycleEngine::jittered_interval() {
+  const double swing = config_.republish_jitter;
+  return config_.republish_interval_ms *
+         (1.0 + (swing > 0.0 ? rng_.next_double(-swing, swing) : 0.0));
+}
+
+void LifecycleEngine::adopt(overlay::NodeId id) {
+  TO_EXPECTS(id != overlay::kInvalidNode);
+  TO_EXPECTS(hooks_->alive(id));
+  live_.push_back(id);
+  schedule_republish(id, /*first=*/true);
+}
+
+void LifecycleEngine::schedule_republish(overlay::NodeId id, bool first) {
+  // Stagger the first firing over one period (desynchronizes a batch
+  // bootstrap); afterwards each period carries its own jitter.
+  const Time delay = first
+                         ? rng_.next_double() * config_.republish_interval_ms
+                         : jittered_interval();
+  queue_->schedule_in(delay, [this, id] {
+    if (!hooks_->alive(id)) return;  // departed: the chain ends here
+    hooks_->republish(id);
+    ++stats_.republishes;
+    schedule_republish(id, /*first=*/false);
+  });
+}
+
+void LifecycleEngine::schedule_expiry_sweep() {
+  if (config_.expiry_sweep_interval_ms <= 0.0) return;
+  queue_->schedule_in(config_.expiry_sweep_interval_ms, [this] {
+    stats_.swept_entries += hooks_->expire(queue_->now());
+    ++stats_.expiry_sweeps;
+    schedule_expiry_sweep();
+  });
+}
+
+void LifecycleEngine::schedule_next_join() {
+  if (config_.join_rate_hz <= 0.0) return;
+  const std::uint64_t epoch = churn_epoch_;
+  queue_->schedule_in(exponential_ms(config_.join_rate_hz), [this, epoch] {
+    if (epoch != churn_epoch_) return;  // churn was re-armed
+    const overlay::NodeId id = hooks_->spawn_node();
+    if (id != overlay::kInvalidNode) {
+      ++stats_.joins;
+      live_.push_back(id);
+      schedule_republish(id, /*first=*/true);
+    } else {
+      ++stats_.rejected_joins;
+    }
+    schedule_next_join();
+  });
+}
+
+void LifecycleEngine::schedule_next_departure() {
+  if (config_.departure_rate_hz <= 0.0) return;
+  const std::uint64_t epoch = churn_epoch_;
+  queue_->schedule_in(exponential_ms(config_.departure_rate_hz),
+                      [this, epoch] {
+                        if (epoch != churn_epoch_) return;
+                        depart_one();
+                        schedule_next_departure();
+                      });
+}
+
+void LifecycleEngine::depart_one() {
+  // Prune stale ids (nodes departed outside the engine) as we draw.
+  while (!live_.empty()) {
+    const std::size_t pick = rng_.next_u64(live_.size());
+    const overlay::NodeId id = live_[pick];
+    if (!hooks_->alive(id)) {
+      drop_live(id);
+      continue;
+    }
+    if (live_.size() <= config_.min_population) {
+      ++stats_.suppressed_departures;
+      return;
+    }
+    if (rng_.next_bool(config_.crash_fraction)) {
+      hooks_->crash_node(id);
+      ++stats_.crashes;
+    } else {
+      hooks_->graceful_leave(id);
+      ++stats_.graceful_leaves;
+    }
+    drop_live(id);
+    return;
+  }
+}
+
+void LifecycleEngine::drop_live(overlay::NodeId id) {
+  const auto it = std::find(live_.begin(), live_.end(), id);
+  if (it == live_.end()) return;
+  *it = live_.back();
+  live_.pop_back();
+}
+
+void LifecycleEngine::run_for(Time ms) {
+  TO_EXPECTS(ms >= 0.0);
+  queue_->run_until(queue_->now() + ms);
+}
+
+void LifecycleEngine::set_churn(double join_rate_hz,
+                                double departure_rate_hz) {
+  TO_EXPECTS(join_rate_hz >= 0.0 && departure_rate_hz >= 0.0);
+  ++churn_epoch_;  // pending arrivals captured the old epoch and no-op
+  config_.join_rate_hz = join_rate_hz;
+  config_.departure_rate_hz = departure_rate_hz;
+  schedule_next_join();
+  schedule_next_departure();
+}
+
+}  // namespace topo::sim

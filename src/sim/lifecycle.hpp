@@ -1,0 +1,147 @@
+// Event-driven soft-state lifecycle engine (paper Sections 5-6).
+//
+// The soft-state design only works as a *process*: entries decay (TTL),
+// periodic republish refills them, owners sweep out expired records, and
+// churn continuously perturbs the map while pub/sub notifications repair
+// neighbor choices. This engine closes that loop: it owns a discrete-event
+// queue and schedules, per live node, a jittered republish timer
+// (republish interval < TTL), periodic owner-side expiry sweeps, and a
+// configurable churn process — Poisson joins, graceful leaves (proactive
+// map update + store handoff) and crashes (nothing scrubbed; lazy repair
+// and TTL decay must recover).
+//
+// The engine is layered below the system facade: it drives an abstract
+// LifecycleHooks so `sim` does not depend on `core`. The facade-side
+// adapter is core::OverlayLifecycle.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "overlay/node.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace topo::sim {
+
+/// What the engine needs from the system under simulation. All calls
+/// happen inside the engine's event callbacks, at the engine's now().
+class LifecycleHooks {
+ public:
+  virtual ~LifecycleHooks() = default;
+
+  /// Joins a fresh node (Poisson arrival); returns its id, or
+  /// overlay::kInvalidNode if the system cannot admit one right now.
+  virtual overlay::NodeId spawn_node() = 0;
+
+  /// Graceful departure: proactive map scrub, store handoff, watcher
+  /// notification (SoftStateOverlay::leave).
+  virtual void graceful_leave(overlay::NodeId id) = 0;
+
+  /// Ungraceful departure: the node vanishes with its hosted map piece;
+  /// recovery is lazy repair plus TTL decay (SoftStateOverlay::crash).
+  virtual void crash_node(overlay::NodeId id) = 0;
+
+  /// Refreshes the node's soft-state records (and its load figures).
+  virtual void republish(overlay::NodeId id) = 0;
+
+  /// Owner-side expiry sweep; returns the number of entries dropped.
+  virtual std::size_t expire(Time now) = 0;
+
+  /// Liveness check (a node may have departed outside the engine).
+  virtual bool alive(overlay::NodeId id) const = 0;
+};
+
+struct LifecycleConfig {
+  /// Per-node republish period; must stay below the map TTL or records
+  /// decay between refreshes.
+  Time republish_interval_ms = 30'000.0;
+  /// Each period is drawn from interval * (1 ± jitter); the first firing
+  /// is additionally staggered uniformly over one period so a batch
+  /// bootstrap does not republish in lockstep. In [0, 1).
+  double republish_jitter = 0.2;
+  /// Cadence of owner-side expiry sweeps (0 disables; on-access pruning
+  /// still happens inside the map service).
+  Time expiry_sweep_interval_ms = 5'000.0;
+  /// Poisson churn rates, events per simulated second (0 disables).
+  double join_rate_hz = 0.0;
+  double departure_rate_hz = 0.0;
+  /// Fraction of departures that are crashes (the rest leave gracefully).
+  double crash_fraction = 0.5;
+  /// Departures are suppressed while the population is at or below this
+  /// (the paper's experiments never drain the overlay).
+  std::size_t min_population = 8;
+  std::uint64_t seed = 1;
+};
+
+struct LifecycleStats {
+  std::uint64_t joins = 0;
+  std::uint64_t graceful_leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t republishes = 0;
+  std::uint64_t expiry_sweeps = 0;
+  std::uint64_t swept_entries = 0;
+  std::uint64_t suppressed_departures = 0;  // min_population floor hit
+  std::uint64_t rejected_joins = 0;         // spawn_node returned invalid
+};
+
+class LifecycleEngine {
+ public:
+  /// With `queue == nullptr` the engine owns its event queue; passing an
+  /// external queue shares one virtual clock with the system facade
+  /// (whose own timers, e.g. SoftStateOverlay's republish chains, live
+  /// on the same queue).
+  LifecycleEngine(LifecycleHooks& hooks, LifecycleConfig config,
+                  EventQueue* queue = nullptr);
+
+  LifecycleEngine(const LifecycleEngine&) = delete;
+  LifecycleEngine& operator=(const LifecycleEngine&) = delete;
+
+  /// Registers an already-joined node (bootstrap population) and starts
+  /// its jittered republish timer.
+  void adopt(overlay::NodeId id);
+
+  /// Advances the virtual clock by `ms`, firing every due timer.
+  void run_for(Time ms);
+
+  /// Re-arms (or, with both rates 0, stops) the churn process; takes
+  /// effect immediately, cancelling pending churn arrivals.
+  void set_churn(double join_rate_hz, double departure_rate_hz);
+
+  Time now() const { return queue_->now(); }
+  EventQueue& events() { return *queue_; }
+  const LifecycleConfig& config() const { return config_; }
+  const LifecycleStats& stats() const { return stats_; }
+
+  /// Live nodes as tracked by the engine (pruned lazily against hooks).
+  std::span<const overlay::NodeId> live() const { return live_; }
+  std::size_t population() const { return live_.size(); }
+
+ private:
+  void schedule_republish(overlay::NodeId id, bool first);
+  void schedule_expiry_sweep();
+  void schedule_next_join();
+  void schedule_next_departure();
+  void depart_one();
+  void drop_live(overlay::NodeId id);
+
+  /// Exponential inter-arrival delay for a Poisson process, in ms.
+  Time exponential_ms(double rate_hz);
+  /// One republish period with multiplicative jitter.
+  Time jittered_interval();
+
+  LifecycleHooks* hooks_;
+  LifecycleConfig config_;
+  EventQueue owned_;
+  EventQueue* queue_;
+  util::Rng rng_;
+  LifecycleStats stats_;
+  std::vector<overlay::NodeId> live_;
+  /// Bumped by set_churn; pending churn events captured the old epoch
+  /// and no-op when they fire.
+  std::uint64_t churn_epoch_ = 0;
+};
+
+}  // namespace topo::sim

@@ -56,6 +56,9 @@ void MapService::place_entry(overlay::NodeId owner, StoredEntry stored) {
     if (existing.entry.node == stored.entry.node &&
         existing.level == stored.level &&
         existing.cell_key == stored.cell_key) {
+      // Keep the fresher record: rehome() can replay a copy that predates
+      // a republish which already landed on this owner.
+      if (stored.entry.published_at < existing.entry.published_at) return;
       existing = std::move(stored);  // refresh (republish)
       if (publish_observer_) publish_observer_(owner, existing);
       return;
@@ -76,7 +79,12 @@ std::size_t MapService::publish(overlay::NodeId node,
     const auto cell = ecan_->cell_of_node(node, h);
     const geom::Point position = map_position(number, h, cell);
     const overlay::RouteResult route = ecan_->route_ecan(node, position);
-    if (!route.success) continue;  // unreachable owner: entry lost (soft!)
+    if (!route.success) {
+      // Unreachable owner: the entry is lost until the next republish
+      // (soft state) — but account it, unlike injected message loss.
+      ++stats_.failed_routes;
+      continue;
+    }
     hops += route.hops();
     if (publish_loss_ > 0.0 && fault_rng_.next_bool(publish_loss_)) {
       ++stats_.lost_messages;  // dropped en route: the republish refills it
@@ -259,7 +267,12 @@ void MapService::rehome(std::vector<StoredEntry> entries) {
     if (!ecan_->alive(stored.entry.node)) continue;  // drop records of dead
     const overlay::NodeId owner = ecan_->owner_of(stored.position);
     if (owner == overlay::kInvalidNode) continue;
-    store_of(owner).push_back(std::move(stored));
+    // Through place_entry, not push_back: a record republished while its
+    // old host was being drained already sits on `owner`, and appending
+    // would duplicate it; place_entry also fires the publish observer so
+    // subscribers see rehomed records.
+    place_entry(owner, std::move(stored));
+    ++stats_.rehomed_entries;
   }
 }
 

@@ -71,6 +71,14 @@ struct MapServiceStats {
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
   std::uint64_t lost_messages = 0;  // fault injection (see inject_faults)
+  /// Publish messages whose overlay route never reached the map owner
+  /// (distinct from lost_messages so fault-injection experiments can tell
+  /// routing loss from injected loss).
+  std::uint64_t failed_routes = 0;
+  /// Entries replayed onto their current owner by rehome() after churn
+  /// (counts every replay attempt, including ones place_entry drops as
+  /// stale against an already-landed republish).
+  std::uint64_t rehomed_entries = 0;
 };
 
 class MapService {

@@ -1,0 +1,148 @@
+// Lifecycle soak: a full SoftStateOverlay under the event-driven
+// maintenance loop (jittered republish, expiry sweeps, Poisson churn with
+// graceful leaves AND crashes) for several simulated minutes. Asserts the
+// invariants the paper's soft-state argument rests on: every stored
+// record sits on the current owner of its position at all times, the map
+// population stays bounded while nodes come and go, and once churn stops
+// the maps converge back to exactly one fresh record per live node per
+// level.
+//
+// Runs under the `soak` ctest label (and in the TSan preset).
+#include "core/lifecycle_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::core {
+namespace {
+
+struct SoakFixture {
+  net::Topology topology;
+  std::unique_ptr<SoftStateOverlay> system;
+  std::unique_ptr<LifecycleRuntime> runtime;
+
+  explicit SoakFixture(std::uint64_t seed, std::size_t initial_nodes,
+                       sim::LifecycleConfig lifecycle) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+
+    SystemConfig config;
+    config.landmark_count = 8;
+    config.rtt_budget = 6;
+    config.map.ttl_ms = 45'000.0;
+    config.auto_republish = false;  // the engine owns the refresh timers
+    config.seed = seed + 1;
+    system = std::make_unique<SoftStateOverlay>(topology, config);
+
+    lifecycle.seed = seed + 2;
+    runtime = std::make_unique<LifecycleRuntime>(
+        *system, topology.host_count(), lifecycle);
+    for (std::size_t i = 0; i < initial_nodes; ++i)
+      runtime->engine().adopt(system->join(
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()))));
+  }
+
+  /// One fresh record per live node per enclosing level: the clean-state
+  /// map population.
+  std::size_t clean_entry_count() const {
+    std::size_t total = 0;
+    for (const auto id : system->ecan().live_nodes())
+      total += static_cast<std::size_t>(system->ecan().node_level(id));
+    return total;
+  }
+};
+
+TEST(LifecycleSoak, InvariantsHoldThroughChurnAndRecovery) {
+  sim::LifecycleConfig lifecycle;
+  lifecycle.republish_interval_ms = 15'000.0;
+  lifecycle.republish_jitter = 0.2;
+  lifecycle.expiry_sweep_interval_ms = 5'000.0;
+  lifecycle.join_rate_hz = 0.5;
+  lifecycle.departure_rate_hz = 0.5;
+  lifecycle.crash_fraction = 0.5;
+  lifecycle.min_population = 24;
+  SoakFixture f(1, 96, lifecycle);
+  auto& engine = f.runtime->engine();
+
+  // -- Churn phase: ten simulated minutes, checked every 30 s ----------
+  for (int checkpoint = 0; checkpoint < 20; ++checkpoint) {
+    engine.run_for(30'000.0);
+    ASSERT_TRUE(f.system->maps().check_placement_invariant())
+        << "placement invariant broken at t=" << engine.now() << " ms";
+    // Bounded population: live records plus at most one TTL's worth of
+    // not-yet-decayed records of departed nodes.
+    const double ttl_departures =
+        lifecycle.departure_rate_hz * f.system->config().map.ttl_ms / 1000.0;
+    const std::size_t bound =
+        f.clean_entry_count() +
+        static_cast<std::size_t>(3.0 * ttl_departures) *
+            static_cast<std::size_t>(f.system->ecan().max_level());
+    ASSERT_LE(f.system->maps().total_entries(), bound)
+        << "map population unbounded at t=" << engine.now() << " ms";
+  }
+
+  // Churn actually exercised both departure flavors and the repair loop.
+  EXPECT_GT(engine.stats().joins, 100u);
+  EXPECT_GT(engine.stats().graceful_leaves, 50u);
+  EXPECT_GT(engine.stats().crashes, 50u);
+  EXPECT_GT(engine.stats().republishes, 0u);
+  EXPECT_GT(engine.stats().expiry_sweeps, 100u);
+  EXPECT_GT(f.system->maps().stats().rehomed_entries, 0u);
+  EXPECT_GT(f.system->pubsub().stats().notifications, 0u);
+  EXPECT_GT(f.system->stats().reselections, 0u)
+      << "pub/sub never drove a re-probe-and-rewire";
+
+  // -- Recovery phase: churn stops, decay + republish converge ---------
+  engine.set_churn(0.0, 0.0);
+  engine.run_for(2.0 * f.system->config().map.ttl_ms +
+                 2.0 * lifecycle.republish_interval_ms);
+
+  ASSERT_TRUE(f.system->maps().check_placement_invariant());
+  ASSERT_TRUE(f.system->ecan().check_membership_index());
+  // Records of departed nodes have fully decayed; every live node's
+  // republish refilled its records (routing losses would show up in
+  // failed_routes — a healthy post-churn overlay has none).
+  const std::size_t clean = f.clean_entry_count();
+  EXPECT_EQ(f.system->maps().total_entries(), clean);
+
+  // The overlay still routes: every lookup ends at the key's owner.
+  util::Rng rng(99);
+  const auto live = f.system->ecan().live_nodes();
+  for (int q = 0; q < 50; ++q) {
+    const auto from = live[rng.next_u64(live.size())];
+    const geom::Point key = geom::Point::random(2, rng);
+    const auto route = f.system->lookup(from, key);
+    ASSERT_TRUE(route.success);
+    EXPECT_EQ(route.path.back(), f.system->ecan().owner_of(key));
+  }
+}
+
+TEST(LifecycleSoak, CrashOnlyChurnRecoversByLazyRepairAndDecay) {
+  sim::LifecycleConfig lifecycle;
+  lifecycle.republish_interval_ms = 15'000.0;
+  lifecycle.expiry_sweep_interval_ms = 5'000.0;
+  lifecycle.join_rate_hz = 0.25;
+  lifecycle.departure_rate_hz = 0.25;
+  lifecycle.crash_fraction = 1.0;  // no proactive scrub ever
+  lifecycle.min_population = 16;
+  SoakFixture f(2, 64, lifecycle);
+  auto& engine = f.runtime->engine();
+
+  engine.run_for(5 * 60'000.0);
+  EXPECT_GT(engine.stats().crashes, 25u);
+  EXPECT_EQ(engine.stats().graceful_leaves, 0u);
+  ASSERT_TRUE(f.system->maps().check_placement_invariant());
+
+  engine.set_churn(0.0, 0.0);
+  engine.run_for(2.0 * f.system->config().map.ttl_ms +
+                 2.0 * lifecycle.republish_interval_ms);
+  // TTL decay alone has scrubbed every crashed node's records.
+  EXPECT_EQ(f.system->maps().total_entries(), f.clean_entry_count());
+  ASSERT_TRUE(f.system->maps().check_placement_invariant());
+}
+
+}  // namespace
+}  // namespace topo::core

@@ -159,6 +159,34 @@ TEST(PubSub, NewNodeWatchFiresOncePerNode) {
   EXPECT_EQ(f.received.size(), after_first);
 }
 
+// Regression: the new-node watch never forgot departed nodes, so a node
+// that left and rejoined the zone silently failed to retrigger kNewNode.
+TEST(PubSub, DepartedNodeRetriggersNewNodeWatchOnRejoin) {
+  Fixture f(16);
+  const auto subscriber = f.nodes[0];
+  const auto publisher = f.nodes[1];
+  if (f.ecan->node_level(publisher) < 1) GTEST_SKIP();
+  Subscription s =
+      f.base_subscription(subscriber, 1, f.cell_key_of(publisher, 1));
+  s.notify_on_new_node = true;
+  s.current_best_distance = 0.0;  // suppress closer-candidate path
+  f.pubsub->subscribe(std::move(s));
+
+  f.maps->publish(publisher, f.vectors[publisher], 0.0);
+  ASSERT_GE(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second.reason, Notification::Reason::kNewNode);
+  f.received.clear();
+
+  // The publisher departs (the departure protocol announces it) and later
+  // rejoins the same zone: its first publish must count as new again.
+  f.pubsub->notify_departure(publisher);
+  f.received.clear();  // ignore any watcher notifications
+  f.maps->publish(publisher, f.vectors[publisher], 1'000.0);
+  ASSERT_GE(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second.reason, Notification::Reason::kNewNode);
+  EXPECT_EQ(f.received[0].second.entry.node, publisher);
+}
+
 TEST(PubSub, DepartureNotifiesWatchers) {
   Fixture f(7);
   const auto subscriber = f.nodes[0];

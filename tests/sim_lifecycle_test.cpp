@@ -1,0 +1,268 @@
+#include "sim/lifecycle.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace topo::sim {
+namespace {
+
+/// In-memory system double: tracks liveness and records every hook call
+/// with its virtual timestamp.
+struct FakeSystem final : LifecycleHooks {
+  explicit FakeSystem(const EventQueue& clock) : clock(&clock) {}
+
+  overlay::NodeId spawn_node() override {
+    if (reject_spawns) return overlay::kInvalidNode;
+    const overlay::NodeId id = next_id++;
+    alive_set.insert(id);
+    return id;
+  }
+  void graceful_leave(overlay::NodeId id) override {
+    alive_set.erase(id);
+    leaves.push_back(id);
+  }
+  void crash_node(overlay::NodeId id) override {
+    alive_set.erase(id);
+    crashes.push_back(id);
+  }
+  void republish(overlay::NodeId id) override {
+    republish_times[id].push_back(clock->now());
+  }
+  std::size_t expire(Time now) override {
+    sweep_times.push_back(now);
+    return entries_per_sweep;
+  }
+  bool alive(overlay::NodeId id) const override {
+    return alive_set.count(id) != 0;
+  }
+
+  const EventQueue* clock;
+  overlay::NodeId next_id = 0;
+  bool reject_spawns = false;
+  std::size_t entries_per_sweep = 0;
+  std::unordered_set<overlay::NodeId> alive_set;
+  std::vector<overlay::NodeId> leaves;
+  std::vector<overlay::NodeId> crashes;
+  std::unordered_map<overlay::NodeId, std::vector<Time>> republish_times;
+  std::vector<Time> sweep_times;
+};
+
+LifecycleConfig quiet_config() {
+  LifecycleConfig config;
+  config.republish_interval_ms = 1'000.0;
+  config.republish_jitter = 0.2;
+  config.expiry_sweep_interval_ms = 0.0;  // off unless a test wants it
+  return config;
+}
+
+overlay::NodeId add_node(FakeSystem& system, LifecycleEngine& engine) {
+  const overlay::NodeId id = system.next_id++;
+  system.alive_set.insert(id);
+  engine.adopt(id);
+  return id;
+}
+
+TEST(LifecycleEngine, RepublishCadenceIsJitteredAndBounded) {
+  LifecycleConfig config = quiet_config();
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  const auto id = add_node(system, engine);
+
+  engine.run_for(20'000.0);
+  const auto& times = system.republish_times[id];
+  // ~20 periods of ~1000 ms each; jitter makes the count inexact.
+  EXPECT_GE(times.size(), 15u);
+  EXPECT_LE(times.size(), 26u);
+  // First firing is staggered within one full period.
+  EXPECT_LE(times.front(), config.republish_interval_ms);
+  // Every subsequent gap obeys interval * (1 +/- jitter).
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const Time gap = times[i] - times[i - 1];
+    EXPECT_GE(gap, config.republish_interval_ms *
+                       (1.0 - config.republish_jitter) - 1e-9);
+    EXPECT_LE(gap, config.republish_interval_ms *
+                       (1.0 + config.republish_jitter) + 1e-9);
+  }
+  EXPECT_EQ(engine.stats().republishes, times.size());
+}
+
+TEST(LifecycleEngine, FirstFiringsAreDesynchronized) {
+  LifecycleConfig config = quiet_config();
+  config.republish_jitter = 0.0;  // only the bootstrap stagger remains
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  for (int i = 0; i < 32; ++i) add_node(system, engine);
+
+  engine.run_for(config.republish_interval_ms);
+  std::unordered_set<Time> first_firings;
+  for (const auto& [id, times] : system.republish_times) {
+    (void)id;
+    ASSERT_FALSE(times.empty());
+    first_firings.insert(times.front());
+  }
+  // A lockstep bootstrap would collapse these to one timestamp.
+  EXPECT_GT(first_firings.size(), 16u);
+}
+
+TEST(LifecycleEngine, RepublishChainStopsAfterDeparture) {
+  LifecycleConfig config = quiet_config();
+  config.republish_jitter = 0.0;
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  const auto id = add_node(system, engine);
+
+  engine.run_for(3'500.0);
+  const std::size_t before = system.republish_times[id].size();
+  EXPECT_GE(before, 3u);
+  system.alive_set.erase(id);  // departs outside the engine
+  engine.run_for(10'000.0);
+  EXPECT_EQ(system.republish_times[id].size(), before);
+}
+
+TEST(LifecycleEngine, ExpirySweepsRunOnCadenceAndAccumulate) {
+  LifecycleConfig config = quiet_config();
+  config.expiry_sweep_interval_ms = 500.0;
+  EventQueue queue;
+  FakeSystem system(queue);
+  system.entries_per_sweep = 3;
+  LifecycleEngine engine(system, config, &queue);
+
+  engine.run_for(5'000.0);
+  EXPECT_EQ(system.sweep_times.size(), 10u);
+  for (std::size_t i = 0; i < system.sweep_times.size(); ++i)
+    EXPECT_DOUBLE_EQ(system.sweep_times[i],
+                     500.0 * static_cast<double>(i + 1));
+  EXPECT_EQ(engine.stats().expiry_sweeps, 10u);
+  EXPECT_EQ(engine.stats().swept_entries, 30u);
+}
+
+TEST(LifecycleEngine, PoissonChurnGrowsAndShrinksThePopulation) {
+  LifecycleConfig config = quiet_config();
+  config.join_rate_hz = 2.0;
+  config.departure_rate_hz = 1.0;
+  config.crash_fraction = 0.5;
+  config.min_population = 4;
+  config.seed = 7;
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  for (int i = 0; i < 16; ++i) add_node(system, engine);
+
+  engine.run_for(60'000.0);  // one simulated minute
+  // Expected ~120 joins and ~60 departures; allow wide Poisson slack.
+  EXPECT_GT(engine.stats().joins, 80u);
+  EXPECT_LT(engine.stats().joins, 170u);
+  const std::uint64_t departures =
+      engine.stats().graceful_leaves + engine.stats().crashes;
+  EXPECT_GT(departures, 35u);
+  EXPECT_LT(departures, 95u);
+  // Both departure flavors occur.
+  EXPECT_GT(engine.stats().graceful_leaves, 0u);
+  EXPECT_GT(engine.stats().crashes, 0u);
+  // Engine bookkeeping matches the system's notion of liveness.
+  EXPECT_EQ(engine.population(), system.alive_set.size());
+  for (const auto id : engine.live()) EXPECT_TRUE(system.alive(id));
+}
+
+TEST(LifecycleEngine, ChurnIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    LifecycleConfig config = quiet_config();
+    config.join_rate_hz = 1.0;
+    config.departure_rate_hz = 1.0;
+    config.seed = seed;
+    EventQueue queue;
+    FakeSystem system(queue);
+    LifecycleEngine engine(system, config, &queue);
+    for (int i = 0; i < 8; ++i) add_node(system, engine);
+    engine.run_for(30'000.0);
+    return std::tuple(engine.stats().joins, engine.stats().graceful_leaves,
+                      engine.stats().crashes, engine.stats().republishes);
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(LifecycleEngine, MinPopulationFloorSuppressesDepartures) {
+  LifecycleConfig config = quiet_config();
+  config.join_rate_hz = 0.0;
+  config.departure_rate_hz = 20.0;  // aggressive drain
+  config.min_population = 6;
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  for (int i = 0; i < 12; ++i) add_node(system, engine);
+
+  engine.run_for(30'000.0);
+  EXPECT_EQ(engine.population(), config.min_population);
+  EXPECT_EQ(system.alive_set.size(), config.min_population);
+  EXPECT_GT(engine.stats().suppressed_departures, 0u);
+}
+
+TEST(LifecycleEngine, SetChurnZeroCancelsPendingArrivals) {
+  LifecycleConfig config = quiet_config();
+  config.join_rate_hz = 5.0;
+  config.departure_rate_hz = 5.0;
+  EventQueue queue;
+  FakeSystem system(queue);
+  LifecycleEngine engine(system, config, &queue);
+  for (int i = 0; i < 8; ++i) add_node(system, engine);
+
+  engine.run_for(10'000.0);
+  const auto joins = engine.stats().joins;
+  const auto departures =
+      engine.stats().graceful_leaves + engine.stats().crashes;
+  EXPECT_GT(joins + departures, 0u);
+
+  engine.set_churn(0.0, 0.0);
+  engine.run_for(60'000.0);
+  EXPECT_EQ(engine.stats().joins, joins);
+  EXPECT_EQ(engine.stats().graceful_leaves + engine.stats().crashes,
+            departures);
+  // Maintenance keeps running after churn stops.
+  EXPECT_GT(engine.stats().republishes, 0u);
+}
+
+TEST(LifecycleEngine, RejectedSpawnsAreCountedNotAdopted) {
+  LifecycleConfig config = quiet_config();
+  config.join_rate_hz = 5.0;
+  EventQueue queue;
+  FakeSystem system(queue);
+  system.reject_spawns = true;
+  LifecycleEngine engine(system, config, &queue);
+
+  engine.run_for(10'000.0);
+  EXPECT_EQ(engine.stats().joins, 0u);
+  EXPECT_GT(engine.stats().rejected_joins, 0u);
+  EXPECT_EQ(engine.population(), 0u);
+}
+
+TEST(LifecycleEngine, CrashFractionExtremesSelectOneFlavor) {
+  for (const double fraction : {0.0, 1.0}) {
+    LifecycleConfig config = quiet_config();
+    config.departure_rate_hz = 5.0;
+    config.crash_fraction = fraction;
+    config.min_population = 0;
+    EventQueue queue;
+    FakeSystem system(queue);
+    LifecycleEngine engine(system, config, &queue);
+    for (int i = 0; i < 16; ++i) add_node(system, engine);
+    engine.run_for(20'000.0);
+    if (fraction == 0.0) {
+      EXPECT_GT(engine.stats().graceful_leaves, 0u);
+      EXPECT_EQ(engine.stats().crashes, 0u);
+    } else {
+      EXPECT_EQ(engine.stats().graceful_leaves, 0u);
+      EXPECT_GT(engine.stats().crashes, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topo::sim

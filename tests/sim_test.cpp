@@ -62,6 +62,62 @@ TEST(EventQueue, ScheduleInUsesCurrentTime) {
   EXPECT_DOUBLE_EQ(fired_at, 75.0);
 }
 
+// Regression guard for the heap extraction rewrite: the old
+// implementation moved out of priority_queue::top() through a const_cast,
+// so pop() re-heapified around an item that had been mutated in place.
+// This stress mix (random times, FIFO ties, reentrant scheduling from
+// callbacks) pins the exact delivery contract the engine relies on.
+TEST(EventQueue, StressedInterleavedSchedulingKeepsContract) {
+  EventQueue q;
+  util::Rng rng(99);
+  struct Fired {
+    Time at;
+    int tag;
+  };
+  std::vector<Fired> fired;
+  int scheduled = 0;
+
+  std::function<void(int)> emit = [&](int depth) {
+    const int tag = scheduled++;
+    // Coarse time grid so same-time ties are frequent.
+    const Time delay = static_cast<double>(rng.next_u64(16)) * 10.0;
+    q.schedule_in(delay, [&, tag, depth] {
+      fired.push_back(Fired{q.now(), tag});
+      if (depth > 0 && rng.next_bool(0.7)) emit(depth - 1);
+      if (depth > 1 && rng.next_bool(0.3)) emit(depth - 2);
+    });
+  };
+  for (int i = 0; i < 200; ++i) emit(3);
+  q.run_all();
+
+  ASSERT_EQ(static_cast<int>(fired.size()), scheduled);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    // Time never goes backwards...
+    ASSERT_LE(fired[i - 1].at, fired[i].at);
+    // ...and same-time events fire in scheduling order (FIFO), except
+    // that a callback may schedule *new* work at the current time, which
+    // lands after everything already queued for that instant.
+    if (fired[i - 1].at == fired[i].at && fired[i - 1].tag < 200 &&
+        fired[i].tag < 200) {
+      ASSERT_LT(fired[i - 1].tag, fired[i].tag);
+    }
+  }
+}
+
+TEST(EventQueue, CallbackMayClearPendingEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] {
+    ++fired;
+    q.clear();
+  });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.schedule_at(30.0, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 TEST(EventQueue, ClearDropsPending) {
   EventQueue q;
   int fired = 0;

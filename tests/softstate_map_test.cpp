@@ -297,6 +297,103 @@ TEST(MapService, RingExpansionFindsRemoteEntries) {
   EXPECT_GE(meta.pieces_visited, 1u);
 }
 
+// Regression: rehome used to append directly to the target store, so a
+// record republished while its old host was drained ended up twice in the
+// same map, and subscribers never heard about rehomed entries.
+TEST(MapService, RehomeAfterRepublishLeavesNoDuplicates) {
+  Fixture f(19, 64);
+  f.publish_all(/*now=*/0.0);
+  overlay::NodeId host_node = overlay::kInvalidNode;
+  for (const auto id : f.nodes)
+    if (f.maps->store_size(id) > 0) {
+      host_node = id;
+      break;
+    }
+  ASSERT_NE(host_node, overlay::kInvalidNode);
+
+  // Drain the host (as the leave protocol does), then republish everyone
+  // — the republished copies land back on the still-alive owners.
+  auto drained = f.maps->extract_store(host_node);
+  ASSERT_FALSE(drained.empty());
+  f.publish_all(/*now=*/1'000.0);
+
+  // Replaying the drained store must not duplicate any (node, level,
+  // cell) record: the totals match a clean full publish.
+  f.maps->rehome(std::move(drained));
+  const std::size_t total_after = f.maps->total_entries();
+  softstate::MapService fresh(*f.ecan, *f.landmarks, MapConfig{});
+  for (const auto id : f.nodes) fresh.publish(id, f.vectors[id], 1'000.0);
+  EXPECT_EQ(total_after, fresh.total_entries());
+  EXPECT_TRUE(f.maps->check_placement_invariant());
+  EXPECT_GT(f.maps->stats().rehomed_entries, 0u);
+}
+
+// Regression: the rehomed copy must not roll back a fresher republish —
+// the newer record (later expiry) wins.
+TEST(MapService, RehomeNeverOverwritesFresherRecord) {
+  Fixture f(20, 64);
+  f.publish_all(/*now=*/0.0);
+  overlay::NodeId host_node = overlay::kInvalidNode;
+  for (const auto id : f.nodes)
+    if (f.maps->store_size(id) > 0) {
+      host_node = id;
+      break;
+    }
+  ASSERT_NE(host_node, overlay::kInvalidNode);
+  auto drained = f.maps->extract_store(host_node);
+  ASSERT_FALSE(drained.empty());
+  f.publish_all(/*now=*/10'000.0);
+  f.maps->rehome(std::move(drained));
+
+  // Everything republished at t=10s must survive an expiry sweep right
+  // after the t=0 copies would have died.
+  const sim::Time just_past_first_ttl = MapConfig{}.ttl_ms + 1.0;
+  f.maps->expire_before(just_past_first_ttl);
+  softstate::MapService fresh(*f.ecan, *f.landmarks, MapConfig{});
+  for (const auto id : f.nodes) fresh.publish(id, f.vectors[id], 0.0);
+  EXPECT_EQ(f.maps->total_entries(), fresh.total_entries());
+}
+
+// Regression: rehomed entries now flow through place_entry, so the
+// pub/sub publish observer sees them (subscribers used to silently miss
+// records that moved owners during churn).
+TEST(MapService, RehomeFiresPublishObserver) {
+  Fixture f(21, 64);
+  f.publish_all();
+  overlay::NodeId host_node = overlay::kInvalidNode;
+  for (const auto id : f.nodes)
+    if (f.maps->store_size(id) > 0) {
+      host_node = id;
+      break;
+    }
+  ASSERT_NE(host_node, overlay::kInvalidNode);
+  auto drained = f.maps->extract_store(host_node);
+  ASSERT_FALSE(drained.empty());
+
+  std::size_t observed = 0;
+  f.maps->set_publish_observer(
+      [&](overlay::NodeId, const StoredEntry&) { ++observed; });
+  const std::size_t rehomed = drained.size();
+  f.maps->rehome(std::move(drained));
+  EXPECT_EQ(observed, rehomed);
+}
+
+// Regression: a publish whose overlay route fails used to drop the entry
+// with no accounting; it now lands in failed_routes, kept distinct from
+// injected message loss so fault experiments can tell the two apart.
+TEST(MapService, FailedRoutesDistinctFromInjectedLoss) {
+  Fixture f(22, 64);
+  f.publish_all();
+  EXPECT_EQ(f.maps->stats().failed_routes, 0u);  // healthy overlay
+
+  f.maps->reset_stats();
+  f.maps->inject_faults(/*publish_loss=*/1.0, /*seed=*/7);
+  f.maps->publish(f.nodes[0], f.vectors[f.nodes[0]], 0.0);
+  EXPECT_GT(f.maps->stats().lost_messages, 0u);
+  // Injected loss is not routing loss.
+  EXPECT_EQ(f.maps->stats().failed_routes, 0u);
+}
+
 TEST(MapService, StatsAccumulateRouteHops) {
   Fixture f(18, 64);
   f.publish_all();

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Configure, build and run the sanitizer-instrumented test suite via the
+# `tsan` CMake preset (TOPO_SANITIZE=thread, out-dir build-tsan/). The
+# preset's test filter covers the concurrency-sensitive suites plus the
+# lifecycle soak tests (label `soak`), which stress the event-driven
+# maintenance loop under churn.
+#
+# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan "$@"
