@@ -8,7 +8,12 @@
 //   SEED=n        alternate seed (printed by every bench)
 //   THREADS=n     worker threads for the parallel sweeps (default: hardware
 //                 concurrency; same SEED prints the same numbers at any n)
-//   ORACLE_ROWS=n cap cached RTT-oracle rows (bounded-memory mode; 0 = off)
+//   ORACLE_ROWS=n cap cached RTT-oracle rows (bounded-memory mode; 0 = off;
+//                 only meaningful with the dijkstra engine)
+//   RTT_ENGINE=s  latency backend: auto (default) | hierarchical | dijkstra.
+//                 auto uses the hierarchical transit-stub engine on
+//                 generated topologies; answers are bit-identical across
+//                 engines, so every bench prints the same numbers either way
 #pragma once
 
 #include <chrono>
@@ -86,7 +91,8 @@ struct World {
   /// Pins the landmark hosts' Dijkstra rows so that measuring a landmark
   /// vector for ANY host is O(m) row lookups instead of one Dijkstra per
   /// host (the oracle resolves latency(from, to) via either endpoint's
-  /// cached row).
+  /// cached row). A no-op under the hierarchical engine, which has every
+  /// pair precomputed already.
   void warm_landmark_rows() { oracle->warm(landmarks->hosts()); }
 
   std::string name() const {

@@ -2,17 +2,22 @@
 // curve transforms, Dijkstra / RTT oracle, CAN & eCAN routing, soft-state
 // map operations.
 //
-// After the google-benchmark suite, a scaling suite times the parallel
-// oracle primitives (warm-up, latency lookup, probe_nearest) at 1/2/4/8
-// threads and writes machine-readable results to BENCH_parallel.json
-// (override the path with BENCH_JSON=...; skip with BENCH_PARALLEL=0), so
-// the perf trajectory is tracked across PRs.
+// After the google-benchmark suite, two machine-readable suites track the
+// perf trajectory across PRs:
+//  * a scaling suite timing the parallel oracle primitives (warm-up,
+//    latency lookup, probe_nearest) at 1/2/4/8 threads, written to
+//    BENCH_parallel.json (path: BENCH_JSON; skip with BENCH_PARALLEL=0);
+//  * an RTT engine comparison (hierarchical vs cached-row dijkstra: warm
+//    cost, steady-state query cost, table footprint) on tsk-large, written
+//    to BENCH_rtt_engine.json (path: BENCH_RTT_ENGINE_JSON; skip with
+//    BENCH_RTT_ENGINE=0).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,7 @@
 #include "core/pastry_selectors.hpp"
 #include "core/selectors.hpp"
 #include "geom/hilbert.hpp"
+#include "net/hierarchical_rtt_engine.hpp"
 #include "net/latency.hpp"
 #include "net/shortest_path.hpp"
 #include "net/transit_stub.hpp"
@@ -294,7 +300,10 @@ ParallelSample run_parallel_sample(unsigned threads) {
   ParallelSample sample;
   sample.threads = threads;
 
-  net::RttOracle oracle(topology);
+  // Pinned to the dijkstra engine: this suite measures the row-cache
+  // machinery's thread scaling, which the hierarchical engine (the default
+  // on this topology) bypasses entirely.
+  net::RttOracle oracle(topology, net::RttEngineKind::kDijkstra);
   std::vector<net::HostId> sources(kWarmSources);
   util::Rng rng(17);
   for (auto& s : sources)
@@ -371,6 +380,138 @@ void run_parallel_suite() {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// RTT engine comparison: warm + query cost of the hierarchical transit-stub
+// engine vs the cached-row Dijkstra engine on the tsk-large topology.
+// Emits BENCH_rtt_engine.json (path: BENCH_RTT_ENGINE_JSON; skip with
+// BENCH_RTT_ENGINE=0). FULL=1 scales the warmed-source set and query count.
+
+struct RttEngineSample {
+  std::string engine;
+  double warm_ms = 0.0;          // dijkstra: row warming; hierarchical: build
+  double query_ns_per_op = 0.0;  // steady-state query over the same workload
+  std::size_t footprint_bytes = 0;
+};
+
+RttEngineSample measure_engine(net::RttOracle& oracle,
+                               std::span<const net::HostId> sources,
+                               std::size_t queries) {
+  const auto& topology = oracle.topology();
+  RttEngineSample sample;
+  sample.engine = oracle.engine_name();
+
+  // Warm phase. For the dijkstra engine this runs |sources| full-graph
+  // Dijkstras across the pool; for the hierarchical engine everything was
+  // precomputed at construction, so charge that build time instead.
+  auto start = std::chrono::steady_clock::now();
+  oracle.warm(sources, util::ThreadPool::global());
+  sample.warm_ms = elapsed_ms(start);
+
+  // Steady-state queries: identical deterministic workload for both
+  // engines, sources drawn from the warmed set so the dijkstra engine is
+  // measured on its cache-hit fast path.
+  start = std::chrono::steady_clock::now();
+  util::ThreadPool::global().parallel_for(0, queries, 4096, [&](std::size_t i) {
+    std::uint64_t s = 20 ^ i;
+    const auto from = sources[i % sources.size()];
+    const auto to = static_cast<net::HostId>(util::splitmix64(s) %
+                                             topology.host_count());
+    benchmark::DoNotOptimize(oracle.latency_ms(from, to));
+  });
+  sample.query_ns_per_op =
+      elapsed_ms(start) * 1e6 / static_cast<double>(queries);
+  return sample;
+}
+
+void run_rtt_engine_suite() {
+  const auto& topology = NetFixture::instance().topology;
+  const bool full = util::env_bool("FULL");
+  const std::size_t warm_count = full ? 2048 : 512;
+  const std::size_t queries = full ? 4'000'000 : 1'000'000;
+  const std::string path = util::env_string("BENCH_RTT_ENGINE_JSON",
+                                            "BENCH_rtt_engine.json");
+
+  std::vector<net::HostId> sources(warm_count);
+  util::Rng rng(21);
+  for (auto& s : sources)
+    s = static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+
+  std::printf("\n-- RTT engine comparison (%s, %zu hosts, %zu warm sources, "
+              "%zu queries) --\n",
+              net::tsk_large().name.c_str(), topology.host_count(),
+              warm_count, queries);
+
+  net::RttOracle dijkstra(topology, net::RttEngineKind::kDijkstra);
+  const RttEngineSample dj = [&] {
+    auto s = measure_engine(dijkstra, sources, queries);
+    s.footprint_bytes =
+        dijkstra.cached_rows() * topology.host_count() * sizeof(double);
+    return s;
+  }();
+
+  // The hierarchical engine precomputes in its constructor; time it as the
+  // engine's warm cost (its warm() proper is a no-op).
+  const auto hier_start = std::chrono::steady_clock::now();
+  net::HierarchicalRttEngine hier_engine(topology);
+  const double hier_build_ms = elapsed_ms(hier_start);
+  net::RttOracle hierarchical(topology, net::RttEngineKind::kHierarchical);
+  RttEngineSample hi = measure_engine(hierarchical, sources, queries);
+  hi.warm_ms = hier_build_ms;
+  hi.footprint_bytes = hier_engine.footprint_bytes();
+
+  // Cross-check on a slice of the workload: the two engines must agree bit
+  // for bit (the exactness property the test suite proves exhaustively).
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < 10'000; ++i) {
+    std::uint64_t s = 20 ^ i;
+    const auto from = sources[i % sources.size()];
+    const auto to = static_cast<net::HostId>(util::splitmix64(s) %
+                                             topology.host_count());
+    if (dijkstra.latency_ms(from, to) != hierarchical.latency_ms(from, to))
+      ++mismatches;
+  }
+
+  const double warm_speedup = dj.warm_ms / hi.warm_ms;
+  for (const RttEngineSample& s : {dj, hi})
+    std::printf("engine=%-12s warm=%9.1f ms  query=%6.1f ns/op  "
+                "footprint=%.1f MB\n",
+                s.engine.c_str(), s.warm_ms, s.query_ns_per_op,
+                static_cast<double>(s.footprint_bytes) / 1e6);
+  std::printf("warm speedup (dijkstra/hierarchical): %.1fx  "
+              "core=%zu stubs=%zu  mismatches=%zu\n",
+              warm_speedup, hier_engine.core_size(), hier_engine.stub_count(),
+              mismatches);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"micro_benchmarks.rtt_engine\",\n"
+      << "  \"topology\": \"" << net::tsk_large().name << "\",\n"
+      << "  \"host_count\": " << topology.host_count() << ",\n"
+      << "  \"warm_sources\": " << warm_count << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"threads\": " << util::ThreadPool::global().size() << ",\n"
+      << "  \"core_size\": " << hier_engine.core_size() << ",\n"
+      << "  \"stub_count\": " << hier_engine.stub_count() << ",\n"
+      << "  \"mismatches\": " << mismatches << ",\n"
+      << "  \"warm_speedup\": " << warm_speedup << ",\n"
+      << "  \"engines\": [\n";
+  const RttEngineSample* samples[] = {&dj, &hi};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& s = *samples[i];
+    out << "    {\"engine\": \"" << s.engine
+        << "\", \"warm_ms\": " << s.warm_ms
+        << ", \"query_ns_per_op\": " << s.query_ns_per_op
+        << ", \"footprint_bytes\": " << s.footprint_bytes << "}"
+        << (i == 0 ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace topo
 
@@ -383,6 +524,9 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (topo::util::env_bool("BENCH_PARALLEL", true)) {
     topo::run_parallel_suite();
+  }
+  if (topo::util::env_bool("BENCH_RTT_ENGINE", true)) {
+    topo::run_rtt_engine_suite();
   }
   return 0;
 }

@@ -6,7 +6,7 @@ SoftStateOverlay::SoftStateOverlay(const net::Topology& topology,
                                    SystemConfig config)
     : config_(config),
       rng_(config.seed),
-      oracle_(topology),
+      oracle_(topology, config.rtt_engine),
       landmarks_(proximity::LandmarkSet::choose_random(
           topology, config.landmark_count, rng_, config.landmark)),
       ecan_(config.dims, config.max_level) {

@@ -61,6 +61,12 @@ struct SystemConfig {
 
   int max_level = 14;
   std::uint64_t seed = 42;
+
+  /// Latency backend for the oracle (see net/rtt_engine.hpp). Defaults to
+  /// the RTT_ENGINE env var; kAuto picks the hierarchical engine whenever
+  /// the topology carries transit-stub metadata. Results are bit-identical
+  /// either way — this only trades precompute for per-query cost.
+  net::RttEngineKind rtt_engine = net::rtt_engine_kind_from_env();
 };
 
 struct SystemStats {

@@ -1,0 +1,110 @@
+// The classic cached-row latency engine: one full-graph Dijkstra per
+// distinct source, memoized. This is the fallback engine for arbitrary
+// topologies and the reference the hierarchical engine is tested against.
+//
+// Concurrency model (unchanged from the pre-refactor RttOracle):
+//
+//  - Rows live in a flat slot table indexed by HostId (one atomic pointer
+//    per host), so a cache hit is two array reads — no hashing, no lock.
+//  - Row construction is guarded by sharded mutexes with double-checked
+//    locking: concurrent queries for the same uncached source run exactly
+//    one Dijkstra between them, so `dijkstra_runs()` never exceeds the
+//    number of distinct sources touched.
+//  - In the default unbounded mode rows are immortal until `clear_cache()`
+//    (which, like `set_row_cap`, must be called while no other thread is
+//    querying). With a row cap set, eviction can run concurrently with
+//    queries: readers then take a sharded shared lock so a row is never
+//    freed mid-read.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "net/rtt_engine.hpp"
+
+namespace topo::net {
+
+class DijkstraRttEngine final : public RttEngine {
+ public:
+  explicit DijkstraRttEngine(const Topology& topology);
+  ~DijkstraRttEngine() override;
+
+  const char* name() const override { return "dijkstra"; }
+
+  /// Served from whichever endpoint's row is cached (rows are symmetric
+  /// because links are undirected); caches `from`'s otherwise.
+  double latency_ms(HostId from, HostId to) override;
+
+  /// Precompute & pin rows for the given sources (bulk experiments).
+  /// Runs the Dijkstras in parallel on `pool`; pinned rows are exempt
+  /// from bounded-mode eviction.
+  void warm(std::span<const HostId> sources, util::ThreadPool& pool) override;
+
+  /// Drop all cached rows (memory control between sweep phases). Not safe
+  /// concurrently with queries — call at a quiescent point.
+  void clear_cache() override;
+
+  /// Bounded-memory mode for long sweeps: keep at most `cap` unpinned rows
+  /// cached, evicting approximately-least-recently-used rows as new ones
+  /// are built (0 = unbounded, the default). Evicted rows are recomputed
+  /// on demand, so results are unchanged — only Dijkstra counts and memory
+  /// differ. Call before sharing the engine across threads.
+  void set_row_cap(std::size_t cap) override {
+    row_cap_.store(cap, std::memory_order_relaxed);
+  }
+  std::size_t row_cap() const override {
+    return row_cap_.load(std::memory_order_relaxed);
+  }
+
+  /// Rows currently cached (pinned + unpinned).
+  std::size_t cached_rows() const override {
+    return cached_rows_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t dijkstra_runs() const override {
+    return dijkstra_runs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Row {
+    explicit Row(std::vector<double> d) : dist(std::move(d)) {}
+    std::vector<double> dist;
+    std::atomic<std::uint64_t> stamp{0};  // approximate-LRU access clock
+    std::atomic<bool> pinned{false};
+  };
+
+  static constexpr std::size_t kShards = 64;
+  std::size_t shard_of(HostId h) const { return h % kShards; }
+
+  bool bounded() const {
+    return row_cap_.load(std::memory_order_relaxed) > 0;
+  }
+  void touch(Row& row) {
+    row.stamp.store(access_clock_.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+
+  /// Reads slot `source` (exact-index hit only); returns the latency to
+  /// `to` through `out`. Takes the shard's shared lock in bounded mode.
+  bool try_read(HostId source, HostId to, double* out);
+
+  /// Builds (or finds, under double-checked locking) `from`'s row and
+  /// returns the latency to `to`. `pin` marks the row eviction-exempt.
+  double build_and_read(HostId from, HostId to, bool pin);
+
+  void evict_over_cap();
+
+  const Topology* topology_;
+  std::vector<std::atomic<Row*>> slots_;  // one per host; null = uncached
+  mutable std::array<std::shared_mutex, kShards> shard_mutex_;
+  std::atomic<std::uint64_t> dijkstra_runs_{0};
+  std::atomic<std::uint64_t> access_clock_{0};
+  std::atomic<std::size_t> cached_rows_{0};
+  std::atomic<std::size_t> row_cap_{0};
+};
+
+}  // namespace topo::net

@@ -15,6 +15,12 @@ void Topology::add_link(HostId a, HostId b, LinkClass link_class) {
   TO_EXPECTS(!frozen_);
   TO_EXPECTS(a < hosts_.size() && b < hosts_.size());
   TO_EXPECTS(a != b);
+  if (link_class == LinkClass::kTransitStub) {
+    // Access link: annotate the stub-side endpoint as a gateway so the
+    // hierarchical RTT engine can decompose paths without rescanning.
+    if (hosts_[a].kind == HostKind::kStub) hosts_[a].gateway = true;
+    if (hosts_[b].kind == HostKind::kStub) hosts_[b].gateway = true;
+  }
   links_.push_back(Link{a, b, link_class, 0.0});
 }
 

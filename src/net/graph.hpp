@@ -28,6 +28,11 @@ struct HostInfo {
   HostKind kind = HostKind::kStub;
   std::int32_t transit_domain = -1;  // enclosing transit domain
   std::int32_t stub_domain = -1;     // -1 for transit nodes
+  /// Stub host carrying an access link to a transit node. Maintained by
+  /// Topology::add_link (every kTransitStub link marks its stub endpoint),
+  /// so it is correct for generated and file-loaded topologies alike; the
+  /// hierarchical RTT engine keys its decomposition on it.
+  bool gateway = false;
 };
 
 struct Link {

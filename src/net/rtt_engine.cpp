@@ -1,0 +1,101 @@
+#include "net/rtt_engine.hpp"
+
+#include <vector>
+
+#include "net/dijkstra_rtt_engine.hpp"
+#include "net/hierarchical_rtt_engine.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace topo::net {
+
+const char* rtt_engine_kind_name(RttEngineKind kind) {
+  switch (kind) {
+    case RttEngineKind::kAuto: return "auto";
+    case RttEngineKind::kDijkstra: return "dijkstra";
+    case RttEngineKind::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+RttEngineKind rtt_engine_kind_from_string(const std::string& name) {
+  if (name == "auto") return RttEngineKind::kAuto;
+  if (name == "dijkstra") return RttEngineKind::kDijkstra;
+  if (name == "hierarchical") return RttEngineKind::kHierarchical;
+  TO_LOG_WARN("unknown RTT engine '%s' (want auto|dijkstra|hierarchical); "
+              "using auto",
+              name.c_str());
+  return RttEngineKind::kAuto;
+}
+
+RttEngineKind rtt_engine_kind_from_env() {
+  return rtt_engine_kind_from_string(util::env_string("RTT_ENGINE", "auto"));
+}
+
+bool topology_supports_hierarchy(const Topology& topology) {
+  if (!topology.frozen() || topology.host_count() == 0) return false;
+
+  // Derive "has an access link" per host and validate link structure.
+  std::vector<bool> has_access(topology.host_count(), false);
+  for (const Link& link : topology.links()) {
+    const HostInfo& a = topology.host(link.a);
+    const HostInfo& b = topology.host(link.b);
+    const bool a_stub = a.kind == HostKind::kStub;
+    const bool b_stub = b.kind == HostKind::kStub;
+    if (a_stub && b_stub) {
+      // Stub-stub links crossing domains would break the intra-stub /
+      // core / intra-stub decomposition.
+      if (a.stub_domain < 0 || a.stub_domain != b.stub_domain) return false;
+    } else if (a_stub != b_stub) {
+      // Access links must be declared as such — the gateway annotation
+      // (and thus the engine's gateway set) keys off the link class.
+      if (link.link_class != LinkClass::kTransitStub) return false;
+      has_access[a_stub ? link.a : link.b] = true;
+    }
+  }
+
+  // Per-host metadata: stub hosts name a domain; gateway flags (however
+  // the topology was built) agree with the links.
+  std::vector<bool> domain_has_gateway;
+  for (HostId h = 0; h < topology.host_count(); ++h) {
+    const HostInfo& info = topology.host(h);
+    if (info.kind == HostKind::kTransit) {
+      if (info.gateway || has_access[h]) return false;
+      continue;
+    }
+    if (info.stub_domain < 0) return false;
+    if (info.gateway != has_access[h]) return false;
+    const auto domain = static_cast<std::size_t>(info.stub_domain);
+    if (domain >= domain_has_gateway.size())
+      domain_has_gateway.resize(domain + 1, false);
+    if (info.gateway) domain_has_gateway[domain] = true;
+  }
+
+  // Every populated stub domain must reach the core somewhere; a domain
+  // with members but no gateway would be (exactly) unreachable.
+  for (HostId h = 0; h < topology.host_count(); ++h) {
+    const HostInfo& info = topology.host(h);
+    if (info.kind == HostKind::kStub &&
+        !domain_has_gateway[static_cast<std::size_t>(info.stub_domain)])
+      return false;
+  }
+  return true;
+}
+
+std::unique_ptr<RttEngine> make_rtt_engine(const Topology& topology,
+                                           RttEngineKind kind) {
+  const bool supported = topology_supports_hierarchy(topology);
+  if (kind == RttEngineKind::kHierarchical && !supported) {
+    TO_LOG_WARN(
+        "RTT_ENGINE=hierarchical requested but the topology carries no "
+        "usable transit-stub metadata; falling back to dijkstra");
+    kind = RttEngineKind::kDijkstra;
+  }
+  if (kind == RttEngineKind::kAuto)
+    kind = supported ? RttEngineKind::kHierarchical : RttEngineKind::kDijkstra;
+  if (kind == RttEngineKind::kHierarchical)
+    return std::make_unique<HierarchicalRttEngine>(topology);
+  return std::make_unique<DijkstraRttEngine>(topology);
+}
+
+}  // namespace topo::net

@@ -1,84 +1,16 @@
 #include "net/rtt_oracle.hpp"
 
-#include <limits>
-
-#include "net/shortest_path.hpp"
 #include "util/thread_pool.hpp"
 
 namespace topo::net {
 
-namespace {
-
-// One scratch per thread: warm() fans Dijkstras out across the pool, and
-// each worker recycles its own dist/heap buffers run to run.
-DijkstraScratch& local_scratch() {
-  static thread_local DijkstraScratch scratch;
-  return scratch;
-}
-
-}  // namespace
-
 RttOracle::RttOracle(const Topology& topology)
-    : topology_(&topology), slots_(topology.host_count()) {
-  for (auto& slot : slots_) slot.store(nullptr, std::memory_order_relaxed);
-}
+    : RttOracle(topology, rtt_engine_kind_from_env()) {}
 
-RttOracle::~RttOracle() { clear_cache(); }
+RttOracle::RttOracle(const Topology& topology, RttEngineKind kind)
+    : topology_(&topology), engine_(make_rtt_engine(topology, kind)) {}
 
-bool RttOracle::try_read(HostId source, HostId to, double* out) {
-  if (!bounded()) {
-    // Unbounded mode: rows are immortal until a quiescent clear_cache(),
-    // so a plain acquire load is a complete, lock-free hit path.
-    if (const Row* row = slots_[source].load(std::memory_order_acquire)) {
-      *out = row->dist[to];
-      return true;
-    }
-    return false;
-  }
-  // Bounded mode: eviction may free a row concurrently, so the read holds
-  // the shard's shared lock (eviction unlinks under the unique lock).
-  std::shared_lock lock(shard_mutex_[shard_of(source)]);
-  if (Row* row = slots_[source].load(std::memory_order_acquire)) {
-    touch(*row);
-    *out = row->dist[to];
-    return true;
-  }
-  return false;
-}
-
-double RttOracle::build_and_read(HostId from, HostId to, bool pin) {
-  Row* row = nullptr;
-  double result = 0.0;
-  {
-    std::unique_lock lock(shard_mutex_[shard_of(from)]);
-    row = slots_[from].load(std::memory_order_relaxed);
-    if (row == nullptr) {
-      // We won the double-checked race: run the (one) Dijkstra.
-      dijkstra_runs_.fetch_add(1, std::memory_order_relaxed);
-      const auto dist = dijkstra(*topology_, from, local_scratch());
-      row = new Row(std::vector<double>(dist.begin(), dist.end()));
-      slots_[from].store(row, std::memory_order_release);
-      cached_rows_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (pin) row->pinned.store(true, std::memory_order_relaxed);
-    if (bounded()) touch(*row);
-    result = row->dist[to];
-  }
-  evict_over_cap();
-  return result;
-}
-
-double RttOracle::latency_ms(HostId from, HostId to) {
-  TO_EXPECTS(from < topology_->host_count());
-  TO_EXPECTS(to < topology_->host_count());
-  if (from == to) return 0.0;
-  // Either endpoint's row answers the query (rows are symmetric because
-  // links are undirected); both checks are O(1) slot reads.
-  double result;
-  if (try_read(from, to, &result)) return result;
-  if (try_read(to, from, &result)) return result;
-  return build_and_read(from, to, /*pin=*/false);
-}
+RttOracle::~RttOracle() = default;
 
 HostId RttOracle::probe_nearest(HostId from,
                                 std::span<const HostId> candidates) {
@@ -107,62 +39,13 @@ HostId RttOracle::nearest(HostId from, std::span<const HostId> candidates) {
   return best;
 }
 
-void RttOracle::clear_cache() {
-  for (auto& slot : slots_) {
-    delete slot.load(std::memory_order_relaxed);
-    slot.store(nullptr, std::memory_order_relaxed);
-  }
-  cached_rows_.store(0, std::memory_order_relaxed);
-}
-
 void RttOracle::warm(std::span<const HostId> sources) {
   warm(sources, util::ThreadPool::global());
 }
 
 void RttOracle::warm(std::span<const HostId> sources,
                      util::ThreadPool& pool) {
-  pool.parallel_for(0, sources.size(), 1, [&](std::size_t i) {
-    const HostId source = sources[i];
-    TO_EXPECTS(source < topology_->host_count());
-    (void)build_and_read(source, source, /*pin=*/true);
-  });
-}
-
-void RttOracle::evict_over_cap() {
-  const std::size_t cap = row_cap_.load(std::memory_order_relaxed);
-  if (cap == 0) return;
-  while (cached_rows_.load(std::memory_order_relaxed) > cap) {
-    // Approximate LRU: scan for the oldest unpinned row. The scan holds
-    // each shard's shared lock in turn, so candidate rows can't be freed
-    // under it; the stamp ordering is racy (that's the "approximate").
-    HostId victim_host = kInvalidHost;
-    Row* victim = nullptr;
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t shard = 0; shard < kShards; ++shard) {
-      std::shared_lock lock(shard_mutex_[shard]);
-      for (std::size_t h = shard; h < slots_.size(); h += kShards) {
-        Row* row = slots_[h].load(std::memory_order_acquire);
-        if (row == nullptr || row->pinned.load(std::memory_order_relaxed))
-          continue;
-        const std::uint64_t stamp = row->stamp.load(std::memory_order_relaxed);
-        if (stamp <= oldest) {
-          oldest = stamp;
-          victim = row;
-          victim_host = static_cast<HostId>(h);
-        }
-      }
-    }
-    if (victim == nullptr) return;  // everything cached is pinned
-    std::unique_lock lock(shard_mutex_[shard_of(victim_host)]);
-    if (slots_[victim_host].load(std::memory_order_relaxed) != victim)
-      continue;  // raced with another evictor or a rebuild; rescan
-    slots_[victim_host].store(nullptr, std::memory_order_release);
-    cached_rows_.fetch_sub(1, std::memory_order_relaxed);
-    lock.unlock();
-    // No reader can still hold the pointer: bounded-mode readers only
-    // dereference under the shard lock we just owned exclusively.
-    delete victim;
-  }
+  engine_->warm(sources, pool);
 }
 
 }  // namespace topo::net

@@ -1,43 +1,45 @@
-// Cached round-trip-time oracle.
+// Round-trip-time oracle: the simulation's single source of latency.
 //
 // Every latency the simulation observes — overlay hop costs, landmark
-// measurements, explicit RTT probes — goes through this class. It memoizes
-// Dijkstra rows per source so repeated queries from the same host are O(1),
-// and it separately counts *probes*: latency queries that model actual
-// network measurements a real node would have to perform (as opposed to the
+// measurements, explicit RTT probes — goes through this class. It
+// separately counts *probes*: latency queries that model actual network
+// measurements a real node would have to perform (as opposed to the
 // simulator's own bookkeeping, which uses `latency_ms`). The probe counter
 // is what the paper's "number of RTT measurements" axes report.
 //
+// The actual shortest-path computation lives behind the RttEngine
+// interface (net/rtt_engine.hpp):
+//
+//  * hierarchical — precomputes per-stub all-pairs, a transit-core APSP
+//    and per-host gateway vectors from the topology's transit-stub
+//    metadata, then answers any pair in O(1). The default whenever the
+//    metadata is present.
+//  * dijkstra     — the classic per-source cached-row fallback for
+//    arbitrary topologies (one full-graph Dijkstra per distinct source,
+//    memoized, optionally bounded).
+//
+// Both are exact and bit-for-bit identical (link weights sit on the 2^-20
+// ms quantization grid, so path sums are exact doubles); engine choice
+// never changes any simulated number. Select with the RTT_ENGINE env var
+// (`auto`/`hierarchical`/`dijkstra`) or an explicit RttEngineKind.
+//
 // Concurrency model. The oracle is safe to query from many threads at
 // once, which is what lets the bench drivers fan trials out over a thread
-// pool while sharing one warmed cache:
-//
-//  - Rows live in a flat slot table indexed by HostId (one atomic pointer
-//    per host), so a cache hit is two array reads — no hashing, no lock.
-//  - Row construction is guarded by sharded mutexes with double-checked
-//    locking: concurrent queries for the same uncached source run exactly
-//    one Dijkstra between them, so `dijkstra_runs()` never exceeds the
-//    number of distinct sources touched.
-//  - `probe_count_` / `dijkstra_runs_` are atomic; results are exact
-//    shortest-path latencies, so the numbers a bench prints are identical
-//    at any thread count.
-//  - In the default unbounded mode rows are immortal until `clear_cache()`
-//    (which, like `set_row_cap`/`set_measurement_noise`, must be called
-//    while no other thread is querying). With a row cap set, eviction can
-//    run concurrently with queries: readers then take a sharded shared
-//    lock so a row is never freed mid-read.
+// pool while sharing one oracle. The hierarchical engine is immutable
+// after construction; the Dijkstra engine's row cache is lock-free on hits
+// and double-check-locked on fills (see dijkstra_rtt_engine.hpp).
+// `clear_cache`/`set_row_cap`/`set_measurement_noise` remain
+// quiescent-only calls.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
-#include <vector>
 
 #include "net/graph.hpp"
+#include "net/rtt_engine.hpp"
 #include "util/rng.hpp"
 
 namespace topo::util {
@@ -48,7 +50,11 @@ namespace topo::net {
 
 class RttOracle {
  public:
+  /// Engine kind from the RTT_ENGINE env var (default: auto).
   explicit RttOracle(const Topology& topology);
+  /// Explicit engine choice (kAuto resolves from the topology metadata;
+  /// kHierarchical falls back to Dijkstra when the metadata is missing).
+  RttOracle(const Topology& topology, RttEngineKind kind);
   ~RttOracle();
 
   RttOracle(const RttOracle&) = delete;
@@ -56,9 +62,17 @@ class RttOracle {
 
   const Topology& topology() const { return *topology_; }
 
-  /// Simulator-side latency lookup (free; not counted as a probe). Served
-  /// from whichever endpoint's row is cached; caches `from`'s otherwise.
-  double latency_ms(HostId from, HostId to);
+  /// The resolved backend ("hierarchical" or "dijkstra").
+  const char* engine_name() const { return engine_->name(); }
+  const RttEngine& engine() const { return *engine_; }
+
+  /// Simulator-side latency lookup (free; not counted as a probe).
+  double latency_ms(HostId from, HostId to) {
+    TO_EXPECTS(from < topology_->host_count());
+    TO_EXPECTS(to < topology_->host_count());
+    if (from == to) return 0.0;
+    return engine_->latency_ms(from, to);
+  }
 
   /// A modeled network measurement: counted, and — unlike the simulator's
   /// own bookkeeping — subject to the configured measurement noise, the
@@ -101,74 +115,36 @@ class RttOracle {
     probe_count_.store(0, std::memory_order_relaxed);
   }
 
-  std::uint64_t dijkstra_runs() const {
-    return dijkstra_runs_.load(std::memory_order_relaxed);
-  }
+  /// Full-graph Dijkstras the engine has run (0 for hierarchical — its
+  /// precompute uses restricted subgraph Dijkstras, not cached rows).
+  std::uint64_t dijkstra_runs() const { return engine_->dijkstra_runs(); }
 
-  /// Drop all cached rows (memory control between sweep phases). Not safe
-  /// concurrently with queries — call at a quiescent point.
-  void clear_cache();
+  /// Drop all cached rows (memory control between sweep phases; no-op for
+  /// the hierarchical engine). Not safe concurrently with queries — call
+  /// at a quiescent point.
+  void clear_cache() { engine_->clear_cache(); }
 
   /// Precompute & pin rows for the given sources (bulk experiments).
-  /// Runs the Dijkstras in parallel on the global pool; pinned rows are
-  /// exempt from bounded-mode eviction.
+  /// Runs across the pool; a no-op for the already-precomputed
+  /// hierarchical engine.
   void warm(std::span<const HostId> sources);
   void warm(std::span<const HostId> sources, util::ThreadPool& pool);
 
   /// Bounded-memory mode for long sweeps: keep at most `cap` unpinned rows
-  /// cached, evicting approximately-least-recently-used rows as new ones
-  /// are built (0 = unbounded, the default). Evicted rows are recomputed
-  /// on demand, so results are unchanged — only Dijkstra counts and memory
-  /// differ. Call before sharing the oracle across threads.
-  void set_row_cap(std::size_t cap) {
-    row_cap_.store(cap, std::memory_order_relaxed);
-  }
-  std::size_t row_cap() const {
-    return row_cap_.load(std::memory_order_relaxed);
-  }
+  /// cached (0 = unbounded, the default; no-op for hierarchical). Evicted
+  /// rows are recomputed on demand, so results are unchanged — only
+  /// Dijkstra counts and memory differ. Call before sharing the oracle
+  /// across threads.
+  void set_row_cap(std::size_t cap) { engine_->set_row_cap(cap); }
+  std::size_t row_cap() const { return engine_->row_cap(); }
 
-  /// Rows currently cached (pinned + unpinned).
-  std::size_t cached_rows() const {
-    return cached_rows_.load(std::memory_order_relaxed);
-  }
+  /// Rows currently cached (pinned + unpinned; 0 for hierarchical).
+  std::size_t cached_rows() const { return engine_->cached_rows(); }
 
  private:
-  struct Row {
-    explicit Row(std::vector<double> d) : dist(std::move(d)) {}
-    std::vector<double> dist;
-    std::atomic<std::uint64_t> stamp{0};  // approximate-LRU access clock
-    std::atomic<bool> pinned{false};
-  };
-
-  static constexpr std::size_t kShards = 64;
-  std::size_t shard_of(HostId h) const { return h % kShards; }
-
-  bool bounded() const {
-    return row_cap_.load(std::memory_order_relaxed) > 0;
-  }
-  void touch(Row& row) {
-    row.stamp.store(access_clock_.fetch_add(1, std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-  }
-
-  /// Reads slot `source` (exact-index hit only); returns the latency to
-  /// `to` through `out`. Takes the shard's shared lock in bounded mode.
-  bool try_read(HostId source, HostId to, double* out);
-
-  /// Builds (or finds, under double-checked locking) `from`'s row and
-  /// returns the latency to `to`. `pin` marks the row eviction-exempt.
-  double build_and_read(HostId from, HostId to, bool pin);
-
-  void evict_over_cap();
-
   const Topology* topology_;
-  std::vector<std::atomic<Row*>> slots_;  // one per host; null = uncached
-  mutable std::array<std::shared_mutex, kShards> shard_mutex_;
+  std::unique_ptr<RttEngine> engine_;
   std::atomic<std::uint64_t> probe_count_{0};
-  std::atomic<std::uint64_t> dijkstra_runs_{0};
-  std::atomic<std::uint64_t> access_clock_{0};
-  std::atomic<std::size_t> cached_rows_{0};
-  std::atomic<std::size_t> row_cap_{0};
   double noise_fraction_ = 0.0;
   util::Rng noise_rng_{0};
   std::mutex noise_mutex_;

@@ -27,12 +27,12 @@ bool next_line(std::istream& in, std::string& line) {
 
 void save_topology(const Topology& topology, std::ostream& out) {
   out.precision(17);  // doubles round-trip exactly
-  out << "topo-overlay-topology v1\n";
+  out << "topo-overlay-topology v2\n";
   out << "hosts " << topology.host_count() << "\n";
   for (HostId h = 0; h < topology.host_count(); ++h) {
     const HostInfo& info = topology.host(h);
     out << "h " << static_cast<int>(info.kind) << ' ' << info.transit_domain
-        << ' ' << info.stub_domain << '\n';
+        << ' ' << info.stub_domain << ' ' << (info.gateway ? 1 : 0) << '\n';
   }
   out << "links " << topology.link_count() << "\n";
   for (const Link& link : topology.links()) {
@@ -50,7 +50,13 @@ void save_topology_file(const Topology& topology, const std::string& path) {
 
 Topology load_topology(std::istream& in) {
   std::string line;
-  if (!next_line(in, line) || line.rfind("topo-overlay-topology v1", 0) != 0)
+  if (!next_line(in, line)) malformed("missing or wrong header");
+  int version = 0;
+  if (line.rfind("topo-overlay-topology v1", 0) == 0)
+    version = 1;
+  else if (line.rfind("topo-overlay-topology v2", 0) == 0)
+    version = 2;
+  else
     malformed("missing or wrong header");
 
   if (!next_line(in, line)) malformed("missing hosts section");
@@ -63,6 +69,7 @@ Topology load_topology(std::istream& in) {
   }
 
   Topology topology;
+  std::vector<bool> declared_gateway(host_count, false);
   for (std::size_t i = 0; i < host_count; ++i) {
     if (!next_line(in, line)) malformed("truncated hosts section");
     std::istringstream s(line);
@@ -72,7 +79,16 @@ Topology load_topology(std::istream& in) {
     if (!(s >> tag >> kind >> info.transit_domain >> info.stub_domain) ||
         tag != "h" || kind < 0 || kind > 1)
       malformed("bad host line: " + line);
+    if (version >= 2) {
+      int gateway = 0;
+      if (!(s >> gateway) || gateway < 0 || gateway > 1)
+        malformed("bad host line (v2 needs a gateway flag): " + line);
+      declared_gateway[i] = gateway != 0;
+    }
     info.kind = static_cast<HostKind>(kind);
+    // The gateway flag is never taken on faith: add_link re-derives it
+    // from the kTransitStub links below, and v2 declarations are checked
+    // against the derived truth after the links are read.
     topology.add_host(info);
   }
 
@@ -108,6 +124,14 @@ Topology load_topology(std::istream& in) {
   topology.freeze();
   for (std::size_t i = 0; i < latencies.size(); ++i)
     topology.mutable_link(i).latency_ms = latencies[i];
+
+  if (version >= 2) {
+    for (HostId h = 0; h < topology.host_count(); ++h) {
+      if (topology.host(h).gateway != declared_gateway[h])
+        malformed("gateway flag of host " + std::to_string(h) +
+                  " disagrees with its links");
+    }
+  }
   return topology;
 }
 

@@ -3,11 +3,18 @@
 // shared between the CLI tools, benches and external scripts.
 //
 // Format (line-oriented, '#' comments allowed):
-//   topo-overlay-topology v1
+//   topo-overlay-topology v2
 //   hosts <n>
-//   h <kind:0|1> <transit_domain> <stub_domain>     (n lines, id = order)
+//   h <kind:0|1> <transit_domain> <stub_domain> <gateway:0|1>   (n lines)
 //   links <m>
-//   l <a> <b> <class:0..3> <latency_ms>             (m lines)
+//   l <a> <b> <class:0..3> <latency_ms>                         (m lines)
+//
+// v1 files (host lines without the gateway field) still load: the gateway
+// flags are then derived from the kTransitStub links, exactly as
+// Topology::add_link does for generated topologies. v2 files declare them
+// explicitly and the loader rejects files whose declared flags disagree
+// with the links — the hierarchical RTT engine's decomposition keys on
+// this metadata being consistent.
 #pragma once
 
 #include <iosfwd>

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/rtt_engine.hpp"
+
 namespace topo::net {
 
 namespace {
@@ -139,6 +141,9 @@ Topology generate_transit_stub(const TransitStubConfig& config,
   TO_ENSURES(topology.is_connected());
   TO_ENSURES(static_cast<int>(topology.host_count()) ==
              config.total_hosts());
+  // Generated topologies always carry the full transit-stub annotations
+  // (domains + gateway flags) the hierarchical RTT engine needs.
+  TO_ENSURES(topology_supports_hierarchy(topology));
   return topology;
 }
 

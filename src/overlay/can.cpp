@@ -47,7 +47,7 @@ NodeId CanNetwork::join(net::HostId host, const geom::Point& at,
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(CanNode{host, geom::Zone(), {}, true});
   leaf_of_node_.push_back(-1);
-  ++live_count_;
+  live_.push_back(id);  // ids are monotonic, so the list stays sorted
 
   if (tree_.empty()) {
     tree_.push_back(TreeNode{geom::Zone::whole(dims_), 0, -1, {-1, -1}, id});
@@ -101,14 +101,6 @@ void CanNetwork::split_leaf(int leaf, NodeId new_owner,
   leaf_of_node_[old_owner] = old_leaf;
   nodes_[new_owner].zone = tree_[static_cast<std::size_t>(joiner_leaf)].zone;
   nodes_[old_owner].zone = tree_[static_cast<std::size_t>(old_leaf)].zone;
-}
-
-std::vector<NodeId> CanNetwork::live_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(live_count_);
-  for (NodeId id = 0; id < nodes_.size(); ++id)
-    if (nodes_[id].alive) out.push_back(id);
-  return out;
 }
 
 NodeId CanNetwork::owner_of(const geom::Point& p) const {
@@ -212,7 +204,7 @@ CanNetwork::LeaveReport CanNetwork::leave(NodeId id) {
   remove_from_neighbors(id);
   nodes_[id].alive = false;
   leaf_of_node_[id] = -1;
-  --live_count_;
+  live_.erase(std::lower_bound(live_.begin(), live_.end(), id));
 
   const TreeNode& l = tree_[static_cast<std::size_t>(leaf)];
   if (l.parent < 0) {
@@ -289,14 +281,21 @@ RouteResult CanNetwork::route(NodeId from, const geom::Point& target) const {
 }
 
 bool CanNetwork::check_invariants() const {
-  // 1. Zone volumes of live nodes sum to 1 (exact for dyadic splits).
+  // 1. The incremental live list agrees exactly with the alive flags
+  //    (ascending, no gaps, no stale entries).
+  std::vector<NodeId> scanned;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].alive) scanned.push_back(id);
+  if (scanned != live_) return false;
+
+  // 2. Zone volumes of live nodes sum to 1 (exact for dyadic splits).
   double volume = 0.0;
   for (const auto& n : nodes_)
     if (n.alive) volume += n.zone.volume();
-  if (live_count_ > 0 && std::abs(volume - 1.0) > 1e-9) return false;
+  if (!live_.empty() && std::abs(volume - 1.0) > 1e-9) return false;
 
-  // 2. Neighbor lists match geometry and are symmetric.
-  const std::vector<NodeId> live = live_nodes();
+  // 3. Neighbor lists match geometry and are symmetric.
+  const std::vector<NodeId>& live = live_;
   for (const NodeId a : live) {
     for (const NodeId b : live) {
       if (a == b) continue;

@@ -31,8 +31,8 @@ class CanNetwork {
   CanNetwork& operator=(const CanNetwork&) = delete;
 
   std::size_t dims() const { return dims_; }
-  std::size_t size() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
 
   /// Total node slots ever allocated (dead ones included); NodeIds are
   /// stable across departures and never reused.
@@ -73,8 +73,15 @@ class CanNetwork {
   /// `target`, or kInvalidNode if `from` already owns `target`.
   NodeId greedy_next_hop(NodeId from, const geom::Point& target) const;
 
-  /// All currently-live node ids.
-  std::vector<NodeId> live_nodes() const;
+  /// All currently-live node ids, ascending. Maintained incrementally
+  /// (joins append — NodeIds are monotonic — and leaves erase in place),
+  /// so this is a straight copy, not an O(slot_count) scan.
+  std::vector<NodeId> live_nodes() const { return live_; }
+
+  /// Allocation-free view of the live list for read-only hot paths
+  /// (metrics sweeps, membership audits). Ascending; invalidated by any
+  /// join/leave — copy via live_nodes() if mutating while iterating.
+  const std::vector<NodeId>& live_view() const { return live_; }
 
   /// Expensive full-invariant check for tests: zones tile the space, the
   /// neighbor relation matches geom::Zone::is_can_neighbor and is
@@ -124,7 +131,7 @@ class CanNetwork {
   std::vector<CanNode> nodes_;
   std::vector<TreeNode> tree_;
   std::vector<int> leaf_of_node_;  // NodeId -> tree index (-1 if dead)
-  std::size_t live_count_ = 0;
+  std::vector<NodeId> live_;       // live ids, ascending
 };
 
 }  // namespace topo::overlay

@@ -164,7 +164,7 @@ void EcanNetwork::build_table(NodeId id, RepresentativeSelector& selector) {
 }
 
 void EcanNetwork::build_all_tables(RepresentativeSelector& selector) {
-  for (const NodeId id : live_nodes()) build_table(id, selector);
+  for (const NodeId id : live_view()) build_table(id, selector);
 }
 
 void EcanNetwork::refresh_entry(NodeId id, int level, std::size_t dim,
@@ -198,7 +198,9 @@ NodeId EcanNetwork::table_entry(NodeId id, int level, std::size_t dim,
 
 void EcanNetwork::repair_entries_to(NodeId gone,
                                     RepresentativeSelector& selector) {
-  for (const NodeId id : live_nodes()) {
+  // Runs on every departure; live_view() avoids an O(slot_count) scan +
+  // allocation per leave (refresh_entry never changes membership).
+  for (const NodeId id : live_view()) {
     if (id >= tables_.size()) continue;
     const auto& table = tables_[id];
     for (std::size_t h = 0; h < table.size(); ++h)
@@ -379,7 +381,7 @@ RouteResult EcanNetwork::route_ecan_repair(NodeId from,
 
 bool EcanNetwork::check_membership_index() const {
   // Every live node appears exactly in the cells enclosing its zone.
-  for (const NodeId id : live_nodes()) {
+  for (const NodeId id : live_view()) {
     const int levels = node_level(id);
     for (int h = 1; h <= levels; ++h) {
       const auto members = members_of_cell(h, cell_of_node(id, h));

@@ -21,7 +21,7 @@ ImbalanceReport measure_imbalance(const CanNetwork& can) {
   ImbalanceReport report;
   std::vector<double> volumes;
   util::Samples neighbor_counts;
-  for (const NodeId id : can.live_nodes()) {
+  for (const NodeId id : can.live_view()) {
     volumes.push_back(can.node(id).zone.volume());
     neighbor_counts.add(static_cast<double>(can.node(id).neighbors.size()));
   }

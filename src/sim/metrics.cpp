@@ -18,7 +18,7 @@ RoutingSample measure_routing(const overlay::CanNetwork& can,
                               net::RttOracle& oracle, std::size_t queries,
                               util::Rng& rng, RouteFn route) {
   RoutingSample sample;
-  const auto live = can.live_nodes();
+  const auto& live = can.live_view();
   TO_EXPECTS(!live.empty());
   for (std::size_t q = 0; q < queries; ++q) {
     const overlay::NodeId source = live[rng.next_u64(live.size())];

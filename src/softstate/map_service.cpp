@@ -170,14 +170,31 @@ std::vector<MapEntry> MapService::lookup_entries(
     }
   }
 
-  // Sort by landmark-space distance to the querier; return the top X.
-  std::sort(found.begin(), found.end(),
-            [&](const StoredEntry* a, const StoredEntry* b) {
-              return proximity::vector_distance(a->entry.vector,
-                                                querier_vector) <
-                     proximity::vector_distance(b->entry.vector,
-                                                querier_vector);
-            });
+  // Rank by landmark-space distance to the querier; only the top X are
+  // returned, so a partial sort to the return budget suffices. Candidate
+  // sets can run to hundreds of entries after ring expansion while
+  // max_return is typically ~10, so ordering the tail is wasted work on
+  // the hot lookup path. Budget in entries the querier itself owns (they
+  // are skipped below) so the cutoff never starves the result.
+  std::size_t self_entries = 0;
+  for (const StoredEntry* stored : found)
+    if (stored->entry.node == querier) ++self_entries;
+  const std::size_t ranked =
+      std::min(found.size(), config_.max_return + self_entries);
+  // Ties on distance are common once maps condense (quantized vectors), so
+  // break them by node id — without a total order the partial-sort prefix
+  // would be implementation-defined.
+  std::partial_sort(found.begin(),
+                    found.begin() + static_cast<std::ptrdiff_t>(ranked),
+                    found.end(),
+                    [&](const StoredEntry* a, const StoredEntry* b) {
+                      const double da = proximity::vector_distance(
+                          a->entry.vector, querier_vector);
+                      const double db = proximity::vector_distance(
+                          b->entry.vector, querier_vector);
+                      if (da != db) return da < db;
+                      return a->entry.node < b->entry.node;
+                    });
   std::vector<MapEntry> entries;
   for (const StoredEntry* stored : found) {
     if (entries.size() >= config_.max_return) break;
@@ -282,10 +299,9 @@ std::size_t MapService::store_size(overlay::NodeId node) const {
 }
 
 double MapService::mean_entries_per_node() const {
-  const auto live = ecan_->live_nodes();
-  if (live.empty()) return 0.0;
+  if (ecan_->empty()) return 0.0;
   return static_cast<double>(total_entries()) /
-         static_cast<double>(live.size());
+         static_cast<double>(ecan_->size());
 }
 
 std::size_t MapService::max_entries_per_node() const {

@@ -1,0 +1,266 @@
+// RTT engine selection + the hierarchical engine's exactness guarantee.
+//
+// The load-bearing property: HierarchicalRttEngine must agree with plain
+// full-graph Dijkstra *bit for bit* — not approximately — on every pair,
+// across seeds, presets, latency models and multi-homing settings. Link
+// weights are quantized to the 2^-20 ms grid, so both engines' path sums
+// are exact doubles and operator== is the right comparison; any difference
+// at all means the transit-stub decomposition is wrong.
+#include "net/rtt_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/dijkstra_rtt_engine.hpp"
+#include "net/hierarchical_rtt_engine.hpp"
+#include "net/latency.hpp"
+#include "net/rtt_oracle.hpp"
+#include "net/shortest_path.hpp"
+#include "net/transit_stub.hpp"
+#include "util/thread_pool.hpp"
+
+namespace topo::net {
+namespace {
+
+Topology make_topology(const TransitStubConfig& config, std::uint64_t seed,
+                       LatencyModel model) {
+  util::Rng rng(seed);
+  Topology t = generate_transit_stub(config, rng);
+  assign_latencies(t, model, rng);
+  return t;
+}
+
+/// Bit-for-bit comparison of every pair in [0, hosts) x [0, hosts) between
+/// the hierarchical engine and reference Dijkstra rows.
+void expect_all_pairs_identical(const Topology& t) {
+  HierarchicalRttEngine engine(t);
+  DijkstraScratch scratch;
+  for (HostId from = 0; from < t.host_count(); ++from) {
+    const auto reference = dijkstra(t, from, scratch);
+    for (HostId to = 0; to < t.host_count(); ++to) {
+      if (from == to) continue;
+      ASSERT_EQ(engine.latency_ms(from, to), reference[to])
+          << "pair (" << from << ", " << to << ")";
+    }
+  }
+}
+
+// -- Kind parsing ----------------------------------------------------------
+
+TEST(RttEngineKind, ParsesKnownNames) {
+  EXPECT_EQ(rtt_engine_kind_from_string("auto"), RttEngineKind::kAuto);
+  EXPECT_EQ(rtt_engine_kind_from_string("dijkstra"), RttEngineKind::kDijkstra);
+  EXPECT_EQ(rtt_engine_kind_from_string("hierarchical"),
+            RttEngineKind::kHierarchical);
+}
+
+TEST(RttEngineKind, UnknownNameFallsBackToAuto) {
+  EXPECT_EQ(rtt_engine_kind_from_string("warp-drive"), RttEngineKind::kAuto);
+}
+
+TEST(RttEngineKind, NamesRoundTrip) {
+  for (const auto kind : {RttEngineKind::kAuto, RttEngineKind::kDijkstra,
+                          RttEngineKind::kHierarchical})
+    EXPECT_EQ(rtt_engine_kind_from_string(rtt_engine_kind_name(kind)), kind);
+}
+
+// -- Metadata validation & engine selection --------------------------------
+
+TEST(RttEngineSelection, GeneratedTopologiesSupportHierarchy) {
+  for (const double multihome : {0.0, 0.3, 1.0}) {
+    TransitStubConfig config = tsk_tiny();
+    config.stub_multihome_probability = multihome;
+    const Topology t = make_topology(config, 7, LatencyModel::kGtItmRandom);
+    EXPECT_TRUE(topology_supports_hierarchy(t)) << "multihome " << multihome;
+  }
+}
+
+TEST(RttEngineSelection, AutoPicksHierarchicalWithMetadata) {
+  const Topology t =
+      make_topology(tsk_tiny(), 8, LatencyModel::kGtItmRandom);
+  const auto engine = make_rtt_engine(t, RttEngineKind::kAuto);
+  EXPECT_STREQ(engine->name(), "hierarchical");
+}
+
+TEST(RttEngineSelection, ExplicitKindsAreHonoredWithMetadata) {
+  const Topology t =
+      make_topology(tsk_tiny(), 9, LatencyModel::kGtItmRandom);
+  EXPECT_STREQ(make_rtt_engine(t, RttEngineKind::kDijkstra)->name(),
+               "dijkstra");
+  EXPECT_STREQ(make_rtt_engine(t, RttEngineKind::kHierarchical)->name(),
+               "hierarchical");
+}
+
+/// A connected graph with no transit-stub annotations at all: every host
+/// claims stub domain -1, which the validator must reject so kAuto (and an
+/// explicit kHierarchical request) land on the Dijkstra fallback.
+Topology metadata_free_topology() {
+  Topology t;
+  for (int i = 0; i < 8; ++i) t.add_host(HostInfo{});
+  for (HostId a = 0; a + 1 < 8; ++a)
+    t.add_link(a, a + 1, LinkClass::kIntraStub);
+  t.add_link(0, 7, LinkClass::kIntraStub);
+  t.freeze();
+  for (std::size_t i = 0; i < t.link_count(); ++i)
+    t.mutable_link(i).latency_ms = 1.0 + static_cast<double>(i);
+  return t;
+}
+
+TEST(RttEngineSelection, MetadataFreeTopologyFallsBackToDijkstra) {
+  const Topology t = metadata_free_topology();
+  EXPECT_FALSE(topology_supports_hierarchy(t));
+  EXPECT_STREQ(make_rtt_engine(t, RttEngineKind::kAuto)->name(), "dijkstra");
+  // An explicit hierarchical request degrades (with a warning), not dies.
+  EXPECT_STREQ(make_rtt_engine(t, RttEngineKind::kHierarchical)->name(),
+               "dijkstra");
+}
+
+TEST(RttEngineSelection, CrossDomainStubLinkDisqualifies) {
+  // Two single-host "stub domains" wired to each other and to a transit
+  // node; the stub-stub link crosses domains, breaking the decomposition.
+  Topology t;
+  t.add_host(HostInfo{HostKind::kTransit, 0, -1});
+  t.add_host(HostInfo{HostKind::kStub, 0, 0});
+  t.add_host(HostInfo{HostKind::kStub, 0, 1});
+  t.add_link(0, 1, LinkClass::kTransitStub);
+  t.add_link(0, 2, LinkClass::kTransitStub);
+  t.add_link(1, 2, LinkClass::kIntraStub);
+  t.freeze();
+  EXPECT_FALSE(topology_supports_hierarchy(t));
+}
+
+TEST(RttEngineSelection, UndeclaredAccessLinkDisqualifies) {
+  // A stub-transit link not classed kTransitStub never marks its gateway,
+  // so the metadata is inconsistent with the links.
+  Topology t;
+  t.add_host(HostInfo{HostKind::kTransit, 0, -1});
+  t.add_host(HostInfo{HostKind::kStub, 0, 0});
+  t.add_link(0, 1, LinkClass::kIntraStub);
+  t.freeze();
+  EXPECT_FALSE(topology_supports_hierarchy(t));
+}
+
+// -- Exactness: bit-for-bit vs full-graph Dijkstra -------------------------
+
+TEST(HierarchicalRttEngine, ExactOnTinyPresetAcrossSeedsAndModels) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto model :
+         {LatencyModel::kGtItmRandom, LatencyModel::kManual}) {
+      const Topology t = make_topology(tsk_tiny(), seed, model);
+      SCOPED_TRACE(testing::Message() << "seed " << seed << " model "
+                                      << static_cast<int>(model));
+      expect_all_pairs_identical(t);
+    }
+  }
+}
+
+TEST(HierarchicalRttEngine, ExactUnderMultihoming) {
+  // Multi-homed stubs create multiple gateways per domain and
+  // out-and-back-through-core shortest paths — the hard cases.
+  for (const double multihome : {0.3, 1.0}) {
+    for (const std::uint64_t seed : {11u, 12u}) {
+      TransitStubConfig config = tsk_tiny();
+      config.stub_multihome_probability = multihome;
+      const Topology t =
+          make_topology(config, seed, LatencyModel::kGtItmRandom);
+      SCOPED_TRACE(testing::Message()
+                   << "multihome " << multihome << " seed " << seed);
+      expect_all_pairs_identical(t);
+    }
+  }
+}
+
+/// Full-scale presets are too big for all-pairs in a unit test; sample
+/// sources and verify the full row bit-for-bit against Dijkstra.
+void expect_sampled_rows_identical(const Topology& t, std::uint64_t seed) {
+  HierarchicalRttEngine engine(t);
+  DijkstraScratch scratch;
+  auto rng = util::Rng(seed);
+  for (int s = 0; s < 6; ++s) {
+    const auto from = static_cast<HostId>(rng.next_u64(t.host_count()));
+    const auto reference = dijkstra(t, from, scratch);
+    for (HostId to = 0; to < t.host_count(); ++to) {
+      if (from == to) continue;
+      ASSERT_EQ(engine.latency_ms(from, to), reference[to])
+          << "pair (" << from << ", " << to << ")";
+    }
+  }
+}
+
+TEST(HierarchicalRttEngine, ExactOnFullScalePresets) {
+  for (const double multihome : {0.0, 0.3}) {
+    TransitStubConfig large = tsk_large();
+    large.stub_multihome_probability = multihome;
+    expect_sampled_rows_identical(
+        make_topology(large, 5, LatencyModel::kGtItmRandom), 105);
+
+    TransitStubConfig small = tsk_small();
+    small.stub_multihome_probability = multihome;
+    expect_sampled_rows_identical(
+        make_topology(small, 6, LatencyModel::kManual), 106);
+  }
+}
+
+TEST(HierarchicalRttEngine, AgreesWithDijkstraEngineThroughInterface) {
+  const Topology t = make_topology(tsk_tiny(), 42, LatencyModel::kGtItmRandom);
+  const auto hier = make_rtt_engine(t, RttEngineKind::kHierarchical);
+  const auto dijk = make_rtt_engine(t, RttEngineKind::kDijkstra);
+  auto rng = util::Rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<HostId>(rng.next_u64(t.host_count()));
+    const auto b = static_cast<HostId>(rng.next_u64(t.host_count()));
+    if (a == b) continue;
+    ASSERT_EQ(hier->latency_ms(a, b), dijk->latency_ms(a, b))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+// -- Facade behaviour on the hierarchical engine ---------------------------
+
+TEST(RttOracleHierarchical, FacadeSemanticsHold) {
+  const Topology t = make_topology(tsk_tiny(), 50, LatencyModel::kGtItmRandom);
+  RttOracle oracle(t, RttEngineKind::kHierarchical);
+  EXPECT_STREQ(oracle.engine_name(), "hierarchical");
+
+  // Self queries are zero; probes count; no Dijkstra rows exist.
+  EXPECT_DOUBLE_EQ(oracle.latency_ms(3, 3), 0.0);
+  oracle.probe_rtt(0, 1);
+  oracle.probe_rtt(1, 2);
+  EXPECT_EQ(oracle.probe_count(), 2u);
+  EXPECT_EQ(oracle.dijkstra_runs(), 0u);
+  EXPECT_EQ(oracle.cached_rows(), 0u);
+
+  // Row-cache knobs and warm() are benign no-ops.
+  oracle.set_row_cap(4);
+  EXPECT_EQ(oracle.row_cap(), 0u);
+  const std::vector<HostId> sources = {0, 1, 2};
+  oracle.warm(sources);
+  EXPECT_EQ(oracle.dijkstra_runs(), 0u);
+  oracle.clear_cache();
+
+  // Symmetry survives the facade.
+  EXPECT_EQ(oracle.latency_ms(1, 20), oracle.latency_ms(20, 1));
+}
+
+TEST(RttOracleHierarchical, NearestMatchesDijkstraOracle) {
+  const Topology t = make_topology(tsk_tiny(), 51, LatencyModel::kGtItmRandom);
+  RttOracle hier(t, RttEngineKind::kHierarchical);
+  RttOracle dijk(t, RttEngineKind::kDijkstra);
+  const std::vector<HostId> candidates = {5, 17, 42, 77, 103};
+  for (HostId from = 0; from < t.host_count(); from += 13)
+    EXPECT_EQ(hier.nearest(from, candidates), dijk.nearest(from, candidates));
+}
+
+TEST(HierarchicalRttEngine, IntrospectionIsSane) {
+  const Topology t = make_topology(tsk_tiny(), 52, LatencyModel::kGtItmRandom);
+  HierarchicalRttEngine engine(t);
+  const std::size_t transit = t.hosts_of_kind(HostKind::kTransit).size();
+  // Core = transit nodes + gateways; single-homed tsk_tiny has one gateway
+  // per stub domain, multi-homing can only add more.
+  EXPECT_GE(engine.core_size(), transit + engine.stub_count());
+  EXPECT_GT(engine.stub_count(), 0u);
+  EXPECT_GT(engine.footprint_bytes(), 0u);
+  EXPECT_GE(engine.build_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace topo::net

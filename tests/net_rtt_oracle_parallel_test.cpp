@@ -74,7 +74,7 @@ TEST(RttOracleParallel, NoDuplicateRowConstructionUnderRaces) {
   std::set<HostId> touched;
   for (const auto& [from, to] : pairs) touched.insert(from);
 
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   util::ThreadPool pool(kThreads);
   pool.parallel_for(0, pairs.size(), 3, [&](std::size_t i) {
     (void)oracle.latency_ms(pairs[i].first, pairs[i].second);
@@ -132,7 +132,7 @@ TEST(RttOracleParallel, EvictionModeNeverReturnsWrongLatency) {
 
   // A cap far below the working set keeps eviction churning while the
   // readers run; every answer must still be the exact Dijkstra value.
-  RttOracle bounded(t);
+  RttOracle bounded(t, RttEngineKind::kDijkstra);
   bounded.set_row_cap(4);
   util::ThreadPool pool(kThreads);
   std::vector<double> actual(pairs.size());
@@ -151,7 +151,7 @@ TEST(RttOracleParallel, ParallelWarmPinsEachSourceOnce) {
   // Duplicates must not trigger duplicate Dijkstras either.
   sources.insert(sources.end(), sources.begin(), sources.begin() + 8);
 
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   util::ThreadPool pool(kThreads);
   oracle.warm(sources, pool);
   EXPECT_EQ(oracle.dijkstra_runs(), 32u);
@@ -165,7 +165,7 @@ TEST(RttOracleParallel, ParallelWarmPinsEachSourceOnce) {
 
 TEST(RttOracleParallel, WarmedRowsSurviveBoundedChurn) {
   const Topology t = tiny_with_latencies(27);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   oracle.set_row_cap(6);
   const std::vector<HostId> landmarks = {0, 1, 2, 3};
   util::ThreadPool pool(kThreads);

@@ -18,6 +18,12 @@ Topology tiny_with_latencies(std::uint64_t seed) {
   return t;
 }
 
+// Tests that assert row-cache semantics (dijkstra_runs / cached_rows /
+// eviction) construct with an explicit kDijkstra: under the default kAuto
+// a generated transit-stub topology selects the hierarchical engine,
+// which has no rows to count. Engine-agnostic behaviour (probe counting,
+// noise, nearest) keeps the default constructor on purpose.
+
 TEST(RttOracle, MatchesDijkstra) {
   const Topology t = tiny_with_latencies(1);
   RttOracle oracle(t);
@@ -28,7 +34,7 @@ TEST(RttOracle, MatchesDijkstra) {
 
 TEST(RttOracle, SelfLatencyZeroWithoutDijkstra) {
   const Topology t = tiny_with_latencies(2);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   EXPECT_DOUBLE_EQ(oracle.latency_ms(5, 5), 0.0);
   EXPECT_EQ(oracle.dijkstra_runs(), 0u);
 }
@@ -41,7 +47,7 @@ TEST(RttOracle, Symmetry) {
 
 TEST(RttOracle, CachesRowsPerSource) {
   const Topology t = tiny_with_latencies(4);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   oracle.latency_ms(0, 1);
   EXPECT_EQ(oracle.dijkstra_runs(), 1u);
   oracle.latency_ms(0, 2);
@@ -60,7 +66,7 @@ TEST(RttOracle, CachesRowsPerSource) {
 // is served from the existing row, with no extra Dijkstra.
 TEST(RttOracle, ReverseQueryReusesCachedRow) {
   const Topology t = tiny_with_latencies(12);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   const double forward = oracle.latency_ms(3, 47);
   EXPECT_EQ(oracle.dijkstra_runs(), 1u);
   EXPECT_DOUBLE_EQ(oracle.latency_ms(47, 3), forward);
@@ -70,7 +76,7 @@ TEST(RttOracle, ReverseQueryReusesCachedRow) {
 
 TEST(RttOracle, BoundedModeEvictsOldestUnpinnedRow) {
   const Topology t = tiny_with_latencies(13);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   oracle.set_row_cap(2);
   const double d01 = oracle.latency_ms(0, 1);
   oracle.latency_ms(10, 1);
@@ -84,7 +90,7 @@ TEST(RttOracle, BoundedModeEvictsOldestUnpinnedRow) {
 
 TEST(RttOracle, BoundedModeNeverEvictsPinnedRows) {
   const Topology t = tiny_with_latencies(14);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   oracle.set_row_cap(2);
   const std::vector<HostId> pinned = {0, 1};
   oracle.warm(pinned);
@@ -99,7 +105,7 @@ TEST(RttOracle, BoundedModeNeverEvictsPinnedRows) {
 
 TEST(RttOracle, ClearCacheForcesRecompute) {
   const Topology t = tiny_with_latencies(5);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   oracle.latency_ms(0, 1);
   oracle.clear_cache();
   oracle.latency_ms(0, 1);
@@ -175,7 +181,7 @@ TEST(RttOracle, ProbeNearestUsesNoisyReadings) {
 
 TEST(RttOracle, WarmPrecomputesRows) {
   const Topology t = tiny_with_latencies(9);
-  RttOracle oracle(t);
+  RttOracle oracle(t, RttEngineKind::kDijkstra);
   const std::vector<HostId> sources = {0, 1, 2};
   oracle.warm(sources);
   EXPECT_EQ(oracle.dijkstra_runs(), 3u);

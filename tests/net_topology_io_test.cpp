@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "net/latency.hpp"
+#include "net/rtt_engine.hpp"
 #include "net/transit_stub.hpp"
 
 namespace topo::net {
@@ -30,6 +31,7 @@ TEST(TopologyIo, RoundTripPreservesEverything) {
     EXPECT_EQ(loaded.host(h).kind, original.host(h).kind);
     EXPECT_EQ(loaded.host(h).transit_domain, original.host(h).transit_domain);
     EXPECT_EQ(loaded.host(h).stub_domain, original.host(h).stub_domain);
+    EXPECT_EQ(loaded.host(h).gateway, original.host(h).gateway);
   }
   for (std::size_t i = 0; i < original.link_count(); ++i) {
     EXPECT_EQ(loaded.links()[i].a, original.links()[i].a);
@@ -104,6 +106,79 @@ TEST(TopologyIo, FileRoundTrip) {
 TEST(TopologyIo, MissingFileThrows) {
   EXPECT_THROW(load_topology_file("/nonexistent/nope.topo"),
                std::runtime_error);
+}
+
+TEST(TopologyIo, SavesV2WithGatewayFlags) {
+  const Topology original = sample_topology(4);
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "topo-overlay-topology v2");
+}
+
+// Gateway flags survive serialization, so a loaded topology qualifies for
+// the hierarchical RTT engine exactly like the generated original.
+TEST(TopologyIo, RoundTripKeepsHierarchyMetadata) {
+  util::Rng rng(5);
+  TransitStubConfig config = tsk_tiny();
+  config.stub_multihome_probability = 0.5;  // some two-gateway stubs
+  Topology original = generate_transit_stub(config, rng);
+  assign_latencies(original, LatencyModel::kGtItmRandom, rng);
+  ASSERT_TRUE(topology_supports_hierarchy(original));
+
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const Topology loaded = load_topology(buffer);
+  EXPECT_TRUE(topology_supports_hierarchy(loaded));
+  std::size_t gateways = 0;
+  for (HostId h = 0; h < loaded.host_count(); ++h) {
+    EXPECT_EQ(loaded.host(h).gateway, original.host(h).gateway);
+    if (loaded.host(h).gateway) ++gateways;
+  }
+  EXPECT_GT(gateways, 0u);
+}
+
+// v1 files predate the gateway column; the loader re-derives the flags
+// from the kTransitStub links, so old files keep working unchanged.
+TEST(TopologyIo, LoadsV1WithDerivedGatewayFlags) {
+  std::stringstream buffer(
+      "topo-overlay-topology v1\n"
+      "hosts 3\n"
+      "h 0 0 -1\n"   // transit
+      "h 1 0 0\n"    // stub, gateway (access link below)
+      "h 1 0 0\n"    // stub, interior
+      "links 2\n"
+      "l 0 1 2 1.5\n"
+      "l 1 2 3 1.0\n");
+  const Topology loaded = load_topology(buffer);
+  EXPECT_FALSE(loaded.host(0).gateway);
+  EXPECT_TRUE(loaded.host(1).gateway);
+  EXPECT_FALSE(loaded.host(2).gateway);
+  EXPECT_TRUE(topology_supports_hierarchy(loaded));
+}
+
+TEST(TopologyIo, RejectsV2GatewayFlagContradictingLinks) {
+  // Host 2 claims to be a gateway but carries no access link.
+  std::stringstream buffer(
+      "topo-overlay-topology v2\n"
+      "hosts 3\n"
+      "h 0 0 -1 0\n"
+      "h 1 0 0 1\n"
+      "h 1 0 0 1\n"
+      "links 2\n"
+      "l 0 1 2 1.5\n"
+      "l 1 2 3 1.0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsV2HostLineWithoutGatewayField) {
+  std::stringstream buffer(
+      "topo-overlay-topology v2\n"
+      "hosts 1\n"
+      "h 0 0 -1\n"
+      "links 0\n");
+  EXPECT_THROW(load_topology(buffer), std::runtime_error);
 }
 
 TEST(TopologyIo, EmptyTopologyRoundTrips) {

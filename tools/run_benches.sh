@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Build the default (RelWithDebInfo) tree and run every figure-reproduction
+# bench, teeing each log and collecting the BENCH_*.json artifacts into one
+# output directory for cross-PR comparison.
+#
+# Usage: tools/run_benches.sh [outdir]          (default: bench-out/)
+#
+# The usual bench knobs apply and are simply inherited from the
+# environment: SEED, FULL, THREADS, RTT_ENGINE, ORACLE_ROWS (see
+# bench/common.hpp and docs/performance.md). Same SEED and THREADS give
+# byte-identical tables and JSON on every run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-bench-out}
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+mkdir -p "$OUT"
+OUT=$(cd "$OUT" && pwd)
+
+BENCHES="
+fig02_ecan_vs_can
+fig03_06_nn_search
+fig10_13_stretch_vs_rtts
+fig14_15_stretch_vs_nodes
+fig16_condense_rate
+tacan_imbalance
+ablation_landmark_opts
+maintenance_pubsub
+taxonomy_techniques
+chord_pns
+pastry_pns
+overhead_costs
+churn_lifecycle
+micro_benchmarks
+"
+
+# Run from a scratch dir so the JSON emitters drop their files where we
+# can sweep them up, regardless of each bench's default output path.
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+ROOT=$(pwd)
+for bench in $BENCHES; do
+  echo "== $bench =="
+  (cd "$SCRATCH" && "$ROOT/build/bench/$bench") 2>&1 | tee "$OUT/$bench.log"
+done
+
+for json in "$SCRATCH"/BENCH_*.json; do
+  [ -e "$json" ] && cp "$json" "$OUT/"
+done
+
+echo
+echo "logs and JSON artifacts in $OUT:"
+ls -l "$OUT"
