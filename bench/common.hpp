@@ -16,6 +16,8 @@
 //                 engines, so every bench prints the same numbers either way
 #pragma once
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -173,8 +175,32 @@ inline sim::RoutingSample run_stretch(World& world, OverlayInstance& instance,
                                    rng);
 }
 
-/// Prints a closing banner with the bench's total wall-clock when it goes
-/// out of scope, so speedups from THREADS are visible in every bench log.
+/// Peak resident set size of this process in bytes, from getrusage
+/// (Linux reports ru_maxrss in KiB). Monotone over the process lifetime.
+inline std::size_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+/// RAII peak-RSS probe: writes the process peak RSS observed by the end of
+/// the enclosing scope into `out_bytes`. Peak RSS is monotone, so the value
+/// is an upper bound for the scope — and exact for the phase whose working
+/// set is the largest so far (the usual case in a sweep over growing n).
+class ScopedRssSampler {
+ public:
+  explicit ScopedRssSampler(std::size_t& out_bytes) : out_(&out_bytes) {}
+  ScopedRssSampler(const ScopedRssSampler&) = delete;
+  ScopedRssSampler& operator=(const ScopedRssSampler&) = delete;
+  ~ScopedRssSampler() { *out_ = peak_rss_bytes(); }
+
+ private:
+  std::size_t* out_;
+};
+
+/// Prints a closing banner with the bench's total wall-clock and peak RSS
+/// when it goes out of scope, so speedups from THREADS and memory
+/// footprints are visible in every bench log.
 class ScopedBenchTimer {
  public:
   ScopedBenchTimer() : start_(std::chrono::steady_clock::now()) {}
@@ -183,8 +209,10 @@ class ScopedBenchTimer {
   ~ScopedBenchTimer() {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start_;
-    std::printf("\n== total wall-clock: %.2f s (THREADS=%u) ==\n",
-                elapsed.count(), bench_threads());
+    std::printf(
+        "\n== total wall-clock: %.2f s (THREADS=%u) peak-rss=%.1f MiB ==\n",
+        elapsed.count(), bench_threads(),
+        static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "geom/hilbert.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace topo::geom {
@@ -104,9 +106,23 @@ util::BigUint HilbertCurve::index(
 
 std::vector<std::uint32_t> HilbertCurve::coords(
     const util::BigUint& index) const {
-  std::vector<std::uint32_t> x = deinterleave(index);
-  transpose_to_axes(x);
+  std::vector<std::uint32_t> x(static_cast<std::size_t>(dims_), 0);
+  coords_into(index, x);
   return x;
+}
+
+void HilbertCurve::coords_into(const util::BigUint& index,
+                               std::span<std::uint32_t> out) const {
+  TO_EXPECTS(out.size() == static_cast<std::size_t>(dims_));
+  std::fill(out.begin(), out.end(), 0u);
+  int pos = index_bits() - 1;
+  for (int level = bits_ - 1; level >= 0; --level) {
+    for (int axis = 0; axis < dims_; ++axis, --pos) {
+      if (index.bit(pos))
+        out[static_cast<std::size_t>(axis)] |= 1u << level;
+    }
+  }
+  transpose_to_axes(out);
 }
 
 }  // namespace topo::geom

@@ -37,6 +37,12 @@ class HilbertCurve {
   /// Inverse: cell coordinates of curve position `index`.
   std::vector<std::uint32_t> coords(const util::BigUint& index) const;
 
+  /// Inverse into a caller-provided buffer of size dims() — the map
+  /// service calls this once per published/looked-up record, so the hot
+  /// path must not allocate.
+  void coords_into(const util::BigUint& index,
+                   std::span<std::uint32_t> out) const;
+
  private:
   void axes_to_transpose(std::span<std::uint32_t> x) const;
   void transpose_to_axes(std::span<std::uint32_t> x) const;

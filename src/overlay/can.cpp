@@ -108,29 +108,34 @@ NodeId CanNetwork::owner_of(const geom::Point& p) const {
   return tree_[static_cast<std::size_t>(leaf_containing(p))].owner;
 }
 
+std::vector<NodeId> CanNetwork::geometric_neighbors(NodeId n) const {
+  // Walk the tree collecting live leaf owners whose zones CAN-neighbor n.
+  std::vector<NodeId> fresh;
+  const geom::Zone& q = nodes_[n].zone;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    const TreeNode& t = tree_[static_cast<std::size_t>(idx)];
+    if (!touches(t.zone, q)) continue;
+    if (t.is_leaf()) {
+      if (t.owner != n && t.owner != kInvalidNode && nodes_[t.owner].alive &&
+          q.is_can_neighbor(nodes_[t.owner].zone))
+        fresh.push_back(t.owner);
+    } else {
+      stack.push_back(t.child[0]);
+      stack.push_back(t.child[1]);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  return fresh;
+}
+
 void CanNetwork::set_neighbors_after_split(NodeId old_node, NodeId new_node) {
   // Recompute the two affected neighbor lists from geometry (tree walk),
   // then patch the symmetric sides.
   auto update = [&](NodeId n) {
-    std::vector<NodeId> fresh;
-    // Walk the tree collecting live leaf owners whose zones CAN-neighbor n.
-    const geom::Zone& q = nodes_[n].zone;
-    std::vector<int> stack = {0};
-    while (!stack.empty()) {
-      const int idx = stack.back();
-      stack.pop_back();
-      const TreeNode& t = tree_[static_cast<std::size_t>(idx)];
-      if (!touches(t.zone, q)) continue;
-      if (t.is_leaf()) {
-        if (t.owner != n && t.owner != kInvalidNode &&
-            nodes_[t.owner].alive && q.is_can_neighbor(nodes_[t.owner].zone))
-          fresh.push_back(t.owner);
-      } else {
-        stack.push_back(t.child[0]);
-        stack.push_back(t.child[1]);
-      }
-    }
-    std::sort(fresh.begin(), fresh.end());
+    std::vector<NodeId> fresh = geometric_neighbors(n);
     auto& mine = nodes_[n].neighbors;
     std::sort(mine.begin(), mine.end());
     // Removed neighbors: drop `n` from their lists.
@@ -294,18 +299,15 @@ bool CanNetwork::check_invariants() const {
     if (n.alive) volume += n.zone.volume();
   if (!live_.empty() && std::abs(volume - 1.0) > 1e-9) return false;
 
-  // 3. Neighbor lists match geometry and are symmetric.
-  const std::vector<NodeId>& live = live_;
-  for (const NodeId a : live) {
-    for (const NodeId b : live) {
-      if (a == b) continue;
-      const bool geometric =
-          nodes_[a].zone.is_can_neighbor(nodes_[b].zone);
-      const bool listed =
-          std::find(nodes_[a].neighbors.begin(), nodes_[a].neighbors.end(),
-                    b) != nodes_[a].neighbors.end();
-      if (geometric != listed) return false;
-    }
+  // 3. Neighbor lists match geometry. Each node's stored list is compared
+  //    against a fresh geometric recomputation (pruned tree walk), which
+  //    also covers symmetry — the geometric relation is symmetric, so two
+  //    lists that both match it agree pairwise. O(n (log n + k)) rather
+  //    than the all-pairs O(n^2) scan, so scale sweeps can keep this on.
+  for (const NodeId a : live_) {
+    std::vector<NodeId> listed = nodes_[a].neighbors;
+    std::sort(listed.begin(), listed.end());
+    if (listed != geometric_neighbors(a)) return false;
   }
   return true;
 }

@@ -127,6 +127,11 @@ class CanNetwork {
   void rewire_after_merge(NodeId surviving);
   void remove_from_neighbors(NodeId gone);
 
+  /// Live nodes whose zones CAN-neighbor `n`'s zone, sorted ascending —
+  /// computed from the partition tree with geometric pruning, so it costs
+  /// O(log n + neighbors) rather than a scan over all nodes.
+  std::vector<NodeId> geometric_neighbors(NodeId n) const;
+
   std::size_t dims_;
   std::vector<CanNode> nodes_;
   std::vector<TreeNode> tree_;

@@ -35,12 +35,18 @@ int EcanNetwork::node_level(NodeId id) const {
 
 std::vector<std::uint32_t> EcanNetwork::cell_of_node(NodeId id,
                                                      int level) const {
-  TO_EXPECTS(level <= node_level(id));
-  const geom::Zone& zone = node(id).zone;
   std::vector<std::uint32_t> coords(dims());
-  for (std::size_t d = 0; d < dims(); ++d)
-    coords[d] = geom::grid_coord(zone.lo(d), level);
+  cell_of_node_into(id, level, coords);
   return coords;
+}
+
+void EcanNetwork::cell_of_node_into(NodeId id, int level,
+                                    std::span<std::uint32_t> out) const {
+  TO_EXPECTS(level <= node_level(id));
+  TO_EXPECTS(out.size() == dims());
+  const geom::Zone& zone = node(id).zone;
+  for (std::size_t d = 0; d < dims(); ++d)
+    out[d] = geom::grid_coord(zone.lo(d), level);
 }
 
 std::vector<std::uint32_t> EcanNetwork::cell_of_point(const geom::Point& p,
@@ -81,10 +87,17 @@ std::span<const NodeId> EcanNetwork::members_of_cell(
 void EcanNetwork::register_membership(NodeId id) {
   if (registered_zone_.size() <= id) registered_zone_.resize(id + 1);
   if (tables_.size() <= id) tables_.resize(id + 1);
+  if (cell_cache_.size() <= id) cell_cache_.resize(id + 1);
   const int levels = node_level(id);
   for (int h = 1; h <= levels; ++h)
     cell_members_[pack_cell(h, cell_of_node(id, h))].push_back(id);
   registered_zone_[id] = node(id).zone;
+
+  CellCache& cache = cell_cache_[id];
+  cache.level = levels;
+  const geom::Zone& zone = node(id).zone;
+  for (std::size_t d = 0; d < dims(); ++d)
+    cache.coords[d] = geom::grid_coord(zone.lo(d), levels);
 }
 
 void EcanNetwork::unregister_membership(NodeId id) {
@@ -115,7 +128,10 @@ void EcanNetwork::on_join(NodeId joined, NodeId split_peer) {
 
 void EcanNetwork::on_leave(NodeId leaver, NodeId taker, NodeId moved) {
   unregister_membership(leaver);
-  if (leaver < tables_.size()) tables_[leaver].clear();
+  if (leaver < tables_.size()) {
+    tables_[leaver].levels = 0;
+    tables_[leaver].reps.clear();
+  }
   if (taker != kInvalidNode) {
     unregister_membership(taker);
     register_membership(taker);
@@ -140,24 +156,22 @@ void EcanNetwork::build_table(NodeId id, RepresentativeSelector& selector) {
   TO_EXPECTS(alive(id));
   if (tables_.size() <= id) tables_.resize(id + 1);
   const int levels = node_level(id);
-  auto& table = tables_[id];
-  table.assign(static_cast<std::size_t>(levels),
-               std::vector<Entry>(dims() * 2));
+  const std::size_t stride = dims() * 2;
+  FlatTable& table = tables_[id];
+  table.levels = levels;
+  // assign() reuses the existing buffer, so periodic rebuilds of an
+  // unchanged-level node allocate nothing.
+  table.reps.assign(static_cast<std::size_t>(levels) * stride, kInvalidNode);
   for (int h = 1; h <= levels; ++h) {
     const auto my_cell = cell_of_node(id, h);
     for (std::size_t dim = 0; dim < dims(); ++dim) {
       for (int dir = 0; dir < 2; ++dir) {
         const auto adj = adjacent_cell(my_cell, h, dim, dir);
         const auto members = members_of_cell(h, adj);
-        Entry& entry =
-            table[static_cast<std::size_t>(h - 1)][dim * 2 +
-                                                   static_cast<std::size_t>(dir)];
-        if (members.empty()) {
-          entry.representative = kInvalidNode;
-        } else {
-          entry.representative =
-              selector.select(id, h, cell_zone(h, adj), members);
-        }
+        if (members.empty()) continue;  // stays kInvalidNode
+        table.reps[static_cast<std::size_t>(h - 1) * stride + dim * 2 +
+                   static_cast<std::size_t>(dir)] =
+            selector.select(id, h, cell_zone(h, adj), members);
       }
     }
   }
@@ -172,14 +186,13 @@ void EcanNetwork::refresh_entry(NodeId id, int level, std::size_t dim,
   TO_EXPECTS(alive(id));
   TO_EXPECTS(level >= 1 && level <= node_level(id));
   TO_EXPECTS(id < tables_.size());
-  auto& table = tables_[id];
-  if (static_cast<int>(table.size()) < level) return;  // not built yet
+  FlatTable& table = tables_[id];
+  if (table.levels < level) return;  // not built yet
   const auto my_cell = cell_of_node(id, level);
   const auto adj = adjacent_cell(my_cell, level, dim, dir);
   const auto members = members_of_cell(level, adj);
-  Entry& entry = table[static_cast<std::size_t>(level - 1)]
-                      [dim * 2 + static_cast<std::size_t>(dir)];
-  entry.representative =
+  table.reps[static_cast<std::size_t>(level - 1) * dims() * 2 + dim * 2 +
+             static_cast<std::size_t>(dir)] =
       members.empty()
           ? kInvalidNode
           : selector.select(id, level, cell_zone(level, adj), members);
@@ -188,31 +201,110 @@ void EcanNetwork::refresh_entry(NodeId id, int level, std::size_t dim,
 NodeId EcanNetwork::table_entry(NodeId id, int level, std::size_t dim,
                                 int dir) const {
   if (id >= tables_.size()) return kInvalidNode;
-  const auto& table = tables_[id];
-  if (level < 1 || static_cast<std::size_t>(level) > table.size())
-    return kInvalidNode;
-  return table[static_cast<std::size_t>(level - 1)]
-              [dim * 2 + static_cast<std::size_t>(dir)]
-                  .representative;
+  const FlatTable& table = tables_[id];
+  if (level < 1 || level > table.levels) return kInvalidNode;
+  return table.reps[static_cast<std::size_t>(level - 1) * dims() * 2 +
+                    dim * 2 + static_cast<std::size_t>(dir)];
 }
 
 void EcanNetwork::repair_entries_to(NodeId gone,
                                     RepresentativeSelector& selector) {
   // Runs on every departure; live_view() avoids an O(slot_count) scan +
   // allocation per leave (refresh_entry never changes membership).
+  const std::size_t stride = dims() * 2;
   for (const NodeId id : live_view()) {
     if (id >= tables_.size()) continue;
-    const auto& table = tables_[id];
-    for (std::size_t h = 0; h < table.size(); ++h)
-      for (std::size_t slot = 0; slot < table[h].size(); ++slot)
-        if (table[h][slot].representative == gone)
-          refresh_entry(id, static_cast<int>(h + 1), slot / 2,
-                        static_cast<int>(slot % 2), selector);
+    const FlatTable& table = tables_[id];
+    for (int h = 1; h <= table.levels; ++h)
+      for (std::size_t slot = 0; slot < stride; ++slot)
+        if (table.reps[static_cast<std::size_t>(h - 1) * stride + slot] ==
+            gone)
+          refresh_entry(id, h, slot / 2, static_cast<int>(slot % 2),
+                        selector);
   }
+}
+
+bool EcanNetwork::route_ecan(NodeId from, const geom::Point& target,
+                             RouteScratch& scratch) const {
+  TO_EXPECTS(alive(from));
+  scratch.path.clear();
+  scratch.path.push_back(from);
+
+  // Target grid coordinates, derived once at the deepest level; the cell
+  // at any coarser level h is a right shift (exact: grid_coord scales by
+  // a power of two, so floor-then-shift equals flooring at level h).
+  std::array<std::uint32_t, geom::Point::kMaxDims> tcoords{};
+  for (std::size_t d = 0; d < dims(); ++d)
+    tcoords[d] = geom::grid_coord(target[d], max_level_);
+
+  NodeId current = from;
+  bool greedy_only = false;  // sticky fallback: provably terminating
+  const std::size_t max_hops = 4 * slot_count() + 16;
+  const std::size_t stride = dims() * 2;
+
+  while (scratch.path.size() <= max_hops) {
+    if (node(current).zone.contains(target)) return true;
+    NodeId next = kInvalidNode;
+
+    if (!greedy_only) {
+      // Coarsest differing grid level first. Own-cell coordinates come
+      // from the membership-maintained cache and candidates from the flat
+      // table — no allocation, no zone arithmetic per level.
+      const CellCache& cache = cell_cache_[current];
+      const FlatTable& table = tables_[current];
+      const int levels = cache.level;
+      for (int h = 1; h <= levels && next == kInvalidNode; ++h) {
+        bool differs = false;
+        for (std::size_t dim = 0; dim < dims(); ++dim) {
+          const std::uint32_t mine = cache.coords[dim] >> (levels - h);
+          const std::uint32_t tc = tcoords[dim] >> (max_level_ - h);
+          if (mine == tc) continue;
+          differs = true;
+          const std::uint32_t cells = 1u << h;
+          const std::uint32_t forward_gap = (tc + cells - mine) % cells;
+          const int dir = forward_gap <= cells - forward_gap ? 1 : 0;
+          const NodeId candidate =
+              h <= table.levels
+                  ? table.reps[static_cast<std::size_t>(h - 1) * stride +
+                               dim * 2 + static_cast<std::size_t>(dir)]
+                  : kInvalidNode;
+          if (candidate != kInvalidNode && alive(candidate)) {
+            next = candidate;
+            break;
+          }
+          if (candidate != kInvalidNode) ++broken_entry_encounters_;
+        }
+        if (differs && next == kInvalidNode) {
+          // The level that must be fixed has no usable expressway link;
+          // finish with plain CAN greedy (always terminates).
+          greedy_only = true;
+          break;
+        }
+      }
+    }
+
+    if (next == kInvalidNode) {
+      greedy_only = true;
+      next = greedy_next_hop(current, target);
+    }
+    if (next == kInvalidNode) return false;  // isolated: fail
+    scratch.path.push_back(next);
+    current = next;
+  }
+  return false;
 }
 
 RouteResult EcanNetwork::route_ecan(NodeId from,
                                     const geom::Point& target) const {
+  RouteScratch scratch;
+  RouteResult result;
+  result.success = route_ecan(from, target, scratch);
+  result.path = std::move(scratch.path);
+  return result;
+}
+
+RouteResult EcanNetwork::route_ecan_reference(
+    NodeId from, const geom::Point& target) const {
   TO_EXPECTS(alive(from));
   RouteResult result;
   result.path.push_back(from);
@@ -393,6 +485,27 @@ bool EcanNetwork::check_membership_index() const {
     (void)key;
     for (const NodeId id : members)
       if (!alive(id)) return false;
+  }
+  // The routing fast path trusts two derived structures; audit both.
+  // Cell caches must mirror a fresh derivation from the current zone...
+  for (const NodeId id : live_view()) {
+    if (id >= cell_cache_.size()) return false;
+    const CellCache& cache = cell_cache_[id];
+    if (cache.level != node_level(id)) return false;
+    const auto cell = cell_of_node(id, cache.level);
+    for (std::size_t d = 0; d < dims(); ++d)
+      if (cache.coords[d] != cell[d]) return false;
+    // ...and flat tables must be dimensioned for their recorded level
+    // count (slot arithmetic in route_ecan indexes without bounds checks).
+    // A table with MORE levels than the node's current level is legal —
+    // zones can grow on a merge before the next table rebuild; routing
+    // only ever reads up to the fresh node level.
+    if (id < tables_.size()) {
+      const FlatTable& table = tables_[id];
+      if (table.reps.size() !=
+          static_cast<std::size_t>(table.levels) * dims() * 2)
+        return false;
+    }
   }
   return true;
 }

@@ -13,6 +13,7 @@
 // to a RepresentativeSelector — the knob the whole paper is about.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -24,6 +25,13 @@
 #include "overlay/selector.hpp"
 
 namespace topo::overlay {
+
+/// Reusable routing scratch (the DijkstraScratch pattern): callers that
+/// route many messages keep one of these so the hop path buffer is
+/// allocated once and reused, making each route_ecan call allocation-free.
+struct RouteScratch {
+  std::vector<NodeId> path;
+};
 
 class EcanNetwork : public CanNetwork {
  public:
@@ -38,6 +46,9 @@ class EcanNetwork : public CanNetwork {
 
   /// Grid cell (coords per axis) of a node's zone / of a point at `level`.
   std::vector<std::uint32_t> cell_of_node(NodeId id, int level) const;
+  /// Allocation-free variant for hot paths (`out` must have size dims()).
+  void cell_of_node_into(NodeId id, int level,
+                         std::span<std::uint32_t> out) const;
   std::vector<std::uint32_t> cell_of_point(const geom::Point& p,
                                            int level) const;
 
@@ -61,10 +72,6 @@ class EcanNetwork : public CanNetwork {
 
   // -- Expressway routing tables --------------------------------------
 
-  struct Entry {
-    NodeId representative = kInvalidNode;
-  };
-
   /// (Re)builds the full expressway table of one node with `selector`.
   void build_table(NodeId id, RepresentativeSelector& selector);
   /// Builds every live node's table (static-experiment bootstrap).
@@ -84,7 +91,23 @@ class EcanNetwork : public CanNetwork {
 
   /// Expressway routing: coarsest-differing-level-first, CAN greedy tail.
   /// Dead table entries are skipped (and counted) — the lazy-repair path.
+  ///
+  /// The scratch overload is the fast path: the hop sequence lands in
+  /// `scratch.path` (cleared first) and nothing is allocated per hop —
+  /// cell coordinates come from the per-node cache and next-hop candidates
+  /// from the flattened tables. Returns whether the owner of `target` was
+  /// reached. The RouteResult overload wraps it for callers that route
+  /// occasionally and don't keep a scratch.
+  bool route_ecan(NodeId from, const geom::Point& target,
+                  RouteScratch& scratch) const;
   RouteResult route_ecan(NodeId from, const geom::Point& target) const;
+
+  /// Pre-fast-path implementation, kept verbatim: re-derives cell
+  /// coordinates per level and allocates per hop. The fast path is tested
+  /// to produce byte-identical hop sequences (and identical
+  /// broken_entry_encounters accounting) against this; the scale bench's
+  /// seed-comparison mode routes through it.
+  RouteResult route_ecan_reference(NodeId from, const geom::Point& target) const;
 
   /// *Proximity routing* (the second technique in Castro et al.'s
   /// taxonomy, paper Section 1): the overlay is built without proximity
@@ -129,9 +152,27 @@ class EcanNetwork : public CanNetwork {
   // after the zone has already changed).
   std::vector<std::optional<geom::Zone>> registered_zone_;
 
-  // tables_[id] has node_level(id) levels; each level stores dims()*2
-  // entries, index = dim*2 + dir.
-  std::vector<std::vector<std::vector<Entry>>> tables_;
+  // Flattened expressway table of one node: `levels` built levels, each
+  // holding dims()*2 representatives, slot (h, dim, dir) at index
+  // (h-1)*dims()*2 + dim*2 + dir. One contiguous buffer per node instead
+  // of a vector-of-vectors keeps routing reads on one cache line per
+  // level and lets build_table reuse the allocation across rebuilds.
+  struct FlatTable {
+    int levels = 0;
+    std::vector<NodeId> reps;
+  };
+  std::vector<FlatTable> tables_;
+
+  // Grid coordinates of each live node's cell at its deepest level,
+  // refreshed by register_membership whenever the zone changes. The cell
+  // at any coarser level h is coords >> (level - h) — exact, because
+  // grid_coord scales by a power of two — so routing never re-derives
+  // coordinates from the zone.
+  struct CellCache {
+    int level = 0;
+    std::array<std::uint32_t, geom::Point::kMaxDims> coords{};
+  };
+  std::vector<CellCache> cell_cache_;
 
   mutable std::uint64_t broken_entry_encounters_ = 0;
   std::uint64_t lazy_repairs_ = 0;

@@ -19,6 +19,22 @@ overlay::ChordId ChordMapService::key_of(
          (chord_->ring_size() - 1);
 }
 
+ChordMapStore& ChordMapService::store_of(overlay::NodeId node) {
+  const auto it = stores_.find(node);
+  if (it != stores_.end()) return it->second;
+  return stores_.emplace(node, ChordMapStore{}).first->second;
+}
+
+const ChordMapStore* ChordMapService::find_store(overlay::NodeId node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+ChordMapStore* ChordMapService::find_store(overlay::NodeId node) {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
 std::size_t ChordMapService::publish(overlay::NodeId node,
                                      const proximity::LandmarkVector& vector,
                                      sim::Time now) {
@@ -38,15 +54,7 @@ std::size_t ChordMapService::publish(overlay::NodeId node,
   entry.key = key;
   entry.published_at = now;
   entry.expires_at = now + config_.ttl_ms;
-
-  auto& store = stores_[owner];
-  for (ChordMapEntry& existing : store) {
-    if (existing.node == node) {
-      existing = std::move(entry);
-      return route.hops();
-    }
-  }
-  store.push_back(std::move(entry));
+  store_of(owner).upsert(std::move(entry));
   return route.hops();
 }
 
@@ -69,15 +77,11 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
 
   std::vector<const ChordMapEntry*> found;
   auto collect = [&](overlay::NodeId owner) {
-    const auto it = stores_.find(owner);
-    if (it == stores_.end()) return;
-    auto& store = it->second;
-    const std::size_t before = store.size();
-    std::erase_if(store, [&](const ChordMapEntry& e) {
-      return e.expires_at <= now;
-    });
-    stats_.expired_entries += before - store.size();
-    for (const ChordMapEntry& entry : store) found.push_back(&entry);
+    ChordMapStore* store = find_store(owner);
+    if (store == nullptr) return;
+    stats_.expired_entries += store->expire_before(now);
+    store->for_each(
+        [&](const ChordMapEntry& entry) { found.push_back(&entry); });
   };
 
   collect(local_meta.owner);
@@ -95,13 +99,22 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
     collect(cursor);
   }
 
-  std::sort(found.begin(), found.end(),
-            [&](const ChordMapEntry* a, const ChordMapEntry* b) {
-              return proximity::vector_distance(a->vector, querier_vector) <
-                     proximity::vector_distance(b->vector, querier_vector);
+  // Distance ties are broken by node id so the returned prefix is
+  // deterministic regardless of collection order. Each candidate's
+  // distance is computed once, not on every comparison.
+  std::vector<std::pair<double, const ChordMapEntry*>> ranked;
+  ranked.reserve(found.size());
+  for (const ChordMapEntry* entry : found)
+    ranked.emplace_back(proximity::vector_distance(entry->vector,
+                                                   querier_vector),
+                        entry);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->node < b.second->node;
             });
   std::vector<ChordMapEntry> result;
-  for (const ChordMapEntry* entry : found) {
+  for (const auto& [distance, entry] : ranked) {
     if (result.size() >= config_.max_return) break;
     if (entry->node == querier) continue;
     result.push_back(*entry);
@@ -113,30 +126,22 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
 void ChordMapService::remove_everywhere(overlay::NodeId node) {
   for (auto& [owner, store] : stores_) {
     (void)owner;
-    std::erase_if(store,
-                  [&](const ChordMapEntry& e) { return e.node == node; });
+    store.erase_node(node);
   }
 }
 
 void ChordMapService::report_dead(overlay::NodeId owner,
                                   overlay::NodeId dead) {
-  const auto it = stores_.find(owner);
-  if (it == stores_.end()) return;
-  const std::size_t before = it->second.size();
-  std::erase_if(it->second,
-                [&](const ChordMapEntry& e) { return e.node == dead; });
-  stats_.lazy_deletions += before - it->second.size();
+  ChordMapStore* store = find_store(owner);
+  if (store == nullptr) return;
+  stats_.lazy_deletions += store->erase_node(dead);
 }
 
 std::size_t ChordMapService::expire_before(sim::Time now) {
   std::size_t dropped = 0;
   for (auto& [owner, store] : stores_) {
     (void)owner;
-    const std::size_t before = store.size();
-    std::erase_if(store, [&](const ChordMapEntry& e) {
-      return e.expires_at <= now;
-    });
-    dropped += before - store.size();
+    dropped += store.expire_before(now);
   }
   stats_.expired_entries += dropped;
   return dropped;
@@ -145,26 +150,31 @@ std::size_t ChordMapService::expire_before(sim::Time now) {
 void ChordMapService::rehome_from(overlay::NodeId former_owner) {
   const auto it = stores_.find(former_owner);
   if (it == stores_.end()) return;
-  std::vector<ChordMapEntry> moving = std::move(it->second);
+  std::vector<ChordMapEntry> moving = it->second.extract_all();
   stores_.erase(it);
   for (ChordMapEntry& entry : moving) {
     if (!chord_->alive(entry.node)) continue;
     const overlay::NodeId owner = chord_->successor_of(entry.key);
-    stores_[owner].push_back(std::move(entry));
+    // upsert (not a raw append) so a record republished while its old
+    // owner was departing is not duplicated on the new owner.
+    store_of(owner).upsert(std::move(entry));
   }
 }
 
 std::size_t ChordMapService::store_size(overlay::NodeId node) const {
-  const auto it = stores_.find(node);
-  return it == stores_.end() ? 0 : it->second.size();
+  const ChordMapStore* store = find_store(node);
+  return store == nullptr ? 0 : store->size();
 }
 
 bool ChordMapService::check_placement_invariant() const {
   for (const auto& [owner, store] : stores_) {
     if (store.empty()) continue;
     if (!chord_->alive(owner)) return false;
-    for (const ChordMapEntry& entry : store)
-      if (chord_->successor_of(entry.key) != owner) return false;
+    bool placed = true;
+    store.for_each([&](const ChordMapEntry& entry) {
+      if (chord_->successor_of(entry.key) != owner) placed = false;
+    });
+    if (!placed) return false;
   }
   return true;
 }

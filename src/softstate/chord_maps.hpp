@@ -10,6 +10,10 @@
 // physically-close nodes land on the same or succeeding owners, so a
 // lookup keyed by the querier's own landmark number plus a short successor
 // walk returns its best candidates.
+//
+// Per-owner storage is an IndexedStore keyed by node id (one record per
+// node per owner) and ordered by ring key, so publish/refresh and lazy
+// deletion are O(1) and expiry touches only expired records.
 #pragma once
 
 #include <unordered_map>
@@ -18,6 +22,7 @@
 #include "overlay/chord.hpp"
 #include "proximity/landmarks.hpp"
 #include "sim/event_queue.hpp"
+#include "softstate/indexed_store.hpp"
 
 namespace topo::softstate {
 
@@ -51,6 +56,36 @@ struct ChordMapStats {
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
 };
+
+/// Store-description traits for the Chord backend: one record per node per
+/// owner (dedup key is the node id alone), the whole store is one group,
+/// ordered by ring key so an owner's records read out in landmark-number
+/// order.
+struct ChordMapStoreTraits {
+  using Key = overlay::NodeId;
+  struct KeyHash {
+    std::size_t operator()(overlay::NodeId node) const {
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * (node + 1ull);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using GroupKey = std::uint64_t;  // single group per owner
+  using OrderKey = overlay::ChordId;
+
+  Key key(const ChordMapEntry& e) const { return e.node; }
+  GroupKey group(const ChordMapEntry&) const { return 0; }
+  OrderKey order(const ChordMapEntry& e) const { return e.key; }
+  overlay::NodeId node(const ChordMapEntry& e) const { return e.node; }
+  sim::Time published_at(const ChordMapEntry& e) const {
+    return e.published_at;
+  }
+  sim::Time expires_at(const ChordMapEntry& e) const { return e.expires_at; }
+};
+
+using ChordMapStore = IndexedStore<ChordMapEntry, ChordMapStoreTraits>;
 
 class ChordMapService {
  public:
@@ -94,10 +129,16 @@ class ChordMapService {
   bool check_placement_invariant() const;
 
  private:
+  /// Creating accessor — write paths only.
+  ChordMapStore& store_of(overlay::NodeId node);
+  /// Non-creating accessors for lookup/expiry/stats paths.
+  const ChordMapStore* find_store(overlay::NodeId node) const;
+  ChordMapStore* find_store(overlay::NodeId node);
+
   overlay::ChordNetwork* chord_;
   const proximity::LandmarkSet* landmarks_;
   ChordMapConfig config_;
-  std::unordered_map<overlay::NodeId, std::vector<ChordMapEntry>> stores_;
+  std::unordered_map<overlay::NodeId, ChordMapStore> stores_;
   ChordMapStats stats_;
 };
 

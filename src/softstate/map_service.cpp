@@ -1,6 +1,7 @@
 #include "softstate/map_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <unordered_set>
 
@@ -8,33 +9,54 @@
 
 namespace topo::softstate {
 
-MapService::MapService(overlay::EcanNetwork& ecan,
-                       const proximity::LandmarkSet& landmarks,
-                       MapConfig config)
-    : ecan_(&ecan), landmarks_(&landmarks), config_(config) {
+template <typename Store>
+BasicMapService<Store>::BasicMapService(overlay::EcanNetwork& ecan,
+                                        const proximity::LandmarkSet& landmarks,
+                                        MapConfig config)
+    : ecan_(&ecan),
+      landmarks_(&landmarks),
+      config_(config),
+      store_traits_{landmarks.number_bits()},
+      map_curve_(static_cast<int>(ecan.dims()), config.map_bits),
+      map_side_factor_(std::pow(
+          config.condense_rate, 1.0 / static_cast<double>(ecan.dims()))) {
   TO_EXPECTS(config_.condense_rate > 0.0 && config_.condense_rate <= 1.0);
   TO_EXPECTS(config_.map_bits >= 1);
   TO_EXPECTS(static_cast<std::size_t>(config_.map_bits) * ecan.dims() <= 58);
   TO_EXPECTS(config_.max_return >= 1);
 }
 
-geom::Point MapService::map_position(
+template <typename Store>
+geom::Point BasicMapService<Store>::map_position(
     const util::BigUint& landmark_number, int level,
     std::span<const std::uint32_t> cell) const {
   const auto dims = ecan_->dims();
-  const geom::HilbertCurve curve(static_cast<int>(dims), config_.map_bits);
 
   // Coarsen the landmark number to the map curve's resolution; taking the
   // top bits preserves the ordering (and thus locality) of the 1-d key.
   const std::uint64_t key64 = landmark_number.top_bits(
-      landmarks_->number_bits(), curve.index_bits() > 64 ? 64 : curve.index_bits());
-  const auto coords = curve.coords(util::BigUint(key64));
+      landmarks_->number_bits(),
+      map_curve_.index_bits() > 64 ? 64 : map_curve_.index_bits());
+
+  std::array<std::uint32_t, geom::Point::kMaxDims> coords{};
+  double side_factor = map_side_factor_;
+  if constexpr (Store::kReferenceCostModel) {
+    // Seed-era placement cost: rebuild the curve, allocate its coordinate
+    // vector and re-run pow() on every call (identical values — the cache
+    // above is cost, not semantics).
+    const geom::HilbertCurve curve(static_cast<int>(dims), config_.map_bits);
+    const auto heap_coords = curve.coords(util::BigUint(key64));
+    std::copy(heap_coords.begin(), heap_coords.end(), coords.begin());
+    side_factor =
+        std::pow(config_.condense_rate, 1.0 / static_cast<double>(dims));
+  } else {
+    map_curve_.coords_into(util::BigUint(key64),
+                           std::span(coords.data(), dims));
+  }
 
   // The map region: the hosting cell shrunk to condense_rate of its volume
   // (anchored at the cell's low corner).
   const geom::Zone zone = ecan_->cell_zone(level, cell);
-  const double side_factor =
-      std::pow(config_.condense_rate, 1.0 / static_cast<double>(dims));
 
   geom::Point position(dims);
   const double grid = std::ldexp(1.0, -config_.map_bits);  // 2^-map_bits
@@ -46,46 +68,120 @@ geom::Point MapService::map_position(
   return position;
 }
 
-std::vector<StoredEntry>& MapService::store_of(overlay::NodeId node) {
-  return stores_[node];
-}
-
-void MapService::place_entry(overlay::NodeId owner, StoredEntry stored) {
-  auto& store = store_of(owner);
-  for (StoredEntry& existing : store) {
-    if (existing.entry.node == stored.entry.node &&
-        existing.level == stored.level &&
-        existing.cell_key == stored.cell_key) {
-      // Keep the fresher record: rehome() can replay a copy that predates
-      // a republish which already landed on this owner.
-      if (stored.entry.published_at < existing.entry.published_at) return;
-      existing = std::move(stored);  // refresh (republish)
-      if (publish_observer_) publish_observer_(owner, existing);
-      return;
-    }
+template <typename Store>
+Store& BasicMapService<Store>::store_of(overlay::NodeId node) {
+  if constexpr (Store::kReferenceCostModel) {
+    const auto it = stores_.find(node);
+    if (it != stores_.end()) return it->second;
+    return stores_.emplace(node, Store(store_traits_)).first->second;
+  } else {
+    if (stores_.size() <= node)
+      stores_.resize(static_cast<std::size_t>(node) + 1,
+                     Store(store_traits_));
+    return stores_[node];
   }
-  store.push_back(std::move(stored));
-  if (publish_observer_) publish_observer_(owner, store.back());
 }
 
-std::size_t MapService::publish(overlay::NodeId node,
-                                const proximity::LandmarkVector& vector,
-                                sim::Time now, double load, double capacity) {
+template <typename Store>
+const Store* BasicMapService<Store>::find_store(overlay::NodeId node) const {
+  if constexpr (Store::kReferenceCostModel) {
+    const auto it = stores_.find(node);
+    return it == stores_.end() ? nullptr : &it->second;
+  } else {
+    return node < stores_.size() ? &stores_[node] : nullptr;
+  }
+}
+
+template <typename Store>
+Store* BasicMapService<Store>::find_store(overlay::NodeId node) {
+  if constexpr (Store::kReferenceCostModel) {
+    const auto it = stores_.find(node);
+    return it == stores_.end() ? nullptr : &it->second;
+  } else {
+    return node < stores_.size() ? &stores_[node] : nullptr;
+  }
+}
+
+template <typename Store>
+template <typename Fn>
+void BasicMapService<Store>::for_each_store(Fn&& fn) {
+  if constexpr (Store::kReferenceCostModel) {
+    for (auto& [owner, store] : stores_) fn(owner, store);
+  } else {
+    for (std::size_t id = 0; id < stores_.size(); ++id)
+      fn(static_cast<overlay::NodeId>(id), stores_[id]);
+  }
+}
+
+template <typename Store>
+template <typename Fn>
+void BasicMapService<Store>::for_each_store(Fn&& fn) const {
+  if constexpr (Store::kReferenceCostModel) {
+    for (const auto& [owner, store] : stores_) fn(owner, store);
+  } else {
+    for (std::size_t id = 0; id < stores_.size(); ++id)
+      fn(static_cast<overlay::NodeId>(id), stores_[id]);
+  }
+}
+
+template <typename Store>
+bool BasicMapService<Store>::route_to(overlay::NodeId from,
+                                      const geom::Point& position) {
+  if (config_.use_reference_router) {
+    overlay::RouteResult route = ecan_->route_ecan_reference(from, position);
+    route_scratch_.path = std::move(route.path);
+    return route.success;
+  }
+  return ecan_->route_ecan(from, position, route_scratch_);
+}
+
+template <typename Store>
+void BasicMapService<Store>::place_entry(overlay::NodeId owner,
+                                         StoredEntry stored) {
+  const auto [outcome, entry] = store_of(owner).upsert(std::move(stored));
+  // Keep the fresher record: rehome() can replay a copy that predates a
+  // republish which already landed on this owner.
+  if (outcome == UpsertOutcome::kStaleDropped) return;
+  if (publish_observer_) publish_observer_(owner, *entry);
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::publish(
+    overlay::NodeId node, const proximity::LandmarkVector& vector,
+    sim::Time now, double load, double capacity) {
+  return publish(node, vector, landmarks_->landmark_number(vector), now,
+                 load, capacity);
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::publish(
+    overlay::NodeId node, const proximity::LandmarkVector& vector,
+    const util::BigUint& number, sim::Time now, double load,
+    double capacity) {
   TO_EXPECTS(ecan_->alive(node));
-  const util::BigUint number = landmarks_->landmark_number(vector);
   std::size_t hops = 0;
   const int levels = ecan_->node_level(node);
+  std::array<std::uint32_t, geom::Point::kMaxDims> cell_buf{};
+  const std::span<std::uint32_t> cell_span(cell_buf.data(), ecan_->dims());
   for (int h = 1; h <= levels; ++h) {
-    const auto cell = ecan_->cell_of_node(node, h);
+    std::span<const std::uint32_t> cell;
+    if constexpr (Store::kReferenceCostModel) {
+      // Seed-era cost: a fresh coordinate vector per level per publish.
+      const auto heap_cell = ecan_->cell_of_node(node, h);
+      std::copy(heap_cell.begin(), heap_cell.end(), cell_buf.begin());
+      cell = cell_span;
+    } else {
+      ecan_->cell_of_node_into(node, h, cell_span);
+      cell = cell_span;
+    }
     const geom::Point position = map_position(number, h, cell);
-    const overlay::RouteResult route = ecan_->route_ecan(node, position);
-    if (!route.success) {
+    if (!route_to(node, position)) {
       // Unreachable owner: the entry is lost until the next republish
       // (soft state) — but account it, unlike injected message loss.
       ++stats_.failed_routes;
       continue;
     }
-    hops += route.hops();
+    hops += route_scratch_.path.size() - 1;
     if (publish_loss_ > 0.0 && fault_rng_.next_bool(publish_loss_)) {
       ++stats_.lost_messages;  // dropped en route: the republish refills it
       continue;
@@ -99,7 +195,7 @@ std::size_t MapService::publish(overlay::NodeId node,
     entry.capacity = capacity;
     entry.published_at = now;
     entry.expires_at = now + config_.ttl_ms;
-    place_entry(route.path.back(),
+    place_entry(route_scratch_.path.back(),
                 StoredEntry{std::move(entry), h, ecan_->pack_cell(h, cell),
                             position});
   }
@@ -108,111 +204,209 @@ std::size_t MapService::publish(overlay::NodeId node,
   return hops;
 }
 
-void MapService::collect_from(overlay::NodeId owner, int level,
-                              std::uint64_t cell_key, sim::Time now,
-                              std::vector<const StoredEntry*>& out) {
-  const auto it = stores_.find(owner);
-  if (it == stores_.end()) return;
-  auto& store = it->second;
+template <typename Store>
+void BasicMapService<Store>::collect_from(
+    overlay::NodeId owner, std::uint64_t cell_key, sim::Time now,
+    std::vector<const StoredEntry*>& out) {
+  Store* store;
+  if constexpr (Store::kReferenceCostModel) {
+    // Seed-era cost (and bug): the read path used the creating accessor,
+    // materializing an empty store for every owner a lookup ever touched —
+    // which every later expiry sweep then had to visit. Results are
+    // unchanged (an empty store contributes nothing); the cost was not.
+    store = &store_of(owner);
+  } else {
+    store = find_store(owner);
+    if (store == nullptr) return;
+  }
   // Prune expired entries on access (soft-state decay).
-  const std::size_t before = store.size();
-  std::erase_if(store, [&](const StoredEntry& s) {
-    return s.entry.expires_at <= now;
+  stats_.expired_entries += store->expire_before(now);
+  store->for_each_in_group(cell_key, [&](const StoredEntry& stored) {
+    out.push_back(&stored);
   });
-  stats_.expired_entries += before - store.size();
-  for (const StoredEntry& stored : store)
-    if (stored.level == level && stored.cell_key == cell_key)
-      out.push_back(&stored);
 }
 
-std::vector<MapEntry> MapService::lookup_entries(
+template <typename Store>
+std::vector<MapEntry> BasicMapService<Store>::lookup_entries(
     overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
     int level, std::span<const std::uint32_t> cell, sim::Time now,
     LookupResult* meta) {
+  std::vector<MapEntry> entries;
+  const std::size_t count = lookup_entries_into(
+      querier, querier_vector, landmarks_->landmark_number(querier_vector),
+      level, cell, now, entries, meta);
+  entries.resize(count);
+  return entries;
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::lookup_entries_into(
+    overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+    const util::BigUint& number, int level,
+    std::span<const std::uint32_t> cell, sim::Time now,
+    std::vector<MapEntry>& out, LookupResult* meta) {
   TO_EXPECTS(ecan_->alive(querier));
-  const util::BigUint number = landmarks_->landmark_number(querier_vector);
   const geom::Point position = map_position(number, level, cell);
   const std::uint64_t cell_key = ecan_->pack_cell(level, cell);
 
-  const overlay::RouteResult route = ecan_->route_ecan(querier, position);
+  const bool routed = route_to(querier, position);
   LookupResult result;
-  result.route_hops = route.hops();
-  if (!route.success) {
+  result.route_hops = route_scratch_.path.size() - 1;
+  if (!routed) {
+    ++stats_.lookups;
+    stats_.route_hops += result.route_hops;
     if (meta != nullptr) *meta = result;
-    return {};
+    return 0;
   }
-  result.owner = route.path.back();
+  result.owner = route_scratch_.path.back();
 
-  std::vector<const StoredEntry*> found;
-  collect_from(result.owner, level, cell_key, now, found);
-
-  // Table 1: "define a TTL to search outside y's map content range" — ring
-  // expansion over adjacent map pieces (the owner's CAN neighbors) until
-  // enough candidates are found or the TTL is exhausted.
-  if (found.size() < config_.min_candidates && config_.lookup_ring_ttl > 0) {
-    std::unordered_set<overlay::NodeId> visited = {result.owner};
-    std::vector<overlay::NodeId> ring = {result.owner};
-    for (int depth = 0; depth < config_.lookup_ring_ttl &&
-                        found.size() < config_.min_candidates &&
-                        !ring.empty();
-         ++depth) {
-      std::vector<overlay::NodeId> next_ring;
-      for (const overlay::NodeId node : ring)
-        for (const overlay::NodeId nb : ecan_->node(node).neighbors)
-          if (ecan_->alive(nb) && visited.insert(nb).second)
-            next_ring.push_back(nb);
-      for (const overlay::NodeId nb : next_ring) {
-        ++result.pieces_visited;
-        ++result.route_hops;  // one overlay message per piece visited
-        collect_from(nb, level, cell_key, now, found);
+  std::size_t count = 0;
+  if constexpr (Store::kReferenceCostModel) {
+    // Seed-era lookup, verbatim: fresh containers per call and the sort
+    // comparator recomputing both distances on every comparison. The sort
+    // keys are identical to the fast path's, so the returned entries are
+    // too — only the costs differ.
+    std::vector<const StoredEntry*> found;
+    collect_from(result.owner, cell_key, now, found);
+    if (found.size() < config_.min_candidates &&
+        config_.lookup_ring_ttl > 0) {
+      std::unordered_set<overlay::NodeId> visited = {result.owner};
+      std::vector<overlay::NodeId> ring = {result.owner};
+      for (int depth = 0; depth < config_.lookup_ring_ttl &&
+                          found.size() < config_.min_candidates &&
+                          !ring.empty();
+           ++depth) {
+        std::vector<overlay::NodeId> next_ring;
+        for (const overlay::NodeId node : ring)
+          for (const overlay::NodeId nb : ecan_->node(node).neighbors)
+            if (ecan_->alive(nb) && visited.insert(nb).second)
+              next_ring.push_back(nb);
+        for (const overlay::NodeId nb : next_ring) {
+          ++result.pieces_visited;
+          ++result.route_hops;  // one overlay message per piece visited
+          collect_from(nb, cell_key, now, found);
+        }
+        ring = std::move(next_ring);
       }
-      ring = std::move(next_ring);
     }
-  }
+    std::size_t self_entries = 0;
+    for (const StoredEntry* stored : found)
+      if (stored->entry.node == querier) ++self_entries;
+    const std::size_t ranked =
+        std::min(found.size(), config_.max_return + self_entries);
+    std::partial_sort(found.begin(),
+                      found.begin() + static_cast<std::ptrdiff_t>(ranked),
+                      found.end(),
+                      [&](const StoredEntry* a, const StoredEntry* b) {
+                        const double da = proximity::vector_distance(
+                            a->entry.vector, querier_vector);
+                        const double db = proximity::vector_distance(
+                            b->entry.vector, querier_vector);
+                        if (da != db) return da < db;
+                        return a->entry.node < b->entry.node;
+                      });
+    std::vector<MapEntry> entries;
+    for (const StoredEntry* stored : found) {
+      if (entries.size() >= config_.max_return) break;
+      if (stored->entry.node == querier) continue;  // never the asker
+      entries.push_back(stored->entry);
+    }
+    count = entries.size();
+    if (out.size() < count) out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = std::move(entries[i]);
+  } else {
+    // Fast path: every per-lookup container is a reused scratch member and
+    // each candidate's distance is computed exactly once.
+    found_scratch_.clear();
+    collect_from(result.owner, cell_key, now, found_scratch_);
 
-  // Rank by landmark-space distance to the querier; only the top X are
-  // returned, so a partial sort to the return budget suffices. Candidate
-  // sets can run to hundreds of entries after ring expansion while
-  // max_return is typically ~10, so ordering the tail is wasted work on
-  // the hot lookup path. Budget in entries the querier itself owns (they
-  // are skipped below) so the cutoff never starves the result.
-  std::size_t self_entries = 0;
-  for (const StoredEntry* stored : found)
-    if (stored->entry.node == querier) ++self_entries;
-  const std::size_t ranked =
-      std::min(found.size(), config_.max_return + self_entries);
-  // Ties on distance are common once maps condense (quantized vectors), so
-  // break them by node id — without a total order the partial-sort prefix
-  // would be implementation-defined.
-  std::partial_sort(found.begin(),
-                    found.begin() + static_cast<std::ptrdiff_t>(ranked),
-                    found.end(),
-                    [&](const StoredEntry* a, const StoredEntry* b) {
-                      const double da = proximity::vector_distance(
-                          a->entry.vector, querier_vector);
-                      const double db = proximity::vector_distance(
-                          b->entry.vector, querier_vector);
-                      if (da != db) return da < db;
-                      return a->entry.node < b->entry.node;
-                    });
-  std::vector<MapEntry> entries;
-  for (const StoredEntry* stored : found) {
-    if (entries.size() >= config_.max_return) break;
-    if (stored->entry.node == querier) continue;  // never return the asker
-    entries.push_back(stored->entry);
+    // Table 1: "define a TTL to search outside y's map content range" —
+    // ring expansion over adjacent map pieces (the owner's CAN neighbors)
+    // until enough candidates are found or the TTL is exhausted.
+    if (found_scratch_.size() < config_.min_candidates &&
+        config_.lookup_ring_ttl > 0) {
+      if (visit_stamp_.size() < ecan_->slot_count())
+        visit_stamp_.resize(ecan_->slot_count(), 0);
+      if (++visit_epoch_ == 0) {  // stamp wraparound: one real reset
+        std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+        visit_epoch_ = 1;
+      }
+      visit_stamp_[result.owner] = visit_epoch_;
+      std::vector<overlay::NodeId>* ring = &ring_scratch_;
+      std::vector<overlay::NodeId>* next_ring = &next_ring_scratch_;
+      ring->clear();
+      ring->push_back(result.owner);
+      for (int depth = 0; depth < config_.lookup_ring_ttl &&
+                          found_scratch_.size() < config_.min_candidates &&
+                          !ring->empty();
+           ++depth) {
+        next_ring->clear();
+        for (const overlay::NodeId node : *ring)
+          for (const overlay::NodeId nb : ecan_->node(node).neighbors)
+            if (ecan_->alive(nb) && visit_stamp_[nb] != visit_epoch_) {
+              visit_stamp_[nb] = visit_epoch_;
+              next_ring->push_back(nb);
+            }
+        for (const overlay::NodeId nb : *next_ring) {
+          ++result.pieces_visited;
+          ++result.route_hops;  // one overlay message per piece visited
+          collect_from(nb, cell_key, now, found_scratch_);
+        }
+        std::swap(ring, next_ring);
+      }
+    }
+
+    // Rank by landmark-space distance to the querier; only the top X are
+    // returned, so a partial sort to the return budget suffices. Candidate
+    // sets can run to hundreds of entries after ring expansion while
+    // max_return is typically ~10, so ordering the tail is wasted work on
+    // the hot lookup path. Budget in entries the querier itself owns (they
+    // are skipped below) so the cutoff never starves the result. Ties on
+    // distance are common once maps condense (quantized vectors), so break
+    // them by node id — without a total order the partial-sort prefix
+    // would be implementation-defined.
+    std::size_t self_entries = 0;
+    ranked_scratch_.clear();
+    ranked_scratch_.reserve(found_scratch_.size());
+    for (const StoredEntry* stored : found_scratch_) {
+      if (stored->entry.node == querier) ++self_entries;
+      ranked_scratch_.push_back(RankedRef{
+          proximity::vector_distance(stored->entry.vector, querier_vector),
+          stored});
+    }
+    const std::size_t ranked =
+        std::min(ranked_scratch_.size(), config_.max_return + self_entries);
+    std::partial_sort(
+        ranked_scratch_.begin(),
+        ranked_scratch_.begin() + static_cast<std::ptrdiff_t>(ranked),
+        ranked_scratch_.end(), [](const RankedRef& a, const RankedRef& b) {
+          if (a.distance != b.distance) return a.distance < b.distance;
+          return a.stored->entry.node < b.stored->entry.node;
+        });
+    // Emit by assignment into the caller's buffer: a MapEntry's vector and
+    // number reuse their existing heap blocks, so a warmed-up buffer makes
+    // the whole lookup allocation-free.
+    for (const RankedRef& candidate : ranked_scratch_) {
+      if (count >= config_.max_return) break;
+      if (candidate.stored->entry.node == querier) continue;  // never the asker
+      if (count < out.size())
+        out[count] = candidate.stored->entry;
+      else
+        out.push_back(candidate.stored->entry);
+      ++count;
+    }
   }
 
   ++stats_.lookups;
   stats_.route_hops += result.route_hops;
   if (meta != nullptr) *meta = result;
-  return entries;
+  return count;
 }
 
-LookupResult MapService::lookup(overlay::NodeId querier,
-                                const proximity::LandmarkVector& querier_vector,
-                                int level,
-                                std::span<const std::uint32_t> cell,
-                                sim::Time now) {
+template <typename Store>
+LookupResult BasicMapService<Store>::lookup(
+    overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+    int level, std::span<const std::uint32_t> cell, sim::Time now) {
   LookupResult result;
   const auto entries =
       lookup_entries(querier, querier_vector, level, cell, now, &result);
@@ -223,113 +417,132 @@ LookupResult MapService::lookup(overlay::NodeId querier,
   return result;
 }
 
-void MapService::remove_everywhere(overlay::NodeId node) {
-  for (auto& [owner, store] : stores_) {
-    (void)owner;
-    std::erase_if(store, [&](const StoredEntry& s) {
-      return s.entry.node == node;
-    });
-  }
-}
-
-void MapService::report_dead(overlay::NodeId owner, overlay::NodeId dead) {
-  const auto it = stores_.find(owner);
-  if (it == stores_.end()) return;
-  const std::size_t before = it->second.size();
-  std::erase_if(it->second, [&](const StoredEntry& s) {
-    return s.entry.node == dead;
+template <typename Store>
+void BasicMapService<Store>::remove_everywhere(overlay::NodeId node) {
+  for_each_store([&](overlay::NodeId, Store& store) {
+    store.erase_node(node);
   });
-  stats_.lazy_deletions += before - it->second.size();
 }
 
-std::size_t MapService::expire_before(sim::Time now) {
+template <typename Store>
+void BasicMapService<Store>::report_dead(overlay::NodeId owner,
+                                         overlay::NodeId dead) {
+  Store* store = find_store(owner);
+  if (store == nullptr) return;
+  stats_.lazy_deletions += store->erase_node(dead);
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::expire_before(sim::Time now) {
   std::size_t dropped = 0;
-  for (auto& [owner, store] : stores_) {
-    (void)owner;
-    const std::size_t before = store.size();
-    std::erase_if(store, [&](const StoredEntry& s) {
-      return s.entry.expires_at <= now;
-    });
-    dropped += before - store.size();
-  }
+  for_each_store([&](overlay::NodeId, Store& store) {
+    dropped += store.expire_before(now);
+  });
   stats_.expired_entries += dropped;
   return dropped;
 }
 
-void MapService::migrate_after_join(overlay::NodeId joined,
-                                    overlay::NodeId split_peer) {
-  const auto it = stores_.find(split_peer);
-  if (it == stores_.end()) return;
+template <typename Store>
+void BasicMapService<Store>::migrate_after_join(overlay::NodeId joined,
+                                                overlay::NodeId split_peer) {
+  Store* source = find_store(split_peer);
+  if (source == nullptr) return;
   const geom::Zone& new_zone = ecan_->node(joined).zone;
-  std::vector<StoredEntry> moving;
-  std::erase_if(it->second, [&](StoredEntry& s) {
-    if (!new_zone.contains(s.position)) return false;
-    moving.push_back(std::move(s));
-    return true;
-  });
-  auto& target = store_of(joined);
-  for (StoredEntry& stored : moving) target.push_back(std::move(stored));
+  std::vector<StoredEntry> moving = source->extract_if(
+      [&](const StoredEntry& s) { return new_zone.contains(s.position); });
+  if (moving.empty()) return;  // don't materialize an empty target store
+  Store& target = store_of(joined);
+  for (StoredEntry& stored : moving) target.upsert(std::move(stored));
 }
 
-std::vector<StoredEntry> MapService::extract_store(overlay::NodeId node) {
-  const auto it = stores_.find(node);
-  if (it == stores_.end()) return {};
-  std::vector<StoredEntry> out = std::move(it->second);
-  stores_.erase(it);
-  return out;
+template <typename Store>
+std::vector<StoredEntry> BasicMapService<Store>::extract_store(
+    overlay::NodeId node) {
+  if constexpr (Store::kReferenceCostModel) {
+    const auto it = stores_.find(node);
+    if (it == stores_.end()) return {};
+    std::vector<StoredEntry> out = it->second.extract_all();
+    stores_.erase(it);
+    return out;
+  } else {
+    Store* store = find_store(node);
+    if (store == nullptr) return {};
+    return store->extract_all();  // an emptied store reads as absent
+  }
 }
 
-void MapService::rehome(std::vector<StoredEntry> entries) {
+template <typename Store>
+void BasicMapService<Store>::rehome(std::vector<StoredEntry> entries) {
   for (StoredEntry& stored : entries) {
     if (!ecan_->alive(stored.entry.node)) continue;  // drop records of dead
     const overlay::NodeId owner = ecan_->owner_of(stored.position);
     if (owner == overlay::kInvalidNode) continue;
-    // Through place_entry, not push_back: a record republished while its
-    // old host was being drained already sits on `owner`, and appending
-    // would duplicate it; place_entry also fires the publish observer so
-    // subscribers see rehomed records.
+    // Through place_entry, not a raw insert: a record republished while
+    // its old host was being drained already sits on `owner`, and
+    // appending would duplicate it; place_entry also fires the publish
+    // observer so subscribers see rehomed records.
     place_entry(owner, std::move(stored));
     ++stats_.rehomed_entries;
   }
 }
 
-std::size_t MapService::store_size(overlay::NodeId node) const {
-  const auto it = stores_.find(node);
-  return it == stores_.end() ? 0 : it->second.size();
+template <typename Store>
+std::size_t BasicMapService<Store>::store_size(overlay::NodeId node) const {
+  const Store* store = find_store(node);
+  return store == nullptr ? 0 : store->size();
 }
 
-double MapService::mean_entries_per_node() const {
+template <typename Store>
+double BasicMapService<Store>::mean_entries_per_node() const {
   if (ecan_->empty()) return 0.0;
   return static_cast<double>(total_entries()) /
          static_cast<double>(ecan_->size());
 }
 
-std::size_t MapService::max_entries_per_node() const {
+template <typename Store>
+std::size_t BasicMapService<Store>::max_entries_per_node() const {
   std::size_t max_size = 0;
-  for (const auto& [owner, store] : stores_) {
-    (void)owner;
+  for_each_store([&](overlay::NodeId, const Store& store) {
     max_size = std::max(max_size, store.size());
-  }
+  });
   return max_size;
 }
 
-bool MapService::check_placement_invariant() const {
-  for (const auto& [owner, store] : stores_) {
-    if (store.empty()) continue;
-    if (!ecan_->alive(owner)) return false;
-    for (const StoredEntry& stored : store)
-      if (ecan_->owner_of(stored.position) != owner) return false;
-  }
-  return true;
+template <typename Store>
+std::size_t BasicMapService<Store>::hosting_owner_count() const {
+  std::size_t hosting = 0;
+  for_each_store([&](overlay::NodeId, const Store& store) {
+    if (!store.empty()) ++hosting;
+  });
+  return hosting;
 }
 
-std::size_t MapService::total_entries() const {
+template <typename Store>
+bool BasicMapService<Store>::check_placement_invariant() const {
+  bool ok = true;
+  for_each_store([&](overlay::NodeId owner, const Store& store) {
+    if (!ok || store.empty()) return;
+    if (!ecan_->alive(owner)) {
+      ok = false;
+      return;
+    }
+    store.for_each([&](const StoredEntry& stored) {
+      if (ecan_->owner_of(stored.position) != owner) ok = false;
+    });
+  });
+  return ok;
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::total_entries() const {
   std::size_t total = 0;
-  for (const auto& [owner, store] : stores_) {
-    (void)owner;
+  for_each_store([&](overlay::NodeId, const Store& store) {
     total += store.size();
-  }
+  });
   return total;
 }
+
+template class BasicMapService<MapStore>;
+template class BasicMapService<LegacyLinearMapStore>;
 
 }  // namespace topo::softstate

@@ -12,18 +12,30 @@
 // ring expansion over adjacent map pieces when the piece it hit is empty.
 //
 // All messages are routed over the overlay itself and accounted (hops).
+//
+// The service is a template over its per-owner store so the indexed
+// production store and the seed-era linear reference store share every
+// line of protocol logic: `MapService` (IndexedStore) is what everything
+// uses; `LegacyLinearMapService` (LinearStoreRef) exists for the
+// equivalence property tests and bench/scale_sweep's seed-comparison
+// mode. Routing uses the eCAN's allocation-free scratch fast path unless
+// `MapConfig::use_reference_router` selects the reference router.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "geom/hilbert.hpp"
 #include "net/rtt_oracle.hpp"
 #include "overlay/ecan.hpp"
 #include "proximity/landmarks.hpp"
 #include "proximity/nn_search.hpp"
+#include "softstate/indexed_store.hpp"
+#include "softstate/linear_store_ref.hpp"
 #include "softstate/map_entry.hpp"
 #include "util/rng.hpp"
 
@@ -53,6 +65,11 @@ struct MapConfig {
   /// than this many candidates (a sparsely-populated piece is almost as
   /// useless as an empty one).
   std::size_t min_candidates = 8;
+  /// Route publish/lookup messages with EcanNetwork::route_ecan_reference
+  /// instead of the scratch fast path. Hop sequences are identical either
+  /// way (tested); this knob exists so the equivalence tests and the scale
+  /// bench's seed-comparison mode can reproduce pre-indexed-store costs.
+  bool use_reference_router = false;
 };
 
 struct LookupResult {
@@ -81,12 +98,63 @@ struct MapServiceStats {
   std::uint64_t rehomed_entries = 0;
 };
 
-class MapService {
+/// Store-description traits for the eCAN map backends (see
+/// indexed_store.hpp for the contract). Dedup identity is (node, map);
+/// entries group by map (the packed cell key encodes level + cell) and
+/// order inside a map by landmark number, so one map's records form a
+/// contiguous, physical-locality-ordered range of the indexed store.
+struct MapStoreTraits {
+  /// Landmark-number width in bits (LandmarkSet::number_bits()); the
+  /// order key coarsens the number to its top 64 bits, preserving order.
+  int number_bits = 64;
+
+  struct Key {
+    overlay::NodeId node = overlay::kInvalidNode;
+    std::uint64_t cell_key = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t x =
+          k.cell_key ^ (0x9e3779b97f4a7c15ull * (k.node + 1ull));
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using GroupKey = std::uint64_t;  // packed (level, cell)
+  using OrderKey = std::uint64_t;  // landmark number, top 64 bits
+
+  Key key(const StoredEntry& s) const { return {s.entry.node, s.cell_key}; }
+  GroupKey group(const StoredEntry& s) const { return s.cell_key; }
+  OrderKey order(const StoredEntry& s) const {
+    return s.entry.landmark_number.top_bits(number_bits,
+                                            number_bits < 64 ? number_bits
+                                                             : 64);
+  }
+  overlay::NodeId node(const StoredEntry& s) const { return s.entry.node; }
+  sim::Time published_at(const StoredEntry& s) const {
+    return s.entry.published_at;
+  }
+  sim::Time expires_at(const StoredEntry& s) const {
+    return s.entry.expires_at;
+  }
+};
+
+using MapStore = IndexedStore<StoredEntry, MapStoreTraits>;
+using LegacyLinearMapStore = LinearStoreRef<StoredEntry, MapStoreTraits>;
+
+template <typename Store>
+class BasicMapService {
  public:
-  MapService(overlay::EcanNetwork& ecan, const proximity::LandmarkSet& landmarks,
-             MapConfig config);
+  BasicMapService(overlay::EcanNetwork& ecan,
+                  const proximity::LandmarkSet& landmarks, MapConfig config);
 
   const MapConfig& config() const { return config_; }
+  /// Runtime-tunable knobs (ttl, ring ttl, return budgets, router choice).
+  /// The map geometry (condense_rate, map_bits) is latched into the cached
+  /// Hilbert curve at construction and must not be changed here.
   MapConfig& mutable_config() { return config_; }
 
   /// Position inside the map region of cell (level, coords) where the
@@ -102,6 +170,15 @@ class MapService {
                       sim::Time now, double load = 0.0,
                       double capacity = 1.0);
 
+  /// Publish with the node's cached landmark number. A node derives its
+  /// number once, when it measures its landmark vector — recomputing the
+  /// space-filling-curve reduction on every periodic republish message
+  /// (as the seed did) is pure waste on the hot path.
+  std::size_t publish(overlay::NodeId node,
+                      const proximity::LandmarkVector& vector,
+                      const util::BigUint& number, sim::Time now,
+                      double load = 0.0, double capacity = 1.0);
+
   /// Looks up candidates physically near the querier in the map of the
   /// given high-order cell (Table 1 procedure).
   LookupResult lookup(overlay::NodeId querier,
@@ -116,6 +193,19 @@ class MapService {
       int level, std::span<const std::uint32_t> cell, sim::Time now,
       LookupResult* meta = nullptr);
 
+  /// Allocation-free lookup for hot callers: takes the querier's cached
+  /// landmark number and writes the top candidates into `out`, reusing
+  /// both the vector and its elements' heap buffers across calls. Returns
+  /// the number of candidates written; `out` is grown as needed but never
+  /// shrunk (elements past the returned count are stale), so a caller
+  /// looping over lookups pays no per-call allocation once the buffer has
+  /// warmed up.
+  std::size_t lookup_entries_into(
+      overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+      const util::BigUint& number, int level,
+      std::span<const std::uint32_t> cell, sim::Time now,
+      std::vector<MapEntry>& out, LookupResult* meta = nullptr);
+
   /// Proactive removal at graceful departure ("the most proactive measure
   /// is to update the map when a node is about to depart"). Call *before*
   /// the node leaves the overlay.
@@ -126,7 +216,8 @@ class MapService {
   void report_dead(overlay::NodeId owner, overlay::NodeId dead);
 
   /// Drops entries that expired before `now` across all stores; returns
-  /// the number dropped.
+  /// the number dropped. Per store this touches only the entries that
+  /// actually expired (indexed expiry heap), not the whole store.
   std::size_t expire_before(sim::Time now);
 
   // -- Zone-change migration (driven by the join/leave protocol) --------
@@ -150,6 +241,10 @@ class MapService {
   /// Max entries on any node.
   std::size_t max_entries_per_node() const;
   std::size_t total_entries() const;
+  /// Nodes currently hosting at least one entry. Also the witness that
+  /// read paths never materialize empty stores (they use the const
+  /// find-based accessor, not operator[]).
+  std::size_t hosting_owner_count() const;
 
   const MapServiceStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -178,26 +273,87 @@ class MapService {
   }
 
  private:
-  std::vector<StoredEntry>& store_of(overlay::NodeId node);
+  /// Per-owner store container. The production service keeps stores in a
+  /// dense vector indexed by node id (simulator ids are small slot
+  /// indices), so the per-message owner lookup on the publish/lookup hot
+  /// path is an array index; the reference instantiation keeps the seed's
+  /// hash map so the scale bench compares against seed-era costs. An
+  /// absent owner is an out-of-range id (dense) / missing key (map); an
+  /// empty store means the same thing as an absent one everywhere.
+  using StoreMap =
+      std::conditional_t<Store::kReferenceCostModel,
+                         std::unordered_map<overlay::NodeId, Store>,
+                         std::vector<Store>>;
+
+  /// Creating accessor — write paths only (placing/migrating entries).
+  Store& store_of(overlay::NodeId node);
+  /// Non-creating accessors for lookup/expiry/stats paths: an owner that
+  /// never hosted an entry must not grow the store map.
+  const Store* find_store(overlay::NodeId node) const;
+  Store* find_store(overlay::NodeId node);
+  /// Visits every (owner, store) pair — the container-shape-agnostic way
+  /// the sweep/stats paths iterate. Dense iteration includes empty
+  /// stores; callers already treat empty as absent.
+  template <typename Fn>
+  void for_each_store(Fn&& fn);
+  template <typename Fn>
+  void for_each_store(Fn&& fn) const;
+
+  /// Routes a map message from `from` to the owner of `position` using
+  /// the configured router; the hop path lands in route_scratch_.path.
+  bool route_to(overlay::NodeId from, const geom::Point& position);
 
   /// Stores (replacing any same-node record in the same map) and notifies
   /// the observer.
   void place_entry(overlay::NodeId owner, StoredEntry stored);
 
-  /// Collect entries of map (level, cell_key) stored on `owner` into
-  /// `out`, skipping expired ones.
-  void collect_from(overlay::NodeId owner, int level,
-                    std::uint64_t cell_key, sim::Time now,
-                    std::vector<const StoredEntry*>& out);
+  /// Collect entries of map `cell_key` stored on `owner` into `out`,
+  /// pruning expired ones first (soft-state decay on access).
+  void collect_from(overlay::NodeId owner, std::uint64_t cell_key,
+                    sim::Time now, std::vector<const StoredEntry*>& out);
 
   overlay::EcanNetwork* ecan_;
   const proximity::LandmarkSet* landmarks_;
   MapConfig config_;
-  std::unordered_map<overlay::NodeId, std::vector<StoredEntry>> stores_;
+  MapStoreTraits store_traits_;
+  StoreMap stores_;
+  overlay::RouteScratch route_scratch_;
   MapServiceStats stats_;
   PublishObserver publish_observer_;
   double publish_loss_ = 0.0;
   util::Rng fault_rng_{0};
+
+  // -- Hot-path caches and scratch ---------------------------------------
+  // Everything below is cost, not semantics: the service instantiated over
+  // the reference store (Store::kReferenceCostModel) bypasses it and keeps
+  // the seed-era per-call work so bench/scale_sweep compares the indexed
+  // path against honest pre-PR costs. Results are identical either way.
+
+  /// Map-region curve and side scaling are pure functions of the config;
+  /// the seed rebuilt the curve and re-ran pow() on every placement.
+  geom::HilbertCurve map_curve_;
+  double map_side_factor_;
+
+  /// A candidate with its sort key precomputed: the seed recomputed the
+  /// landmark distance inside the sort comparator, which gprofng puts at
+  /// ~1/3 of lookup-heavy runs.
+  struct RankedRef {
+    double distance;
+    const StoredEntry* stored;
+  };
+  std::vector<const StoredEntry*> found_scratch_;
+  std::vector<RankedRef> ranked_scratch_;
+  std::vector<overlay::NodeId> ring_scratch_;
+  std::vector<overlay::NodeId> next_ring_scratch_;
+  /// Visited set for the ring expansion as an epoch-stamped array over
+  /// node slots (reset is ++epoch, not a fill).
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t visit_epoch_ = 0;
 };
+
+/// The production service: indexed stores + allocation-free routing.
+using MapService = BasicMapService<MapStore>;
+/// Seed-semantics twin for equivalence tests and the scale bench.
+using LegacyLinearMapService = BasicMapService<LegacyLinearMapStore>;
 
 }  // namespace topo::softstate

@@ -27,6 +27,23 @@ overlay::PastryId PastryMapService::position_in(
   return lo + offset;
 }
 
+PastryMapStore& PastryMapService::store_of(overlay::NodeId node) {
+  const auto it = stores_.find(node);
+  if (it != stores_.end()) return it->second;
+  return stores_.emplace(node, PastryMapStore{}).first->second;
+}
+
+const PastryMapStore* PastryMapService::find_store(
+    overlay::NodeId node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+PastryMapStore* PastryMapService::find_store(overlay::NodeId node) {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
 std::size_t PastryMapService::publish(
     overlay::NodeId node, const proximity::LandmarkVector& vector,
     sim::Time now) {
@@ -56,18 +73,7 @@ std::size_t PastryMapService::publish(
     entry.position = position;
     entry.published_at = now;
     entry.expires_at = now + config_.ttl_ms;
-
-    auto& store = stores_[owner];
-    bool replaced = false;
-    for (PastryMapEntry& existing : store) {
-      if (existing.node == node && existing.prefix_digits == row &&
-          existing.region_lo == lo) {
-        existing = entry;
-        replaced = true;
-        break;
-      }
-    }
-    if (!replaced) store.push_back(std::move(entry));
+    store_of(owner).upsert(std::move(entry));
   }
   stats_.route_hops += hops;
   return hops;
@@ -91,19 +97,15 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
   }
   local_meta.owner = route.path.back();
 
+  const PastryMapStoreTraits::GroupKey region{prefix_digits, lo};
   std::vector<const PastryMapEntry*> found;
   auto collect = [&](overlay::NodeId owner) {
-    const auto it = stores_.find(owner);
-    if (it == stores_.end()) return;
-    auto& store = it->second;
-    const std::size_t before = store.size();
-    std::erase_if(store, [&](const PastryMapEntry& e) {
-      return e.expires_at <= now;
+    PastryMapStore* store = find_store(owner);
+    if (store == nullptr) return;
+    stats_.expired_entries += store->expire_before(now);
+    store->for_each_in_group(region, [&](const PastryMapEntry& entry) {
+      found.push_back(&entry);
     });
-    stats_.expired_entries += before - store.size();
-    for (const PastryMapEntry& entry : store)
-      if (entry.prefix_digits == prefix_digits && entry.region_lo == lo)
-        found.push_back(&entry);
   };
   collect(local_meta.owner);
 
@@ -125,13 +127,21 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
     collect(region_members[index]);
   }
 
-  std::sort(found.begin(), found.end(),
-            [&](const PastryMapEntry* a, const PastryMapEntry* b) {
-              return proximity::vector_distance(a->vector, vector) <
-                     proximity::vector_distance(b->vector, vector);
+  // Distance ties are broken by node id so the returned prefix is
+  // deterministic regardless of collection order. Each candidate's
+  // distance is computed once, not on every comparison.
+  std::vector<std::pair<double, const PastryMapEntry*>> ranked;
+  ranked.reserve(found.size());
+  for (const PastryMapEntry* entry : found)
+    ranked.emplace_back(proximity::vector_distance(entry->vector, vector),
+                        entry);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->node < b.second->node;
             });
   std::vector<PastryMapEntry> result;
-  for (const PastryMapEntry* entry : found) {
+  for (const auto& [distance, entry] : ranked) {
     if (result.size() >= config_.max_return) break;
     if (entry->node == querier) continue;
     result.push_back(*entry);
@@ -143,30 +153,22 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
 void PastryMapService::remove_everywhere(overlay::NodeId node) {
   for (auto& [owner, store] : stores_) {
     (void)owner;
-    std::erase_if(store,
-                  [&](const PastryMapEntry& e) { return e.node == node; });
+    store.erase_node(node);
   }
 }
 
 void PastryMapService::report_dead(overlay::NodeId owner,
                                    overlay::NodeId dead) {
-  const auto it = stores_.find(owner);
-  if (it == stores_.end()) return;
-  const std::size_t before = it->second.size();
-  std::erase_if(it->second,
-                [&](const PastryMapEntry& e) { return e.node == dead; });
-  stats_.lazy_deletions += before - it->second.size();
+  PastryMapStore* store = find_store(owner);
+  if (store == nullptr) return;
+  stats_.lazy_deletions += store->erase_node(dead);
 }
 
 std::size_t PastryMapService::expire_before(sim::Time now) {
   std::size_t dropped = 0;
   for (auto& [owner, store] : stores_) {
     (void)owner;
-    const std::size_t before = store.size();
-    std::erase_if(store, [&](const PastryMapEntry& e) {
-      return e.expires_at <= now;
-    });
-    dropped += before - store.size();
+    dropped += store.expire_before(now);
   }
   stats_.expired_entries += dropped;
   return dropped;
@@ -175,28 +177,33 @@ std::size_t PastryMapService::expire_before(sim::Time now) {
 void PastryMapService::rehome_from(overlay::NodeId former_owner) {
   const auto it = stores_.find(former_owner);
   if (it == stores_.end()) return;
-  std::vector<PastryMapEntry> moving = std::move(it->second);
+  std::vector<PastryMapEntry> moving = it->second.extract_all();
   stores_.erase(it);
   for (PastryMapEntry& entry : moving) {
     if (!pastry_->alive(entry.node)) continue;
     const overlay::NodeId owner =
         pastry_->numerically_closest(entry.position);
-    stores_[owner].push_back(std::move(entry));
+    // upsert (not a raw append) so a record republished while its old
+    // owner was departing is not duplicated on the new owner.
+    store_of(owner).upsert(std::move(entry));
   }
 }
 
 std::size_t PastryMapService::store_size(overlay::NodeId node) const {
-  const auto it = stores_.find(node);
-  return it == stores_.end() ? 0 : it->second.size();
+  const PastryMapStore* store = find_store(node);
+  return store == nullptr ? 0 : store->size();
 }
 
 bool PastryMapService::check_placement_invariant() const {
   for (const auto& [owner, store] : stores_) {
     if (store.empty()) continue;
     if (!pastry_->alive(owner)) return false;
-    for (const PastryMapEntry& entry : store)
+    bool placed = true;
+    store.for_each([&](const PastryMapEntry& entry) {
       if (pastry_->numerically_closest(entry.position) != owner)
-        return false;
+        placed = false;
+    });
+    if (!placed) return false;
   }
   return true;
 }

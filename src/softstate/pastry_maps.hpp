@@ -9,14 +9,21 @@
 // physically-close members of a region sit on the same or neighboring
 // owners, and a lookup keyed by the querier's own landmark number finds
 // its best candidates directly.
+//
+// Per-owner storage is an IndexedStore keyed by (node, region) and grouped
+// by region, so lookup candidate collection reads one contiguous range
+// instead of filtering the whole store, publish/refresh and lazy deletion
+// are O(1), and expiry touches only expired records.
 #pragma once
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "overlay/pastry.hpp"
 #include "proximity/landmarks.hpp"
 #include "sim/event_queue.hpp"
+#include "softstate/indexed_store.hpp"
 
 namespace topo::softstate {
 
@@ -56,6 +63,48 @@ struct PastryMapStats {
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
 };
+
+/// Store-description traits for the Pastry backend: a record is identified
+/// by (node, region), grouped per region (prefix length + range start) so
+/// one region's records form a contiguous range, and ordered within the
+/// region by keyed position (i.e. landmark number).
+struct PastryMapStoreTraits {
+  struct Key {
+    overlay::NodeId node = overlay::kInvalidNode;
+    int prefix_digits = 0;
+    overlay::PastryId region_lo = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t x = k.region_lo ^
+                        (0x9e3779b97f4a7c15ull * (k.node + 1ull)) ^
+                        (0xbf58476d1ce4e5b9ull *
+                         static_cast<std::uint64_t>(k.prefix_digits + 1));
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using GroupKey = std::pair<int, overlay::PastryId>;  // (digits, lo)
+  using OrderKey = overlay::PastryId;
+
+  Key key(const PastryMapEntry& e) const {
+    return {e.node, e.prefix_digits, e.region_lo};
+  }
+  GroupKey group(const PastryMapEntry& e) const {
+    return {e.prefix_digits, e.region_lo};
+  }
+  OrderKey order(const PastryMapEntry& e) const { return e.position; }
+  overlay::NodeId node(const PastryMapEntry& e) const { return e.node; }
+  sim::Time published_at(const PastryMapEntry& e) const {
+    return e.published_at;
+  }
+  sim::Time expires_at(const PastryMapEntry& e) const { return e.expires_at; }
+};
+
+using PastryMapStore = IndexedStore<PastryMapEntry, PastryMapStoreTraits>;
 
 class PastryMapService {
  public:
@@ -97,10 +146,16 @@ class PastryMapService {
   bool check_placement_invariant() const;
 
  private:
+  /// Creating accessor — write paths only.
+  PastryMapStore& store_of(overlay::NodeId node);
+  /// Non-creating accessors for lookup/expiry/stats paths.
+  const PastryMapStore* find_store(overlay::NodeId node) const;
+  PastryMapStore* find_store(overlay::NodeId node);
+
   overlay::PastryNetwork* pastry_;
   const proximity::LandmarkSet* landmarks_;
   PastryMapConfig config_;
-  std::unordered_map<overlay::NodeId, std::vector<PastryMapEntry>> stores_;
+  std::unordered_map<overlay::NodeId, PastryMapStore> stores_;
   PastryMapStats stats_;
 };
 

@@ -1,0 +1,158 @@
+// The scratch fast path of EcanNetwork::route_ecan must be observably
+// identical to route_ecan_reference (the pre-fast-path implementation,
+// kept verbatim): same hop sequence, same success flag, same
+// broken-entry accounting — on clean networks, after churn, and with
+// dead table entries left behind by departed nodes. The scale bench's
+// seed-comparison mode relies on this equivalence: it measures the two
+// routers as *costs* of the same routing function.
+#include "overlay/ecan.hpp"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace topo::overlay {
+namespace {
+
+class FirstMemberSelector final : public RepresentativeSelector {
+ public:
+  NodeId select(NodeId, int, const geom::Zone&,
+                std::span<const NodeId> members) override {
+    return members.front();
+  }
+};
+
+std::unique_ptr<EcanNetwork> build(std::size_t n, util::Rng& rng,
+                                   std::size_t dims = 2) {
+  auto ecan = std::make_unique<EcanNetwork>(dims);
+  for (net::HostId h = 0; h < n; ++h) ecan->join_random(h, rng);
+  return ecan;
+}
+
+geom::Point random_point(std::size_t dims, util::Rng& rng) {
+  geom::Point p(dims);
+  for (std::size_t d = 0; d < dims; ++d) p[d] = rng.next_double();
+  return p;
+}
+
+/// Routes (from, target) through both implementations and requires
+/// identical hop sequences and identical broken-entry deltas.
+void expect_routes_identical(const EcanNetwork& ecan, NodeId from,
+                             const geom::Point& target,
+                             RouteScratch& scratch) {
+  const std::uint64_t broken_before = ecan.broken_entry_encounters();
+  const RouteResult reference = ecan.route_ecan_reference(from, target);
+  const std::uint64_t broken_reference =
+      ecan.broken_entry_encounters() - broken_before;
+
+  const std::uint64_t fast_before = ecan.broken_entry_encounters();
+  const bool fast_success = ecan.route_ecan(from, target, scratch);
+  const std::uint64_t broken_fast =
+      ecan.broken_entry_encounters() - fast_before;
+
+  ASSERT_EQ(fast_success, reference.success);
+  ASSERT_EQ(scratch.path, reference.path);
+  ASSERT_EQ(broken_fast, broken_reference);
+}
+
+TEST(EcanRouteFast, MatchesReferenceOnStaticNetwork) {
+  for (const std::size_t dims : {2ul, 3ul}) {
+    util::Rng rng(17 + dims);
+    auto ecan_ptr = build(256, rng, dims);
+    EcanNetwork& ecan = *ecan_ptr;
+    FirstMemberSelector selector;
+    ecan.build_all_tables(selector);
+
+    const auto live = ecan.live_nodes();
+    RouteScratch scratch;
+    for (int trial = 0; trial < 400; ++trial) {
+      const NodeId from = live[rng.next_u64(live.size())];
+      const geom::Point target = random_point(dims, rng);
+      expect_routes_identical(ecan, from, target, scratch);
+    }
+  }
+}
+
+TEST(EcanRouteFast, MatchesReferenceWithDeadTableEntries) {
+  util::Rng rng(23);
+  auto ecan_ptr = build(300, rng);
+  EcanNetwork& ecan = *ecan_ptr;
+  FirstMemberSelector selector;
+  ecan.build_all_tables(selector);
+
+  // Departures *after* table construction: untouched tables now hold dead
+  // representatives, so routes exercise the broken-entry skip path.
+  std::vector<NodeId> live = ecan.live_nodes();
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t pick = rng.next_u64(live.size());
+    ecan.leave(live[pick]);
+    live.erase(live.begin() + static_cast<long>(pick));
+  }
+
+  RouteScratch scratch;
+  std::uint64_t broken_total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const NodeId from = live[rng.next_u64(live.size())];
+    const geom::Point target = random_point(2, rng);
+    const std::uint64_t before = ecan.broken_entry_encounters();
+    expect_routes_identical(ecan, from, target, scratch);
+    broken_total += ecan.broken_entry_encounters() - before;
+  }
+  // The scenario must actually exercise dead entries to mean anything.
+  EXPECT_GT(broken_total, 0u);
+}
+
+TEST(EcanRouteFast, MatchesReferenceUnderChurn) {
+  util::Rng rng(31);
+  EcanNetwork ecan(2);
+  FirstMemberSelector selector;
+  std::vector<NodeId> live;
+  net::HostId next_host = 0;
+  RouteScratch scratch;
+  for (int step = 0; step < 240; ++step) {
+    if (live.size() < 8 || rng.next_bool(0.6)) {
+      live.push_back(ecan.join_random(next_host++, rng));
+    } else {
+      const std::size_t pick = rng.next_u64(live.size());
+      ecan.leave(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (step % 20 == 19) {
+      // Tables rebuilt mid-churn: the flat fast-path tables and the cell
+      // cache must agree with what the reference derives from zones.
+      ecan.build_all_tables(selector);
+      ASSERT_TRUE(ecan.check_membership_index()) << "step " << step;
+      for (int trial = 0; trial < 20; ++trial) {
+        const NodeId from = live[rng.next_u64(live.size())];
+        const geom::Point target = random_point(2, rng);
+        expect_routes_identical(ecan, from, target, scratch);
+      }
+    }
+  }
+}
+
+TEST(EcanRouteFast, ScratchReusedAcrossCalls) {
+  util::Rng rng(41);
+  auto ecan_ptr = build(128, rng);
+  EcanNetwork& ecan = *ecan_ptr;
+  FirstMemberSelector selector;
+  ecan.build_all_tables(selector);
+
+  const auto live = ecan.live_nodes();
+  RouteScratch scratch;
+  // Warm the scratch, then verify a later route fully replaces its
+  // contents (the fast path clears before appending).
+  ASSERT_TRUE(ecan.route_ecan(live[0], random_point(2, rng), scratch));
+  const NodeId from = live[rng.next_u64(live.size())];
+  const geom::Point target = random_point(2, rng);
+  const RouteResult reference = ecan.route_ecan_reference(from, target);
+  ASSERT_TRUE(ecan.route_ecan(from, target, scratch));
+  EXPECT_EQ(scratch.path, reference.path);
+  EXPECT_EQ(scratch.path.front(), from);
+}
+
+}  // namespace
+}  // namespace topo::overlay

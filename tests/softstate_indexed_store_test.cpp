@@ -1,0 +1,402 @@
+// Property tests: IndexedStore must be observably identical to
+// LinearStoreRef (the seed-semantics linear store) under randomized op
+// sequences, for all three backend trait sets (eCAN, Chord, Pastry) —
+// same upsert outcomes, same erase/expiry counts, same group contents.
+// The indexed structural invariants (hash index, per-node chains, ordered
+// slot list, expiry heap) are re-checked throughout.
+//
+// The second half drives the full map service twins (MapService over the
+// indexed store and fast router vs LegacyLinearMapService over the linear
+// store and reference router) through identical publish/lookup/expiry/
+// churn schedules and requires byte-identical lookup results and stats —
+// the equivalence bench/scale_sweep.cpp's speedup numbers rest on.
+#include "softstate/indexed_store.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "softstate/chord_maps.hpp"
+#include "softstate/linear_store_ref.hpp"
+#include "softstate/map_service.hpp"
+#include "softstate/pastry_maps.hpp"
+#include "util/rng.hpp"
+
+namespace topo::softstate {
+namespace {
+
+// ---------------------------------------------------------------------
+// Store twins under randomized op sequences
+// ---------------------------------------------------------------------
+
+/// Canonical sort/compare key of an entry: (group, order, node,
+/// published_at, expires_at) — unique per live record (node+group is the
+/// dedup identity), so sorting both stores' contents by it makes them
+/// directly comparable even though LinearStoreRef keeps insertion order.
+template <typename Traits, typename Entry>
+auto canonical_key(const Traits& traits, const Entry& e) {
+  return std::make_tuple(traits.group(e), traits.order(e), traits.node(e),
+                         traits.published_at(e), traits.expires_at(e));
+}
+
+template <typename Entry, typename Traits>
+void expect_same_contents(const Traits& traits,
+                          const IndexedStore<Entry, Traits>& indexed,
+                          const LinearStoreRef<Entry, Traits>& linear) {
+  ASSERT_EQ(indexed.size(), linear.size());
+  ASSERT_EQ(indexed.empty(), linear.empty());
+  std::vector<Entry> a;
+  std::vector<Entry> b;
+  indexed.for_each([&](const Entry& e) { a.push_back(e); });
+  linear.for_each([&](const Entry& e) { b.push_back(e); });
+  const auto by_key = [&](const Entry& x, const Entry& y) {
+    return canonical_key(traits, x) < canonical_key(traits, y);
+  };
+  // The indexed store must already emit in (group, order, node) order —
+  // that contiguity is what the lookup path's range collection relies on.
+  ASSERT_TRUE(std::is_sorted(a.begin(), a.end(), by_key));
+  std::sort(b.begin(), b.end(), by_key);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(canonical_key(traits, a[i]), canonical_key(traits, b[i]))
+        << "entry " << i;
+}
+
+template <typename Entry, typename Traits>
+void expect_same_group(const Traits& traits, const typename Traits::GroupKey& g,
+                       const IndexedStore<Entry, Traits>& indexed,
+                       const LinearStoreRef<Entry, Traits>& linear) {
+  std::vector<Entry> a;
+  std::vector<Entry> b;
+  indexed.for_each_in_group(g, [&](const Entry& e) { a.push_back(e); });
+  linear.for_each_in_group(g, [&](const Entry& e) { b.push_back(e); });
+  const auto by_key = [&](const Entry& x, const Entry& y) {
+    return canonical_key(traits, x) < canonical_key(traits, y);
+  };
+  ASSERT_TRUE(std::is_sorted(a.begin(), a.end(), by_key));
+  std::sort(b.begin(), b.end(), by_key);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(canonical_key(traits, a[i]), canonical_key(traits, b[i]));
+}
+
+/// Drives both stores through an identical randomized sequence of
+/// upsert / erase_node / expire_before / extract_if / extract_all and
+/// checks observable equivalence plus the indexed structural invariants.
+/// `make_entry(node, group_pick, now, rng)` builds one backend entry.
+template <typename Entry, typename Traits, typename MakeEntry>
+void run_twin_sequence(Traits traits, MakeEntry make_entry,
+                       std::uint64_t seed, int steps) {
+  IndexedStore<Entry, Traits> indexed(traits);
+  LinearStoreRef<Entry, Traits> linear(traits);
+  util::Rng rng(seed);
+  sim::Time now = 0.0;
+  constexpr overlay::NodeId kNodePool = 8;
+  constexpr std::uint64_t kGroupPool = 5;
+
+  for (int step = 0; step < steps; ++step) {
+    now += rng.next_double(0.0, 4.0);
+    const double roll = rng.next_double();
+    if (roll < 0.55) {
+      const auto node = static_cast<overlay::NodeId>(
+          rng.next_u64(kNodePool));
+      const Entry entry = make_entry(node, rng.next_u64(kGroupPool), now, rng);
+      const auto [outcome_a, stored_a] = indexed.upsert(entry);
+      const auto [outcome_b, stored_b] = linear.upsert(entry);
+      ASSERT_EQ(outcome_a, outcome_b) << "step " << step;
+      ASSERT_EQ(canonical_key(traits, *stored_a),
+                canonical_key(traits, *stored_b));
+    } else if (roll < 0.70) {
+      ASSERT_EQ(indexed.expire_before(now), linear.expire_before(now))
+          << "step " << step;
+    } else if (roll < 0.80) {
+      const auto node = static_cast<overlay::NodeId>(
+          rng.next_u64(kNodePool));
+      ASSERT_EQ(indexed.erase_node(node), linear.erase_node(node))
+          << "step " << step;
+    } else if (roll < 0.85) {
+      // Extract one node's records (the rehome path uses a predicate).
+      const auto victim = static_cast<overlay::NodeId>(
+          rng.next_u64(kNodePool));
+      const auto pred = [&](const Entry& e) {
+        return traits.node(e) == victim;
+      };
+      auto a = indexed.extract_if(pred);
+      auto b = linear.extract_if(pred);
+      const auto by_key = [&](const Entry& x, const Entry& y) {
+        return canonical_key(traits, x) < canonical_key(traits, y);
+      };
+      std::sort(a.begin(), a.end(), by_key);
+      std::sort(b.begin(), b.end(), by_key);
+      ASSERT_EQ(a.size(), b.size()) << "step " << step;
+      for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(canonical_key(traits, a[i]), canonical_key(traits, b[i]));
+    } else if (roll < 0.88) {
+      auto a = indexed.extract_all();
+      auto b = linear.extract_all();
+      ASSERT_EQ(a.size(), b.size()) << "step " << step;
+      ASSERT_TRUE(indexed.empty());
+      ASSERT_TRUE(linear.empty());
+    } else {
+      expect_same_contents(traits, indexed, linear);
+      for (std::uint64_t g = 0; g < kGroupPool; ++g) {
+        const Entry probe = make_entry(0, g, now, rng);
+        expect_same_group(traits, traits.group(probe), indexed, linear);
+      }
+    }
+    ASSERT_TRUE(indexed.check_index_invariants()) << "step " << step;
+  }
+  expect_same_contents(traits, indexed, linear);
+}
+
+StoredEntry make_map_entry(overlay::NodeId node, std::uint64_t group_pick,
+                           sim::Time now, util::Rng& rng) {
+  StoredEntry s;
+  s.cell_key = 100 + group_pick;
+  s.level = static_cast<int>(group_pick % 3) + 1;
+  s.entry.node = node;
+  s.entry.host = static_cast<net::HostId>(node);
+  s.entry.landmark_number = util::BigUint(rng.next_u64(1u << 16));
+  // Sometimes older than an already-stored record (rehome replaying a
+  // pre-republish copy) so the stale-drop path is exercised.
+  s.entry.published_at = now - rng.next_double(0.0, 6.0);
+  s.entry.expires_at = s.entry.published_at + rng.next_double(5.0, 40.0);
+  return s;
+}
+
+ChordMapEntry make_chord_entry(overlay::NodeId node, std::uint64_t,
+                               sim::Time now, util::Rng& rng) {
+  ChordMapEntry e;
+  e.node = node;
+  e.host = static_cast<net::HostId>(node);
+  // The ring key is the *order* key, not part of the dedup identity: a
+  // republish with a re-measured vector moves the record within the map,
+  // exercising the indexed store's reposition path.
+  e.key = static_cast<overlay::ChordId>(rng.next_u64(1u << 20));
+  e.published_at = now - rng.next_double(0.0, 6.0);
+  e.expires_at = e.published_at + rng.next_double(5.0, 40.0);
+  return e;
+}
+
+PastryMapEntry make_pastry_entry(overlay::NodeId node,
+                                 std::uint64_t group_pick, sim::Time now,
+                                 util::Rng& rng) {
+  PastryMapEntry e;
+  e.node = node;
+  e.host = static_cast<net::HostId>(node);
+  e.prefix_digits = static_cast<int>(group_pick % 3) + 1;
+  e.region_lo = static_cast<overlay::PastryId>(1000 * (group_pick + 1));
+  e.position = e.region_lo + static_cast<overlay::PastryId>(
+      rng.next_u64(1000));
+  e.published_at = now - rng.next_double(0.0, 6.0);
+  e.expires_at = e.published_at + rng.next_double(5.0, 40.0);
+  return e;
+}
+
+class StoreTwinSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreTwinSeeds, EcanTraitsMatchLinearReference) {
+  run_twin_sequence<StoredEntry>(MapStoreTraits{16}, make_map_entry,
+                                 GetParam(), 1200);
+}
+
+TEST_P(StoreTwinSeeds, ChordTraitsMatchLinearReference) {
+  run_twin_sequence<ChordMapEntry>(ChordMapStoreTraits{}, make_chord_entry,
+                                   GetParam(), 1200);
+}
+
+TEST_P(StoreTwinSeeds, PastryTraitsMatchLinearReference) {
+  run_twin_sequence<PastryMapEntry>(PastryMapStoreTraits{},
+                                    make_pastry_entry, GetParam(), 1200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreTwinSeeds,
+                         ::testing::Values(11ull, 42ull, 977ull));
+
+TEST(IndexedStore, MassExpiryMatchesLinearSweep) {
+  // A single sweep dropping hundreds of entries must agree with the
+  // linear rescan and leave the indexes consistent (this is the batched
+  // unlink + one-pass compaction path).
+  const MapStoreTraits traits{16};
+  IndexedStore<StoredEntry, MapStoreTraits> indexed(traits);
+  LinearStoreRef<StoredEntry, MapStoreTraits> linear(traits);
+  util::Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    const auto e = make_map_entry(
+        static_cast<overlay::NodeId>(rng.next_u64(40)), rng.next_u64(6),
+        rng.next_double(0.0, 10.0), rng);
+    ASSERT_EQ(indexed.upsert(e).first, linear.upsert(e).first);
+  }
+  for (const sim::Time t : {12.0, 25.0, 47.0, 60.0}) {
+    ASSERT_EQ(indexed.expire_before(t), linear.expire_before(t)) << t;
+    ASSERT_TRUE(indexed.check_index_invariants());
+    expect_same_contents(traits, indexed, linear);
+  }
+  EXPECT_TRUE(indexed.empty());
+}
+
+TEST(IndexedStore, RefreshChurnKeepsHeapBounded) {
+  // Refreshing the same records over and over must not grow the expiry
+  // heap without bound (stale items are compacted once they dominate).
+  const MapStoreTraits traits{16};
+  IndexedStore<StoredEntry, MapStoreTraits> store(traits);
+  util::Rng rng(13);
+  for (int round = 0; round < 400; ++round) {
+    for (overlay::NodeId n = 0; n < 4; ++n) {
+      StoredEntry s = make_map_entry(n, 0, 1000.0 + round, rng);
+      s.entry.published_at = 1000.0 + round;  // strictly fresher
+      s.entry.expires_at = s.entry.published_at + 30.0;
+      store.upsert(std::move(s));
+    }
+    store.expire_before(1000.0 + round);
+    ASSERT_TRUE(store.check_index_invariants());
+  }
+  EXPECT_EQ(store.size(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Full service twins: MapService vs LegacyLinearMapService
+// ---------------------------------------------------------------------
+
+struct TwinFixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<MapService> indexed;
+  std::unique_ptr<LegacyLinearMapService> reference;
+  std::vector<overlay::NodeId> nodes;
+  std::vector<proximity::LandmarkVector> vectors;
+  std::vector<util::BigUint> numbers;
+
+  explicit TwinFixture(std::uint64_t seed, std::size_t overlay_nodes = 160) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 8, rng, {}));
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (std::size_t i = 0; i < overlay_nodes; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(ecan->join_random(host, rng));
+    }
+    MapConfig config;
+    indexed = std::make_unique<MapService>(*ecan, *landmarks, config);
+    MapConfig reference_config = config;
+    reference_config.use_reference_router = true;
+    reference = std::make_unique<LegacyLinearMapService>(*ecan, *landmarks,
+                                                         reference_config);
+    vectors.resize(ecan->slot_count());
+    numbers.resize(ecan->slot_count());
+    for (const auto id : nodes) {
+      vectors[id] = landmarks->measure(*oracle, ecan->node(id).host);
+      numbers[id] = landmarks->landmark_number(vectors[id]);
+    }
+  }
+
+  void publish_all(sim::Time now) {
+    for (const auto id : nodes) {
+      indexed->publish(id, vectors[id], numbers[id], now);
+      reference->publish(id, vectors[id], now);
+    }
+  }
+};
+
+void expect_entries_equal(const std::vector<MapEntry>& a,
+                          const std::vector<MapEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].node, b[i].node) << "rank " << i;
+    ASSERT_EQ(a[i].host, b[i].host);
+    ASSERT_EQ(a[i].vector, b[i].vector);
+    ASSERT_EQ(a[i].published_at, b[i].published_at);
+    ASSERT_EQ(a[i].expires_at, b[i].expires_at);
+  }
+}
+
+TEST(MapServiceTwins, LookupsAndStatsIdentical) {
+  TwinFixture f(101);
+  f.publish_all(0.0);
+  ASSERT_EQ(f.indexed->total_entries(), f.reference->total_entries());
+  ASSERT_EQ(f.indexed->hosting_owner_count(),
+            f.reference->hosting_owner_count());
+  ASSERT_EQ(f.indexed->max_entries_per_node(),
+            f.reference->max_entries_per_node());
+
+  util::Rng rng(202);
+  std::vector<MapEntry> buffer;
+  std::vector<std::uint32_t> cell(2);
+  for (int q = 0; q < 600; ++q) {
+    const auto querier = f.nodes[rng.next_u64(f.nodes.size())];
+    const int levels = f.ecan->node_level(querier);
+    if (levels < 1) continue;
+    const int level =
+        1 + static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(levels)));
+    f.ecan->cell_of_node_into(querier, level, cell);
+
+    LookupResult meta_fast;
+    LookupResult meta_ref;
+    const std::size_t count = f.indexed->lookup_entries_into(
+        querier, f.vectors[querier], f.numbers[querier], level, cell, 100.0,
+        buffer, &meta_fast);
+    const auto reference_entries = f.reference->lookup_entries(
+        querier, f.vectors[querier], level, cell, 100.0, &meta_ref);
+
+    std::vector<MapEntry> fast_entries(buffer.begin(),
+                                       buffer.begin() + count);
+    expect_entries_equal(fast_entries, reference_entries);
+    ASSERT_EQ(meta_fast.owner, meta_ref.owner) << "query " << q;
+    ASSERT_EQ(meta_fast.route_hops, meta_ref.route_hops);
+    ASSERT_EQ(meta_fast.pieces_visited, meta_ref.pieces_visited);
+  }
+
+  // Every counter the two services kept must agree (hops, expiry...).
+  EXPECT_EQ(f.indexed->stats().publishes, f.reference->stats().publishes);
+  EXPECT_EQ(f.indexed->stats().lookups, f.reference->stats().lookups);
+  EXPECT_EQ(f.indexed->stats().route_hops, f.reference->stats().route_hops);
+  EXPECT_EQ(f.indexed->stats().expired_entries,
+            f.reference->stats().expired_entries);
+  EXPECT_EQ(f.indexed->stats().failed_routes,
+            f.reference->stats().failed_routes);
+}
+
+TEST(MapServiceTwins, ExpiryAndChurnStayIdentical) {
+  TwinFixture f(303);
+  f.publish_all(0.0);
+
+  // Republish half the nodes later: refresh path on both services.
+  util::Rng rng(404);
+  for (const auto id : f.nodes)
+    if (rng.next_bool(0.5)) {
+      f.indexed->publish(id, f.vectors[id], f.numbers[id], 30'000.0);
+      f.reference->publish(id, f.vectors[id], 30'000.0);
+    }
+  ASSERT_EQ(f.indexed->total_entries(), f.reference->total_entries());
+
+  // First-wave records expire, refreshed ones survive.
+  ASSERT_EQ(f.indexed->expire_before(70'000.0),
+            f.reference->expire_before(70'000.0));
+  ASSERT_EQ(f.indexed->total_entries(), f.reference->total_entries());
+  EXPECT_TRUE(f.indexed->check_placement_invariant());
+  EXPECT_TRUE(f.reference->check_placement_invariant());
+
+  // Lazy deletion and proactive removal agree store-for-store.
+  for (int i = 0; i < 20; ++i) {
+    const auto victim = f.nodes[rng.next_u64(f.nodes.size())];
+    f.indexed->remove_everywhere(victim);
+    f.reference->remove_everywhere(victim);
+  }
+  ASSERT_EQ(f.indexed->total_entries(), f.reference->total_entries());
+  for (const auto id : f.nodes)
+    ASSERT_EQ(f.indexed->store_size(id), f.reference->store_size(id));
+}
+
+}  // namespace
+}  // namespace topo::softstate

@@ -35,8 +35,16 @@ chord_pns
 pastry_pns
 overhead_costs
 churn_lifecycle
+scale_sweep
 micro_benchmarks
 "
+
+# scale_sweep's full sizes take minutes; the sweep here runs the 1k smoke
+# configuration unless the caller already scaled it (SCALE_NODES/FULL).
+if [ -z "${SCALE_NODES:-}" ] && [ -z "${FULL:-}" ]; then
+  SCALE_NODES=1000
+  export SCALE_NODES
+fi
 
 # Run from a scratch dir so the JSON emitters drop their files where we
 # can sweep them up, regardless of each bench's default output path.
