@@ -1,0 +1,390 @@
+// Fault sweep — the robustness plane under message loss, stub partitions
+// and crash-stopped map owners, exercising the full hardening stack:
+// bounded retry with exponential backoff, r-replica map placement with
+// first-success failover, and graceful degradation to landmark-only
+// pre-selection when the maps are unreachable.
+//
+// Each trial builds a fault-free overlay, measures baseline lookup
+// success and stretch, then turns the fault plane on (loss rate x
+// partitioned-stub fraction x one crashed map owner per level-1 zone),
+// lets republish/retry traffic run, joins extra nodes THROUGH the faults,
+// and measures again. Faults are then healed and the trial records how
+// long soft-state takes to repair back to the baseline success rate.
+//
+// The paper's systems claim under test: soft-state maps degrade
+// gracefully — a join never hard-fails (it falls back down the selection
+// ladder), lookups fail over to replicas, and the whole plane converges
+// back after the faults clear.
+//
+// Environment knobs (on top of the common SEED/FULL/THREADS):
+//   FAULT_NODES=n    overlay size (default 1024)
+//   REPLICAS=r       map replicas per record (default 3)
+//   RETRIES=k        publish/lookup retry attempts beyond the first
+//                    (default 2, i.e. max_attempts = 3)
+//   FAULT_SMOKE=1    two-trial grid for CI
+//   BENCH_JSON=path  output path (default BENCH_fault.json)
+//
+// Exit status is non-zero if any invariant is violated: placement
+// invariant after heal, a join hard-failure, or — in the acceptance
+// trial (10% publish loss + one crashed owner per zone) — lookup
+// success under fault below 95%.
+#include "common.hpp"
+
+#include <fstream>
+
+#include "core/soft_state_overlay.hpp"
+
+using namespace topo;
+
+namespace {
+
+struct TrialConfig {
+  double message_loss = 0.0;       // every message kind
+  double publish_loss = 0.0;       // extra loss on publishes only
+  double partition_fraction = 0.0; // fraction of stub domains cut off
+  bool crash_owner_per_zone = false;
+  bool assert_success = false;     // acceptance trial: success >= 95%
+};
+
+struct Probe {
+  double success_rate = 0.0;
+  double stretch = 0.0;  // median over successful lookups
+};
+
+struct TrialResult {
+  TrialConfig config;
+  Probe baseline;
+  Probe fault;
+  Probe healed;
+  std::size_t crashed_hosts = 0;
+  std::size_t partitioned_stubs = 0;
+  std::size_t joins_under_fault = 0;
+  double fallback_rate = 0.0;        // landmark fallbacks / selections
+  double random_fallback_rate = 0.0;
+  double retry_amplification = 1.0;  // publish messages per unique publish
+  double repair_ms = 0.0;            // sim time back to baseline success
+  std::uint64_t publish_retries = 0;
+  std::uint64_t retry_recoveries = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t lost_messages = 0;
+  std::uint64_t blocked_publishes = 0;
+  std::uint64_t lookup_failovers = 0;
+  std::uint64_t fault_blocked_lookups = 0;
+  std::uint64_t replica_collapses = 0;
+  std::uint64_t lazy_deletions = 0;
+  std::uint64_t lost_repairs = 0;
+  std::uint64_t dropped_notifications = 0;
+  std::size_t invariant_violations = 0;
+};
+
+/// Lookup success rate + median stretch over `queries` random lookups.
+/// Sources on crashed hosts cannot issue queries and are skipped.
+Probe probe_lookups(core::SoftStateOverlay& system, std::size_t queries,
+                    util::Rng& rng) {
+  Probe probe;
+  util::Samples stretch;
+  std::size_t issued = 0;
+  std::size_t ok = 0;
+  const auto live = system.ecan().live_nodes();
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto from = live[rng.next_u64(live.size())];
+    if (system.faults().host_crashed(system.ecan().node(from).host)) continue;
+    const geom::Point key = geom::Point::random(2, rng);
+    ++issued;
+    const auto route = system.lookup(from, key);
+    if (!route.success) continue;
+    ++ok;
+    if (route.path.size() < 2) continue;
+    const double direct = system.oracle().latency_ms(
+        system.ecan().node(from).host,
+        system.ecan().node(route.path.back()).host);
+    if (direct <= 0.0) continue;
+    stretch.add(
+        sim::path_latency_ms(system.ecan(), system.oracle(), route.path) /
+        direct);
+  }
+  probe.success_rate =
+      issued == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(issued);
+  probe.stretch = stretch.count() == 0 ? 0.0 : stretch.median();
+  return probe;
+}
+
+/// Crashes the host of the map owner at the center of every level-1 cell:
+/// the acceptance scenario's "one crashed map owner per zone". Returns the
+/// crashed hosts (deduplicated).
+std::size_t crash_owner_per_zone(core::SoftStateOverlay& system) {
+  std::size_t crashed = 0;
+  for (const double x : {0.25, 0.75}) {
+    for (const double y : {0.25, 0.75}) {
+      geom::Point center(2);
+      center[0] = x;
+      center[1] = y;
+      const overlay::NodeId owner = system.ecan().owner_of(center);
+      if (owner == overlay::kInvalidNode) continue;
+      const net::HostId host = system.ecan().node(owner).host;
+      if (system.faults().host_crashed(host)) continue;
+      system.faults().crash_host(host);
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+TrialResult run_trial(const net::Topology& topology, TrialConfig tc,
+                      std::size_t nodes, std::uint64_t seed) {
+  core::SystemConfig config;
+  config.landmark_count = 15;
+  config.rtt_budget = 8;
+  config.map.ttl_ms = 60'000.0;
+  config.map.replicas = util::env_int("REPLICAS", 3);
+  config.retry.max_attempts = 1 + static_cast<int>(util::env_int("RETRIES", 2));
+  config.seed = seed;
+  core::SoftStateOverlay system(topology, config);
+
+  util::Rng rng(seed + 1);
+  for (std::size_t i = 0; i < nodes; ++i)
+    system.join(static_cast<net::HostId>(rng.next_u64(topology.host_count())));
+
+  TrialResult r;
+  r.config = tc;
+  const std::size_t queries = bench::full_scale() ? 2 * nodes : 256;
+  r.baseline = probe_lookups(system, queries, rng);
+
+  // -- Fault phase -------------------------------------------------------
+  const auto stats_before = system.maps().stats();
+  const auto pubsub_before = system.pubsub().stats();
+  system.selector().reset_fallback_stats();
+
+  system.faults().mutable_config().message_loss = tc.message_loss;
+  system.faults().mutable_config().publish_loss = tc.publish_loss;
+  if (tc.partition_fraction > 0.0)
+    r.partitioned_stubs =
+        system.faults().partition_stub_fraction(tc.partition_fraction).size();
+  if (tc.crash_owner_per_zone) r.crashed_hosts = crash_owner_per_zone(system);
+
+  // Two republish periods of retry/refresh traffic, with fresh joins
+  // arriving through the faults (the degradation-ladder path).
+  const std::size_t fault_joins = std::max<std::size_t>(8, nodes / 32);
+  for (std::size_t i = 0; i < fault_joins; ++i) {
+    net::HostId host = 0;
+    do {
+      host = static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+    } while (system.faults().host_crashed(host));
+    const overlay::NodeId id = system.join(host);
+    if (id == overlay::kInvalidNode) ++r.invariant_violations;  // hard fail
+    ++r.joins_under_fault;
+    system.run_for(2.0 * config.republish_interval_ms / fault_joins);
+  }
+  r.fault = probe_lookups(system, queries, rng);
+
+  const auto stats_fault = system.maps().stats();
+  const auto pubsub_fault = system.pubsub().stats();
+  const auto& fallback = system.selector().fallback_stats();
+  if (fallback.selections > 0) {
+    r.fallback_rate = static_cast<double>(fallback.landmark_fallbacks) /
+                      static_cast<double>(fallback.selections);
+    r.random_fallback_rate = static_cast<double>(fallback.random_fallbacks) /
+                             static_cast<double>(fallback.selections);
+  }
+  r.publish_retries = stats_fault.publish_retries - stats_before.publish_retries;
+  r.retry_recoveries =
+      stats_fault.retry_recoveries - stats_before.retry_recoveries;
+  r.retries_exhausted =
+      stats_fault.retries_exhausted - stats_before.retries_exhausted;
+  r.lost_messages = stats_fault.lost_messages - stats_before.lost_messages;
+  r.blocked_publishes =
+      stats_fault.blocked_publishes - stats_before.blocked_publishes;
+  r.lookup_failovers =
+      stats_fault.lookup_failovers - stats_before.lookup_failovers;
+  r.fault_blocked_lookups =
+      stats_fault.fault_blocked_lookups - stats_before.fault_blocked_lookups;
+  r.replica_collapses =
+      stats_fault.replica_collapses - stats_before.replica_collapses;
+  r.lazy_deletions = stats_fault.lazy_deletions - stats_before.lazy_deletions;
+  r.lost_repairs = stats_fault.lost_repairs - stats_before.lost_repairs;
+  r.dropped_notifications = pubsub_fault.dropped_notifications -
+                            pubsub_before.dropped_notifications;
+  const std::uint64_t messages =
+      stats_fault.publish_messages - stats_before.publish_messages;
+  if (messages > r.publish_retries)
+    r.retry_amplification = static_cast<double>(messages) /
+                            static_cast<double>(messages - r.publish_retries);
+
+  // -- Heal + repair latency --------------------------------------------
+  system.faults().mutable_config().message_loss = 0.0;
+  system.faults().mutable_config().publish_loss = 0.0;
+  system.faults().heal_all_partitions();
+  system.faults().restart_all_hosts();
+
+  const sim::Time heal_at = system.events().now();
+  const double repair_cap_ms = 2.0 * config.map.ttl_ms;
+  r.repair_ms = repair_cap_ms;
+  while (system.events().now() - heal_at < repair_cap_ms) {
+    system.run_for(5'000.0);
+    const Probe check = probe_lookups(system, queries / 4 + 1, rng);
+    if (check.success_rate >= r.baseline.success_rate) {
+      r.repair_ms = system.events().now() - heal_at;
+      break;
+    }
+  }
+  r.healed = probe_lookups(system, queries, rng);
+
+  if (!system.maps().check_placement_invariant()) ++r.invariant_violations;
+  if (tc.assert_success && r.fault.success_rate < 0.95)
+    ++r.invariant_violations;
+  return r;
+}
+
+void write_json(const std::string& path, const net::Topology& topology,
+                std::size_t nodes, const std::vector<TrialResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"fault_sweep\",\n"
+      << "  \"seed\": " << bench::bench_seed() << ",\n"
+      << "  \"host_count\": " << topology.host_count() << ",\n"
+      << "  \"nodes\": " << nodes << ",\n"
+      << "  \"replicas\": " << util::env_int("REPLICAS", 3) << ",\n"
+      << "  \"retries\": " << util::env_int("RETRIES", 2) << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"message_loss\": " << r.config.message_loss
+        << ", \"publish_loss\": " << r.config.publish_loss
+        << ", \"partition_fraction\": " << r.config.partition_fraction
+        << ", \"crash_owner_per_zone\": "
+        << (r.config.crash_owner_per_zone ? "true" : "false")
+        << ", \"acceptance\": " << (r.config.assert_success ? "true" : "false")
+        << ", \"crashed_hosts\": " << r.crashed_hosts
+        << ", \"partitioned_stubs\": " << r.partitioned_stubs
+        << ", \"success_baseline\": " << r.baseline.success_rate
+        << ", \"success_fault\": " << r.fault.success_rate
+        << ", \"success_healed\": " << r.healed.success_rate
+        << ", \"stretch_baseline\": " << r.baseline.stretch
+        << ", \"stretch_fault\": " << r.fault.stretch
+        << ", \"stretch_healed\": " << r.healed.stretch
+        << ", \"joins_under_fault\": " << r.joins_under_fault
+        << ", \"fallback_rate\": " << r.fallback_rate
+        << ", \"random_fallback_rate\": " << r.random_fallback_rate
+        << ", \"retry_amplification\": " << r.retry_amplification
+        << ", \"publish_retries\": " << r.publish_retries
+        << ", \"retry_recoveries\": " << r.retry_recoveries
+        << ", \"retries_exhausted\": " << r.retries_exhausted
+        << ", \"lost_messages\": " << r.lost_messages
+        << ", \"blocked_publishes\": " << r.blocked_publishes
+        << ", \"lookup_failovers\": " << r.lookup_failovers
+        << ", \"fault_blocked_lookups\": " << r.fault_blocked_lookups
+        << ", \"replica_collapses\": " << r.replica_collapses
+        << ", \"lazy_deletions\": " << r.lazy_deletions
+        << ", \"lost_repairs\": " << r.lost_repairs
+        << ", \"dropped_notifications\": " << r.dropped_notifications
+        << ", \"repair_ms\": " << r.repair_ms
+        << ", \"invariant_violations\": " << r.invariant_violations << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto bench_timer = bench::print_preamble(
+      "Fault sweep: lookup success / stretch / fallback under loss, "
+      "partitions and crashed owners");
+
+  const std::uint64_t seed = bench::bench_seed();
+  util::Rng topo_rng(seed);
+  net::Topology topology = net::generate_transit_stub(
+      bench::full_scale() ? net::tsk_large() : net::tsk_small(), topo_rng);
+  net::assign_latencies(topology, net::LatencyModel::kManual, topo_rng);
+
+  const auto nodes = static_cast<std::size_t>(util::env_int("FAULT_NODES", 1024));
+
+  std::vector<TrialConfig> configs;
+  if (util::env_bool("FAULT_SMOKE")) {
+    configs.push_back(TrialConfig{0.1, 0.0, 0.25, true, false});
+  } else {
+    const std::vector<double> losses =
+        bench::full_scale() ? std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.3}
+                            : std::vector<double>{0.0, 0.1, 0.3};
+    const std::vector<double> partitions =
+        bench::full_scale() ? std::vector<double>{0.0, 0.1, 0.25}
+                            : std::vector<double>{0.0, 0.25};
+    for (const double loss : losses)
+      for (const double partition : partitions)
+        for (const bool crash : {false, true})
+          configs.push_back(TrialConfig{loss, 0.0, partition, crash, false});
+  }
+  // The acceptance scenario: 10% publish loss + one crashed map owner per
+  // level-1 zone must keep lookup success at or above 95%.
+  configs.push_back(TrialConfig{0.0, 0.1, 0.0, true, true});
+
+  std::printf("nodes=%zu replicas=%lld retries=%lld configs=%zu "
+              "(trials in parallel)\n",
+              nodes, static_cast<long long>(util::env_int("REPLICAS", 3)),
+              static_cast<long long>(util::env_int("RETRIES", 2)),
+              configs.size());
+
+  const auto results = bench::run_trials_parallel(
+      configs.size(), [&](std::size_t trial) {
+        return run_trial(topology, configs[trial], nodes,
+                         seed + 1000 * (trial + 1));
+      });
+
+  util::Table table({"loss", "pub loss", "part frac", "crash/zone",
+                     "success base", "success fault", "success healed",
+                     "stretch fault", "fallback", "retry amp", "repair s",
+                     "invariant"});
+  std::size_t total_violations = 0;
+  for (const auto& r : results) {
+    total_violations += r.invariant_violations;
+    table.add_row({util::Table::num(r.config.message_loss, 2),
+                   util::Table::num(r.config.publish_loss, 2),
+                   util::Table::num(r.config.partition_fraction, 2),
+                   r.config.crash_owner_per_zone ? "yes" : "no",
+                   util::Table::num(r.baseline.success_rate, 3),
+                   util::Table::num(r.fault.success_rate, 3),
+                   util::Table::num(r.healed.success_rate, 3),
+                   util::Table::num(r.fault.stretch, 3),
+                   util::Table::num(r.fallback_rate, 3),
+                   util::Table::num(r.retry_amplification, 3),
+                   util::Table::num(r.repair_ms / 1000.0, 0),
+                   r.invariant_violations == 0 ? "ok" : "VIOLATED"});
+  }
+  std::cout << table.to_string();
+
+  util::Table detail({"loss", "part frac", "crash/zone", "retries",
+                      "recovered", "exhausted", "failovers", "blocked fetch",
+                      "lazy del", "lost repairs", "dropped notif"});
+  for (const auto& r : results)
+    detail.add_row(
+        {util::Table::num(r.config.message_loss, 2),
+         util::Table::num(r.config.partition_fraction, 2),
+         r.config.crash_owner_per_zone ? "yes" : "no",
+         util::Table::integer(static_cast<long long>(r.publish_retries)),
+         util::Table::integer(static_cast<long long>(r.retry_recoveries)),
+         util::Table::integer(static_cast<long long>(r.retries_exhausted)),
+         util::Table::integer(static_cast<long long>(r.lookup_failovers)),
+         util::Table::integer(
+             static_cast<long long>(r.fault_blocked_lookups)),
+         util::Table::integer(static_cast<long long>(r.lazy_deletions)),
+         util::Table::integer(static_cast<long long>(r.lost_repairs)),
+         util::Table::integer(
+             static_cast<long long>(r.dropped_notifications))});
+  std::cout << detail.to_string();
+
+  write_json(util::env_string("BENCH_JSON", "BENCH_fault.json"), topology,
+             nodes, results);
+
+  std::cout << "\nReading: lookup success degrades smoothly with loss and\n"
+               "partitions instead of cliffing — retries recover lost\n"
+               "publishes, replicas absorb crashed owners, and joins that\n"
+               "cannot reach a map fall back to landmark-only selection\n"
+               "(fallback > 0, never a hard failure). After healing,\n"
+               "success returns to baseline within about one TTL.\n";
+  return total_violations == 0 ? 0 : 1;
+}

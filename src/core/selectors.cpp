@@ -35,16 +35,37 @@ overlay::NodeId OracleSelector::select(
   return best;
 }
 
+overlay::NodeId SoftStateSelector::landmark_only_pick(
+    overlay::NodeId for_node, const proximity::LandmarkVector& my_vector,
+    std::span<const overlay::NodeId> members) const {
+  overlay::NodeId best = overlay::kInvalidNode;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const overlay::NodeId member : members) {
+    if (member == for_node) continue;
+    const auto it = vectors_->find(member);
+    if (it == vectors_->end()) continue;
+    const double distance = proximity::vector_distance(it->second, my_vector);
+    if (distance < best_distance ||
+        (distance == best_distance && member < best)) {
+      best_distance = distance;
+      best = member;
+    }
+  }
+  return best;
+}
+
 overlay::NodeId SoftStateSelector::select(
     overlay::NodeId for_node, int level, const geom::Zone& cell,
     std::span<const overlay::NodeId> members) {
   TO_EXPECTS(!members.empty());
   last_ = SelectionInfo{};
+  ++fallback_stats_.selections;
 
   const auto vector_it = vectors_->find(for_node);
   if (vector_it == vectors_->end()) {
     // Node has not measured landmarks (bootstrap): random fallback.
     last_.fell_back_to_random = true;
+    ++fallback_stats_.random_fallbacks;
     last_.chosen = members[rng_.next_u64(members.size())];
     return last_.chosen;
   }
@@ -60,6 +81,9 @@ overlay::NodeId SoftStateSelector::select(
       maps_->lookup_entries(for_node, my_vector, level, coords, now(), &meta);
   last_.candidates = entries.size();
 
+  const net::HostId my_host = ecan_->node(for_node).host;
+  const bool gated = faults_ != nullptr && faults_->active();
+  bool fault_starved = meta.fault_blocked;
   overlay::NodeId best = overlay::kInvalidNode;
   double best_score = std::numeric_limits<double>::infinity();
   double best_distance = 0.0;
@@ -67,7 +91,17 @@ overlay::NodeId SoftStateSelector::select(
     if (last_.probes >= rtt_budget_) break;
     if (!ecan_->alive(entry.node)) {
       // Lazy deletion: found un-reachable after being handed out.
-      maps_->report_dead(meta.owner, entry.node);
+      maps_->report_dead(meta.owner, entry.node, now(), for_node);
+      continue;
+    }
+    if (gated && !faults_->reachable(my_host, entry.host)) {
+      // The probe cannot get through right now. A crash-stopped candidate
+      // is indistinguishable from a departed one — report it dead so the
+      // map heals lazily; a partitioned one is left alone (the partition
+      // heals, eviction would only blank the map).
+      fault_starved = true;
+      if (faults_->host_crashed(entry.host))
+        maps_->report_dead(meta.owner, entry.node, now(), for_node);
       continue;
     }
     const double rtt =
@@ -81,12 +115,30 @@ overlay::NodeId SoftStateSelector::select(
     }
   }
 
+  if (best == overlay::kInvalidNode && fault_starved) {
+    // Graceful degradation: the map is unreachable under faults, but the
+    // node still knows its own landmark vector and its zone members —
+    // fall back to pure landmark-clustering pre-selection (the paper's
+    // baseline) rather than a blind random pick. The join proceeds.
+    best = landmark_only_pick(for_node, my_vector, members);
+    if (best != overlay::kInvalidNode) {
+      last_.fell_back_to_landmark = true;
+      ++fallback_stats_.landmark_fallbacks;
+      last_.chosen = best;
+      last_.landmark_distance =
+          proximity::vector_distance(vectors_->at(best), my_vector);
+      return best;
+    }
+  }
   if (best == overlay::kInvalidNode) {
     // Empty or fully-stale map piece: the node has no information and
     // falls back to a random member, exactly like the baseline system.
     last_.fell_back_to_random = true;
+    ++fallback_stats_.random_fallbacks;
     best = members[rng_.next_u64(members.size())];
     best_distance = std::numeric_limits<double>::infinity();
+  } else {
+    ++fallback_stats_.map_backed;
   }
   last_.chosen = best;
   last_.landmark_distance = best_distance;

@@ -21,6 +21,7 @@
 #include "net/rtt_oracle.hpp"
 #include "overlay/selector.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "softstate/map_service.hpp"
 #include "util/rng.hpp"
 
@@ -65,6 +66,21 @@ struct SelectionInfo {
   std::size_t probes = 0;
   std::size_t candidates = 0;
   bool fell_back_to_random = false;
+  /// The map was unreachable under faults (fetch blocked, or every
+  /// candidate unreachable), so the selector degraded to landmark-only
+  /// pre-selection instead of a blind random pick.
+  bool fell_back_to_landmark = false;
+};
+
+/// Degradation-ladder accounting across a selector's lifetime: how many
+/// selections were map-backed vs. degraded, and to which rung.
+struct SelectorFallbackStats {
+  std::uint64_t selections = 0;
+  std::uint64_t map_backed = 0;
+  /// Landmark-only pre-selection (map unreachable under faults).
+  std::uint64_t landmark_fallbacks = 0;
+  /// Blind random pick (no landmark information either).
+  std::uint64_t random_fallbacks = 0;
 };
 
 class SoftStateSelector : public overlay::RepresentativeSelector {
@@ -90,6 +106,17 @@ class SoftStateSelector : public overlay::RepresentativeSelector {
   void set_rtt_budget(std::size_t budget) { rtt_budget_ = budget; }
   std::size_t rtt_budget() const { return rtt_budget_; }
 
+  /// Installs the shared fault plane: candidates on crashed/partitioned
+  /// hosts are treated as unreachable (crashed ones are lazily reported
+  /// dead), and a fault-blocked map fetch degrades to landmark-only
+  /// pre-selection instead of a random pick.
+  void set_fault_plane(const sim::FaultPlane* plane) { faults_ = plane; }
+
+  const SelectorFallbackStats& fallback_stats() const {
+    return fallback_stats_;
+  }
+  void reset_fallback_stats() { fallback_stats_ = {}; }
+
  protected:
   /// Score to minimize; the base class uses the probed RTT alone.
   virtual double score(const softstate::MapEntry& entry, double rtt_ms) const {
@@ -99,6 +126,12 @@ class SoftStateSelector : public overlay::RepresentativeSelector {
 
   sim::Time now() const { return clock_ == nullptr ? 0.0 : clock_->now(); }
 
+  /// The paper's own baseline, used as the degraded mode: the member
+  /// whose landmark vector is closest to `my_vector` (no map, no probes).
+  overlay::NodeId landmark_only_pick(
+      overlay::NodeId for_node, const proximity::LandmarkVector& my_vector,
+      std::span<const overlay::NodeId> members) const;
+
   overlay::EcanNetwork* ecan_;
   softstate::MapService* maps_;
   net::RttOracle* oracle_;
@@ -106,7 +139,9 @@ class SoftStateSelector : public overlay::RepresentativeSelector {
   std::size_t rtt_budget_;
   util::Rng rng_;
   const sim::EventQueue* clock_;
+  const sim::FaultPlane* faults_ = nullptr;
   SelectionInfo last_;
+  SelectorFallbackStats fallback_stats_;
 };
 
 /// Section 6: rank candidates by RTT inflated by their load; a node at

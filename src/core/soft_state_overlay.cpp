@@ -10,9 +10,20 @@ SoftStateOverlay::SoftStateOverlay(const net::Topology& topology,
       landmarks_(proximity::LandmarkSet::choose_random(
           topology, config.landmark_count, rng_, config.landmark)),
       ecan_(config.dims, config.max_level) {
+  // A zero fault seed derives from the system seed so each trial of a
+  // sweep gets an independent but reproducible fault stream.
+  if (config_.fault.seed == 0)
+    config_.fault.seed = config_.seed ^ 0xfa417b145eull;
+  faults_ = std::make_unique<sim::FaultPlane>(config_.fault);
+  faults_->bind_topology(&topology);
   maps_ = std::make_unique<softstate::MapService>(ecan_, landmarks_,
                                                   config.map);
+  maps_->set_fault_plane(faults_.get());
+  if (config_.retry.enabled())
+    maps_->set_retry(&events_, config_.retry,
+                     config_.seed ^ 0x7e7521ull);
   pubsub_ = std::make_unique<pubsub::PubSubService>(ecan_, *maps_);
+  pubsub_->set_fault_plane(faults_.get());
   pubsub_->set_handler(
       [this](overlay::NodeId subscriber, const pubsub::Notification& n) {
         on_notification(subscriber, n);
@@ -26,6 +37,7 @@ SoftStateOverlay::SoftStateOverlay(const net::Topology& topology,
         ecan_, *maps_, oracle_, vectors_, config_.rtt_budget, rng_.fork(),
         &events_);
   }
+  selector_->set_fault_plane(faults_.get());
 }
 
 overlay::NodeId SoftStateOverlay::join(net::HostId host) {
@@ -130,7 +142,17 @@ void SoftStateOverlay::crash(overlay::NodeId id) {
 
 overlay::RouteResult SoftStateOverlay::lookup(overlay::NodeId from,
                                               const geom::Point& key) {
-  return ecan_.route_ecan_repair(from, key, *selector_);
+  overlay::RouteResult route = ecan_.route_ecan_repair(from, key, *selector_);
+  // Application data travels the same links as everything else: a routed
+  // request still fails when the fault plane drops or blocks it.
+  if (route.success && faults_->active() &&
+      !faults_
+           ->message_via(sim::MessageKind::kData, route.path,
+                         [&](overlay::NodeId id) { return ecan_.node(id).host; })
+           .delivered()) {
+    route.success = false;
+  }
+  return route;
 }
 
 overlay::RouteResult SoftStateOverlay::put(overlay::NodeId from,

@@ -30,7 +30,9 @@
 #include "proximity/landmarks.hpp"
 #include "pubsub/pubsub.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "softstate/map_service.hpp"
+#include "util/retry_policy.hpp"
 #include "util/rng.hpp"
 
 namespace topo::core {
@@ -61,6 +63,17 @@ struct SystemConfig {
 
   int max_level = 14;
   std::uint64_t seed = 42;
+
+  /// Unified fault plane (message loss, crash-stops, stub partitions,
+  /// extra delay). All-zero by default: the plane stays inactive and every
+  /// code path is bit-identical to the fault-free system. `fault.seed` of 0
+  /// derives from `seed` so sweeps stay deterministic per trial.
+  sim::FaultConfig fault;
+
+  /// Bounded retry with exponential backoff for lost publish/lookup
+  /// messages, driven by the facade's event queue. Disabled by default
+  /// (max_attempts = 1).
+  util::RetryPolicy retry;
 
   /// Latency backend for the oracle (see net/rtt_engine.hpp). Defaults to
   /// the RTT_ENGINE env var; kAuto picks the hierarchical engine whenever
@@ -145,6 +158,10 @@ class SoftStateOverlay {
   net::RttOracle& oracle() { return oracle_; }
   const proximity::LandmarkSet& landmarks() const { return landmarks_; }
   sim::EventQueue& events() { return events_; }
+  /// The shared fault plane: crash/restart hosts and partition stubs here;
+  /// every map, pub/sub, and data message consults it.
+  sim::FaultPlane& faults() { return *faults_; }
+  const sim::FaultPlane& faults() const { return *faults_; }
   SoftStateSelector& selector() { return *selector_; }
   const VectorStore& vectors() const { return vectors_; }
   const SystemConfig& config() const { return config_; }
@@ -162,6 +179,7 @@ class SoftStateOverlay {
   net::RttOracle oracle_;
   proximity::LandmarkSet landmarks_;
   overlay::EcanNetwork ecan_;
+  std::unique_ptr<sim::FaultPlane> faults_;
   std::unique_ptr<softstate::MapService> maps_;
   std::unique_ptr<pubsub::PubSubService> pubsub_;
   sim::EventQueue events_;

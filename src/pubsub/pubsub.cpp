@@ -48,6 +48,19 @@ void PubSubService::deliver(overlay::NodeId from,
     const overlay::RouteResult route = ecan_->route_ecan(
         from, ecan_->node(subscription.subscriber).zone.center());
     stats_.route_hops += route.hops();
+    if (fault_plane_ != nullptr && fault_plane_->active() &&
+        !route.path.empty()) {
+      const auto verdict = fault_plane_->message_via(
+          sim::MessageKind::kNotify, route.path,
+          [&](overlay::NodeId id) { return ecan_->node(id).host; });
+      if (!verdict.delivered()) {
+        // A missed notification is not an error in the soft-state model:
+        // the subscriber keeps its current neighbor until the next
+        // publish or its own periodic re-selection.
+        ++stats_.dropped_notifications;
+        return;
+      }
+    }
   }
   ++stats_.notifications;
   if (handler_) handler_(subscription.subscriber, notification);

@@ -67,6 +67,9 @@ struct PubSubStats {
   std::uint64_t notifications = 0;
   std::uint64_t route_hops = 0;
   std::uint64_t predicate_evaluations = 0;
+  /// Notifications the fault plane dropped en route to the subscriber
+  /// (the subscriber simply re-selects later — soft state absorbs it).
+  std::uint64_t dropped_notifications = 0;
 };
 
 class PubSubService {
@@ -91,6 +94,10 @@ class PubSubService {
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Installs the shared fault plane: notifications become kNotify
+  /// messages subject to loss/crash/partition along their routed path.
+  void set_fault_plane(sim::FaultPlane* plane) { fault_plane_ = plane; }
+
   /// Called by the departure protocol (proactive update): notifies every
   /// subscriber watching `departed` and forgets the node in every
   /// new-node watch, so a leave-then-rejoin retriggers kNewNode.
@@ -108,6 +115,7 @@ class PubSubService {
 
   overlay::EcanNetwork* ecan_;
   softstate::MapService* maps_;
+  sim::FaultPlane* fault_plane_ = nullptr;
   Handler handler_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
   // Which nodes each new-node watch has already seen. Departed nodes are

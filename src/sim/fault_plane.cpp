@@ -1,0 +1,101 @@
+#include "sim/fault_plane.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace topo::sim {
+
+const char* message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPublish: return "publish";
+    case MessageKind::kLookup: return "lookup";
+    case MessageKind::kNotify: return "notify";
+    case MessageKind::kRepair: return "repair";
+    case MessageKind::kData: return "data";
+  }
+  return "unknown";
+}
+
+void FaultPlane::bind_topology(const net::Topology* topology) {
+  topology_ = topology;
+  stub_count_ = 0;
+  slow_stub_.clear();
+  if (topology_ == nullptr) return;
+  for (net::HostId h = 0; h < topology_->host_count(); ++h) {
+    const std::int32_t stub = topology_->host(h).stub_domain;
+    if (stub >= 0)
+      stub_count_ = std::max(stub_count_, static_cast<std::size_t>(stub) + 1);
+  }
+  if (config_.slow_stub_fraction > 0.0) {
+    // Dedicated RNG stream so marking slow stubs does not shift the
+    // per-message loss draws (the verdict sequence for a given seed must
+    // not depend on whether delay is also configured).
+    util::Rng slow_rng(config_.seed ^ 0x510b510b510b510bull);
+    slow_stub_.assign(stub_count_, false);
+    for (std::size_t s = 0; s < stub_count_; ++s)
+      slow_stub_[s] = slow_rng.next_bool(config_.slow_stub_fraction);
+  }
+}
+
+void FaultPlane::partition_stub(std::int32_t stub) {
+  TO_EXPECTS(stub >= 0);
+  TO_EXPECTS(topology_ != nullptr);
+  TO_EXPECTS(static_cast<std::size_t>(stub) < stub_count_);
+  partitioned_stubs_.insert(stub);
+}
+
+std::vector<std::int32_t> FaultPlane::partition_stub_fraction(
+    double fraction) {
+  TO_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  TO_EXPECTS(topology_ != nullptr);
+  std::vector<std::int32_t> stubs(stub_count_);
+  std::iota(stubs.begin(), stubs.end(), 0);
+  rng_.shuffle(stubs);
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(stub_count_) + 0.5);
+  stubs.resize(std::min(count, stubs.size()));
+  for (const std::int32_t stub : stubs) partitioned_stubs_.insert(stub);
+  return stubs;
+}
+
+Verdict FaultPlane::block_(DeliveryOutcome outcome, MessageKind kind) {
+  Verdict verdict;
+  verdict.outcome = outcome;
+  if (outcome == DeliveryOutcome::kCrashBlocked) ++stats_.crash_blocked;
+  if (outcome == DeliveryOutcome::kPartitionBlocked) ++stats_.partition_blocked;
+  if (outcome == DeliveryOutcome::kLost) ++stats_.lost;
+  ++stats_.dropped_by_kind[static_cast<std::size_t>(kind)];
+  return verdict;
+}
+
+Verdict FaultPlane::finish_(MessageKind kind, net::HostId from,
+                            net::HostId to) {
+  double loss = config_.message_loss;
+  if (kind == MessageKind::kPublish) loss += config_.publish_loss;
+  if (loss > 0.0 && rng_.next_bool(std::min(loss, 1.0)))
+    return block_(DeliveryOutcome::kLost, kind);
+
+  Verdict verdict;
+  double delay = config_.extra_delay_ms;
+  if (config_.stub_delay_ms > 0.0 && !slow_stub_.empty() &&
+      (stub_slow(stub_of(from)) || stub_slow(stub_of(to))))
+    delay += config_.stub_delay_ms;
+  if (delay > 0.0) {
+    verdict.delay_ms = delay;
+    ++stats_.delayed;
+    stats_.added_delay_ms += delay;
+  }
+  return verdict;
+}
+
+Verdict FaultPlane::message(MessageKind kind, net::HostId from,
+                            net::HostId to) {
+  ++stats_.messages;
+  if (host_crashed(from) || host_crashed(to))
+    return block_(DeliveryOutcome::kCrashBlocked, kind);
+  if (partitioned(from, to))
+    return block_(DeliveryOutcome::kPartitionBlocked, kind);
+  return finish_(kind, from, to);
+}
+
+}  // namespace topo::sim

@@ -35,6 +35,12 @@ ChordMapStore* ChordMapService::find_store(overlay::NodeId node) {
   return it == stores_.end() ? nullptr : &it->second;
 }
 
+sim::Verdict ChordMapService::gate_path_(
+    sim::MessageKind kind, const std::vector<overlay::NodeId>& path) {
+  return fault_plane_->message_via(
+      kind, path, [&](overlay::NodeId id) { return chord_->node(id).host; });
+}
+
 std::size_t ChordMapService::publish(overlay::NodeId node,
                                      const proximity::LandmarkVector& vector,
                                      sim::Time now) {
@@ -43,9 +49,25 @@ std::size_t ChordMapService::publish(overlay::NodeId node,
   const overlay::ChordId key = key_of(number);
   const overlay::RouteResult route = chord_->route(node, key);
   ++stats_.publishes;
-  if (!route.success) return route.hops();
+  if (!route.success) {
+    // Routing failure is its own bucket, never conflated with injected
+    // loss (same split as the eCAN backend).
+    ++stats_.failed_routes;
+    return route.hops();
+  }
   stats_.route_hops += route.hops();
   const overlay::NodeId owner = route.path.back();
+  if (plane_active_()) {
+    const sim::Verdict verdict =
+        gate_path_(sim::MessageKind::kPublish, route.path);
+    if (!verdict.delivered()) {
+      if (verdict.retryable())
+        ++stats_.lost_messages;
+      else
+        ++stats_.blocked_messages;
+      return route.hops();
+    }
+  }
 
   ChordMapEntry entry;
   entry.node = node;
@@ -74,6 +96,13 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
     return {};
   }
   local_meta.owner = route.path.back();
+  const bool gated = plane_active_();
+  if (gated &&
+      !gate_path_(sim::MessageKind::kLookup, route.path).delivered()) {
+    ++stats_.fault_blocked_lookups;
+    if (meta != nullptr) *meta = local_meta;
+    return {};
+  }
 
   std::vector<const ChordMapEntry*> found;
   auto collect = [&](overlay::NodeId owner) {
@@ -87,6 +116,7 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
   collect(local_meta.owner);
   // Successor walk while the content is too thin (Table 1's TTL idea on
   // the ring: adjacent owners hold the adjacent landmark-number ranges).
+  const net::HostId querier_host = chord_->node(querier).host;
   overlay::NodeId cursor = local_meta.owner;
   for (int step = 0;
        step < config_.walk_ttl && found.size() < config_.min_candidates;
@@ -96,6 +126,12 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
     ++local_meta.owners_visited;
     ++local_meta.route_hops;
     ++stats_.route_hops;
+    // Each walk step is one more message from the querier; an owner the
+    // fault plane cuts off just contributes nothing this round.
+    if (gated && !fault_plane_->deliver(sim::MessageKind::kLookup,
+                                        querier_host,
+                                        chord_->node(cursor).host))
+      continue;
     collect(cursor);
   }
 
@@ -131,10 +167,21 @@ void ChordMapService::remove_everywhere(overlay::NodeId node) {
 }
 
 void ChordMapService::report_dead(overlay::NodeId owner,
-                                  overlay::NodeId dead) {
+                                  overlay::NodeId dead,
+                                  sim::Time reported_at,
+                                  overlay::NodeId reporter) {
+  if (reporter != overlay::kInvalidNode && plane_active_() &&
+      !fault_plane_->deliver(sim::MessageKind::kRepair,
+                             chord_->node(reporter).host,
+                             chord_->node(owner).host)) {
+    ++stats_.lost_repairs;
+    return;
+  }
   ChordMapStore* store = find_store(owner);
   if (store == nullptr) return;
-  stats_.lazy_deletions += store->erase_node(dead);
+  // Freshness guard: records republished after the reporter's failed
+  // probe survive a delayed "dead" report.
+  stats_.lazy_deletions += store->erase_node_before(dead, reported_at);
 }
 
 std::size_t ChordMapService::expire_before(sim::Time now) {

@@ -19,9 +19,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <limits>
+
 #include "overlay/chord.hpp"
 #include "proximity/landmarks.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "softstate/indexed_store.hpp"
 
 namespace topo::softstate {
@@ -55,6 +58,13 @@ struct ChordMapStats {
   std::uint64_t route_hops = 0;
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
+  /// Same accounting split as the eCAN backend (MapServiceStats): ring
+  /// routing failures vs. fault-plane loss vs. crash/partition blocks.
+  std::uint64_t failed_routes = 0;
+  std::uint64_t lost_messages = 0;
+  std::uint64_t blocked_messages = 0;
+  std::uint64_t fault_blocked_lookups = 0;
+  std::uint64_t lost_repairs = 0;
 };
 
 /// Store-description traits for the Chord backend: one record per node per
@@ -109,8 +119,19 @@ class ChordMapService {
       sim::Time now, ChordLookupMeta* meta = nullptr);
 
   void remove_everywhere(overlay::NodeId node);
-  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+  /// Lazy repair with the same freshness guard as the eCAN backend: only
+  /// records published at or before `reported_at` are evicted, and when a
+  /// `reporter` is given the report is a kRepair message under the fault
+  /// plane.
+  void report_dead(
+      overlay::NodeId owner, overlay::NodeId dead,
+      sim::Time reported_at = std::numeric_limits<sim::Time>::infinity(),
+      overlay::NodeId reporter = overlay::kInvalidNode);
   std::size_t expire_before(sim::Time now);
+
+  /// Installs the shared fault plane (nullptr detaches); publish and
+  /// lookup messages consult it before being considered delivered.
+  void set_fault_plane(sim::FaultPlane* plane) { fault_plane_ = plane; }
 
   /// Moves the departed/departing owner's records to the current successor
   /// of each record's key. Call after the node left the ring.
@@ -135,8 +156,16 @@ class ChordMapService {
   const ChordMapStore* find_store(overlay::NodeId node) const;
   ChordMapStore* find_store(overlay::NodeId node);
 
+  /// Fault verdict for a message along `path` (plane_active() only).
+  sim::Verdict gate_path_(sim::MessageKind kind,
+                          const std::vector<overlay::NodeId>& path);
+  bool plane_active_() const {
+    return fault_plane_ != nullptr && fault_plane_->active();
+  }
+
   overlay::ChordNetwork* chord_;
   const proximity::LandmarkSet* landmarks_;
+  sim::FaultPlane* fault_plane_ = nullptr;
   ChordMapConfig config_;
   std::unordered_map<overlay::NodeId, ChordMapStore> stores_;
   ChordMapStats stats_;

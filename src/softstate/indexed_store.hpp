@@ -143,6 +143,23 @@ class IndexedStore {
     return erased;
   }
 
+  /// Variant of erase_node with a freshness cutoff: only records with
+  /// published_at <= cutoff are removed, so a record republished after
+  /// the reporter observed the failure survives a delayed "dead" report.
+  /// erase_node_before(node, +inf) == erase_node(node).
+  std::size_t erase_node_before(overlay::NodeId node, sim::Time cutoff) {
+    const auto it = by_node_.find(node);
+    if (it == by_node_.end()) return 0;
+    // Collect first: erase_slot relinks the chain being walked.
+    std::vector<std::uint32_t> victims;
+    for (std::uint32_t slot_id = it->second; slot_id != kNullSlot;
+         slot_id = slots_[slot_id].next_same_node)
+      if (traits_.published_at(slots_[slot_id].entry) <= cutoff)
+        victims.push_back(slot_id);
+    for (const std::uint32_t slot_id : victims) erase_slot(slot_id, true);
+    return victims.size();
+  }
+
   /// Drops entries with expires_at <= now; returns the number dropped.
   /// A sweep that drops nothing is O(1) (heap-top peek); one that drops k
   /// entries costs O(k · log + store) — the expired slots are unlinked

@@ -60,6 +60,15 @@ class LinearStoreRef {
     return before - entries_.size();
   }
 
+  /// Freshness-guarded erase_node twin (see indexed_store.hpp).
+  std::size_t erase_node_before(overlay::NodeId node, sim::Time cutoff) {
+    const std::size_t before = entries_.size();
+    std::erase_if(entries_, [&](const Entry& e) {
+      return traits_.node(e) == node && traits_.published_at(e) <= cutoff;
+    });
+    return before - entries_.size();
+  }
+
   std::size_t expire_before(sim::Time now) {
     const std::size_t before = entries_.size();
     std::erase_if(entries_, [&](const Entry& e) {

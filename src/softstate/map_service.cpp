@@ -29,14 +29,30 @@ BasicMapService<Store>::BasicMapService(overlay::EcanNetwork& ecan,
 template <typename Store>
 geom::Point BasicMapService<Store>::map_position(
     const util::BigUint& landmark_number, int level,
-    std::span<const std::uint32_t> cell) const {
+    std::span<const std::uint32_t> cell, int replica) const {
+  TO_EXPECTS(replica >= 0 && replica < std::max(1, config_.replicas));
   const auto dims = ecan_->dims();
 
   // Coarsen the landmark number to the map curve's resolution; taking the
   // top bits preserves the ordering (and thus locality) of the 1-d key.
-  const std::uint64_t key64 = landmark_number.top_bits(
+  std::uint64_t key64 = landmark_number.top_bits(
       landmarks_->number_bits(),
       map_curve_.index_bits() > 64 ? 64 : map_curve_.index_bits());
+
+  if (replica > 0) {
+    // Replica r lives on a copy of the curve shifted by r * stride: every
+    // replica's sub-map preserves curve adjacency (mod one wrap point), so
+    // a replica lookup keyed the same way keeps its locality — while the
+    // even stride pushes the copies toward different owners of the map
+    // region. Curve length is a power of two (<= 58 index bits), so the
+    // wrap is a mask.
+    const int bits = std::min(map_curve_.index_bits(), 64);
+    const std::uint64_t cells = 1ull << bits;
+    const std::uint64_t stride = std::max<std::uint64_t>(
+        1, cells / static_cast<std::uint64_t>(config_.replicas));
+    key64 = (key64 + stride * static_cast<std::uint64_t>(replica)) &
+            (cells - 1);
+  }
 
   std::array<std::uint32_t, geom::Point::kMaxDims> coords{};
   double side_factor = map_side_factor_;
@@ -154,6 +170,65 @@ std::size_t BasicMapService<Store>::publish(
 }
 
 template <typename Store>
+sim::Verdict BasicMapService<Store>::gate_route(sim::MessageKind kind) {
+  return fault_plane_->message_via(
+      kind, route_scratch_.path,
+      [&](overlay::NodeId id) { return ecan_->node(id).host; });
+}
+
+template <typename Store>
+typename BasicMapService<Store>::PublishSend
+BasicMapService<Store>::send_publish_message(
+    overlay::NodeId node, const proximity::LandmarkVector& vector,
+    const util::BigUint& number, sim::Time now, double load, double capacity,
+    int level, std::span<const std::uint32_t> cell, int replica,
+    std::size_t& hops, std::span<const overlay::NodeId> placed_owners,
+    overlay::NodeId* delivered_owner) {
+  const geom::Point position = map_position(number, level, cell, replica);
+  if (!route_to(node, position)) {
+    // Unreachable owner: the entry is lost until the next republish
+    // (soft state) — but account it, unlike injected message loss.
+    ++stats_.failed_routes;
+    return PublishSend::kRouteFailed;
+  }
+  hops += route_scratch_.path.size() - 1;
+  const overlay::NodeId owner = route_scratch_.path.back();
+  if (std::find(placed_owners.begin(), placed_owners.end(), owner) !=
+      placed_owners.end()) {
+    // A condensed map often puts curve-adjacent keys on one owner; a
+    // second copy there adds nothing, so the sender suppresses it once
+    // routing discovers the collision (the routing hops are still paid).
+    ++stats_.replica_collapses;
+    return PublishSend::kCollapsed;
+  }
+  ++stats_.publish_messages;
+  if (plane_active()) {
+    const sim::Verdict verdict = gate_route(sim::MessageKind::kPublish);
+    if (!verdict.delivered()) {
+      if (verdict.retryable()) {
+        ++stats_.lost_messages;  // dropped en route: republish refills it
+        return PublishSend::kLost;
+      }
+      ++stats_.blocked_publishes;
+      return PublishSend::kBlocked;
+    }
+  }
+  MapEntry entry;
+  entry.node = node;
+  entry.host = ecan_->node(node).host;
+  entry.vector = vector;
+  entry.landmark_number = number;
+  entry.load = load;
+  entry.capacity = capacity;
+  entry.published_at = now;
+  entry.expires_at = now + config_.ttl_ms;
+  place_entry(owner, StoredEntry{std::move(entry), level,
+                                 ecan_->pack_cell(level, cell), position});
+  if (delivered_owner != nullptr) *delivered_owner = owner;
+  return PublishSend::kDelivered;
+}
+
+template <typename Store>
 std::size_t BasicMapService<Store>::publish(
     overlay::NodeId node, const proximity::LandmarkVector& vector,
     const util::BigUint& number, sim::Time now, double load,
@@ -161,6 +236,7 @@ std::size_t BasicMapService<Store>::publish(
   TO_EXPECTS(ecan_->alive(node));
   std::size_t hops = 0;
   const int levels = ecan_->node_level(node);
+  const int replicas = std::max(1, config_.replicas);
   std::array<std::uint32_t, geom::Point::kMaxDims> cell_buf{};
   const std::span<std::uint32_t> cell_span(cell_buf.data(), ecan_->dims());
   for (int h = 1; h <= levels; ++h) {
@@ -174,34 +250,73 @@ std::size_t BasicMapService<Store>::publish(
       ecan_->cell_of_node_into(node, h, cell_span);
       cell = cell_span;
     }
-    const geom::Point position = map_position(number, h, cell);
-    if (!route_to(node, position)) {
-      // Unreachable owner: the entry is lost until the next republish
-      // (soft state) — but account it, unlike injected message loss.
-      ++stats_.failed_routes;
-      continue;
+    std::array<overlay::NodeId, static_cast<std::size_t>(kMaxReplicas)>
+        placed{};
+    std::size_t placed_count = 0;
+    for (int r = 0; r < replicas; ++r) {
+      overlay::NodeId owner = overlay::kInvalidNode;
+      const PublishSend sent = send_publish_message(
+          node, vector, number, now, load, capacity, h, cell, r, hops,
+          std::span<const overlay::NodeId>(placed.data(), placed_count),
+          &owner);
+      if (sent == PublishSend::kDelivered)
+        placed[placed_count++] = owner;
+      else if (sent == PublishSend::kLost && retry_.enabled())
+        schedule_publish_retry(node, vector, number, load, capacity, h, r,
+                               1);
     }
-    hops += route_scratch_.path.size() - 1;
-    if (publish_loss_ > 0.0 && fault_rng_.next_bool(publish_loss_)) {
-      ++stats_.lost_messages;  // dropped en route: the republish refills it
-      continue;
-    }
-    MapEntry entry;
-    entry.node = node;
-    entry.host = ecan_->node(node).host;
-    entry.vector = vector;
-    entry.landmark_number = number;
-    entry.load = load;
-    entry.capacity = capacity;
-    entry.published_at = now;
-    entry.expires_at = now + config_.ttl_ms;
-    place_entry(route_scratch_.path.back(),
-                StoredEntry{std::move(entry), h, ecan_->pack_cell(h, cell),
-                            position});
   }
   ++stats_.publishes;
   stats_.route_hops += hops;
   return hops;
+}
+
+template <typename Store>
+void BasicMapService<Store>::schedule_publish_retry(
+    overlay::NodeId node, proximity::LandmarkVector vector,
+    util::BigUint number, double load, double capacity, int level,
+    int replica, int attempt) {
+  if (retry_queue_ == nullptr) return;
+  if (attempt > retry_.retries()) {
+    ++stats_.retries_exhausted;
+    return;
+  }
+  const double delay = retry_.delay_ms(attempt, retry_rng_);
+  retry_queue_->schedule_in(
+      delay, [this, node, vector = std::move(vector),
+              number = std::move(number), load, capacity, level, replica,
+              attempt] {
+        retry_publish_message(node, vector, number, load, capacity, level,
+                              replica, attempt);
+      });
+}
+
+template <typename Store>
+void BasicMapService<Store>::retry_publish_message(
+    overlay::NodeId node, const proximity::LandmarkVector& vector,
+    const util::BigUint& number, double load, double capacity, int level,
+    int replica, int attempt) {
+  // The world may have moved while the retry waited: a departed publisher
+  // or a shrunken zone makes the pending message moot (the periodic
+  // republish owns recovery from here).
+  if (!ecan_->alive(node)) return;
+  if (level > ecan_->node_level(node)) return;
+  std::array<std::uint32_t, geom::Point::kMaxDims> cell_buf{};
+  const std::span<std::uint32_t> cell_span(cell_buf.data(), ecan_->dims());
+  ecan_->cell_of_node_into(node, level, cell_span);
+  ++stats_.publish_retries;
+  std::size_t hops = 0;
+  const PublishSend sent = send_publish_message(
+      node, vector, number, retry_queue_->now(), load, capacity, level,
+      cell_span, replica, hops);
+  stats_.route_hops += hops;
+  if (sent == PublishSend::kDelivered) {
+    ++stats_.retry_recoveries;
+    return;
+  }
+  if (sent == PublishSend::kLost)
+    schedule_publish_retry(node, vector, number, load, capacity, level,
+                           replica, attempt + 1);
 }
 
 template <typename Store>
@@ -246,19 +361,71 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
     std::span<const std::uint32_t> cell, sim::Time now,
     std::vector<MapEntry>& out, LookupResult* meta) {
   TO_EXPECTS(ecan_->alive(querier));
-  const geom::Point position = map_position(number, level, cell);
   const std::uint64_t cell_key = ecan_->pack_cell(level, cell);
+  const bool gated = plane_active();
+  const int replicas = std::max(1, config_.replicas);
 
-  const bool routed = route_to(querier, position);
+  // Quorum-less first-success read: fetch from the primary position, fail
+  // over replica-by-replica when the fetch dies (overlay routing failure,
+  // crashed owner, partition, or loss that outlives the inline retry
+  // budget). With replicas == 1 and no fault plane this collapses to the
+  // single routed fetch of the original protocol.
   LookupResult result;
-  result.route_hops = route_scratch_.path.size() - 1;
-  if (!routed) {
+  std::array<overlay::NodeId, static_cast<std::size_t>(kMaxReplicas)>
+      tried{};
+  std::size_t tried_count = 0;
+  bool fetched = false;
+  for (int r = 0; r < replicas && !fetched; ++r) {
+    const geom::Point position = map_position(number, level, cell, r);
+    const bool routed = route_to(querier, position);
+    result.route_hops += route_scratch_.path.size() - 1;
+    ++result.replicas_tried;
+    if (!routed) continue;
+    const overlay::NodeId owner = route_scratch_.path.back();
+    // A further replica that routes to an owner we already failed to
+    // fetch from cannot do better under a crash/partition block; skip it
+    // without spending a message.
+    if (std::find(tried.begin(), tried.begin() + tried_count, owner) !=
+        tried.begin() + tried_count)
+      continue;
+    tried[tried_count++] = owner;
+    if (r > 0) ++stats_.lookup_failovers;
+    if (!gated) {
+      ++result.attempts;
+      ++stats_.lookup_attempts;
+      result.owner = owner;
+      fetched = true;
+      break;
+    }
+    // Inline bounded retry: loss is transient, so re-try this owner up to
+    // the policy budget before failing over; crash/partition verdicts
+    // fail over immediately.
+    for (int retry_num = 0;; ++retry_num) {
+      ++result.attempts;
+      ++stats_.lookup_attempts;
+      const sim::Verdict verdict = gate_route(sim::MessageKind::kLookup);
+      if (verdict.delivered()) {
+        result.owner = owner;
+        result.backoff_ms += verdict.delay_ms;
+        fetched = true;
+        break;
+      }
+      if (!verdict.retryable() || retry_num >= retry_.retries()) break;
+      ++stats_.lookup_retries;
+      result.backoff_ms += retry_.delay_ms(retry_num + 1, retry_rng_);
+    }
+  }
+  if (!fetched) {
+    if (gated) {
+      result.fault_blocked = true;
+      ++stats_.fault_blocked_lookups;
+    }
     ++stats_.lookups;
     stats_.route_hops += result.route_hops;
     if (meta != nullptr) *meta = result;
     return 0;
   }
-  result.owner = route_scratch_.path.back();
+  const net::HostId querier_host = ecan_->node(querier).host;
 
   std::size_t count = 0;
   if constexpr (Store::kReferenceCostModel) {
@@ -284,6 +451,10 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
         for (const overlay::NodeId nb : next_ring) {
           ++result.pieces_visited;
           ++result.route_hops;  // one overlay message per piece visited
+          if (gated && !fault_plane_->deliver(sim::MessageKind::kLookup,
+                                              querier_host,
+                                              ecan_->node(nb).host))
+            continue;  // that piece stays unread this round
           collect_from(nb, cell_key, now, found);
         }
         ring = std::move(next_ring);
@@ -350,6 +521,10 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
         for (const overlay::NodeId nb : *next_ring) {
           ++result.pieces_visited;
           ++result.route_hops;  // one overlay message per piece visited
+          if (gated && !fault_plane_->deliver(sim::MessageKind::kLookup,
+                                              querier_host,
+                                              ecan_->node(nb).host))
+            continue;  // that piece stays unread this round
           collect_from(nb, cell_key, now, found_scratch_);
         }
         std::swap(ring, next_ring);
@@ -426,10 +601,24 @@ void BasicMapService<Store>::remove_everywhere(overlay::NodeId node) {
 
 template <typename Store>
 void BasicMapService<Store>::report_dead(overlay::NodeId owner,
-                                         overlay::NodeId dead) {
+                                         overlay::NodeId dead,
+                                         sim::Time reported_at,
+                                         overlay::NodeId reporter) {
+  if (reporter != overlay::kInvalidNode && plane_active()) {
+    // The report is itself a message, requester -> owner.
+    if (!fault_plane_->deliver(sim::MessageKind::kRepair,
+                               ecan_->node(reporter).host,
+                               ecan_->node(owner).host)) {
+      ++stats_.lost_repairs;
+      return;
+    }
+  }
   Store* store = find_store(owner);
   if (store == nullptr) return;
-  stats_.lazy_deletions += store->erase_node(dead);
+  // Freshness guard: only evict records published at or before the time
+  // the reporter observed the failure — a record the node re-published
+  // after recovering outlives the stale report.
+  stats_.lazy_deletions += store->erase_node_before(dead, reported_at);
 }
 
 template <typename Store>

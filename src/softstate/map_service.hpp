@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <unordered_map>
@@ -34,9 +36,12 @@
 #include "overlay/ecan.hpp"
 #include "proximity/landmarks.hpp"
 #include "proximity/nn_search.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "softstate/indexed_store.hpp"
 #include "softstate/linear_store_ref.hpp"
 #include "softstate/map_entry.hpp"
+#include "util/retry_policy.hpp"
 #include "util/rng.hpp"
 
 namespace topo::softstate {
@@ -70,7 +75,18 @@ struct MapConfig {
   /// way (tested); this knob exists so the equivalence tests and the scale
   /// bench's seed-comparison mode can reproduce pre-indexed-store costs.
   bool use_reference_router = false;
+  /// Copies of each map entry, stored at curve-shifted positions inside
+  /// the map region (replica r shifts the entry's curve key by
+  /// r * cells / replicas, so each copy preserves curve locality). A
+  /// lookup reads the primary and fails over replica-by-replica
+  /// (quorum-less first success), so one crashed owner no longer blanks a
+  /// map region. 1 (the default) reproduces the single-copy protocol
+  /// bit-for-bit.
+  int replicas = 1;
 };
+
+/// Upper bound on MapConfig::replicas (fixed-size scratch on hot paths).
+inline constexpr int kMaxReplicas = 8;
 
 struct LookupResult {
   /// Candidate records, sorted by landmark-vector distance to the querier.
@@ -79,6 +95,19 @@ struct LookupResult {
   overlay::NodeId owner = overlay::kInvalidNode;
   std::size_t route_hops = 0;
   std::size_t pieces_visited = 1;
+  /// Fetch messages actually sent (replica failovers + inline retries).
+  std::size_t attempts = 0;
+  /// Replica positions routed to (>= 1 once any route was attempted).
+  std::size_t replicas_tried = 0;
+  /// Every fetch attempt died under the fault plane (loss after retries,
+  /// crashed owners, or the querier partitioned from the map zone). The
+  /// selector uses this to fall back to landmark-only pre-selection
+  /// instead of a blind random pick.
+  bool fault_blocked = false;
+  /// Simulated backoff the inline lookup retries would have waited, plus
+  /// fault-plane delivery delay (virtual cost accounting; the lookup call
+  /// itself is synchronous).
+  double backoff_ms = 0.0;
 };
 
 struct MapServiceStats {
@@ -87,7 +116,9 @@ struct MapServiceStats {
   std::uint64_t route_hops = 0;     // publish + lookup messages
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
-  std::uint64_t lost_messages = 0;  // fault injection (see inject_faults)
+  /// Publish messages dropped by the fault plane's loss draw (transient
+  /// loss only; see blocked_publishes for crash/partition blocks).
+  std::uint64_t lost_messages = 0;
   /// Publish messages whose overlay route never reached the map owner
   /// (distinct from lost_messages so fault-injection experiments can tell
   /// routing loss from injected loss).
@@ -96,6 +127,37 @@ struct MapServiceStats {
   /// (counts every replay attempt, including ones place_entry drops as
   /// stale against an already-landed republish).
   std::uint64_t rehomed_entries = 0;
+
+  // -- Fault-plane / hardening accounting --------------------------------
+
+  /// Publish messages attempted (per level, per replica, per retry).
+  /// publish_messages - publish_retries is the first-attempt count, so
+  /// retry amplification = publish_messages / (publish_messages -
+  /// publish_retries).
+  std::uint64_t publish_messages = 0;
+  /// Publish messages blocked by a crash-stop or partition (not
+  /// retryable; the next republish or a heal recovers them).
+  std::uint64_t blocked_publishes = 0;
+  /// Re-sent publish messages (scheduled on the EventQueue by the retry
+  /// policy after a transient loss).
+  std::uint64_t publish_retries = 0;
+  /// Publish retries that eventually delivered the entry.
+  std::uint64_t retry_recoveries = 0;
+  /// Publish retry chains abandoned with the message still undelivered.
+  std::uint64_t retries_exhausted = 0;
+  /// Replica copies suppressed because routing landed them on an owner
+  /// that already received this publish round's copy.
+  std::uint64_t replica_collapses = 0;
+  /// Lookup fetch messages attempted (failovers + inline retries).
+  std::uint64_t lookup_attempts = 0;
+  /// Inline lookup re-sends after a transient loss verdict.
+  std::uint64_t lookup_retries = 0;
+  /// Lookup fetches that failed over to a further replica position.
+  std::uint64_t lookup_failovers = 0;
+  /// Lookups whose every fetch attempt died under the fault plane.
+  std::uint64_t fault_blocked_lookups = 0;
+  /// Lazy-repair "dead" reports dropped by the fault plane en route.
+  std::uint64_t lost_repairs = 0;
 };
 
 /// Store-description traits for the eCAN map backends (see
@@ -157,10 +219,15 @@ class BasicMapService {
   /// Hilbert curve at construction and must not be changed here.
   MapConfig& mutable_config() { return config_; }
 
-  /// Position inside the map region of cell (level, coords) where the
-  /// record with `landmark_number` is stored.
+  /// Position inside the map region of cell (level, coords) where replica
+  /// `replica` of the record with `landmark_number` is stored. Replica 0
+  /// is the primary; replica r shifts the curve key by r * cells /
+  /// replicas (mod curve length), so every copy's sub-map still preserves
+  /// curve locality while landing on a different owner whenever the map
+  /// region spans more than one node.
   geom::Point map_position(const util::BigUint& landmark_number, int level,
-                           std::span<const std::uint32_t> cell) const;
+                           std::span<const std::uint32_t> cell,
+                           int replica = 0) const;
 
   /// Publishes `node`'s record into the maps of every high-order zone it
   /// belongs to (levels 1..node_level). Replaces any previous record for
@@ -212,8 +279,19 @@ class BasicMapService {
   void remove_everywhere(overlay::NodeId node);
 
   /// Lazy repair: the requester found `dead` unreachable after a lookup at
-  /// `owner`; the owner drops all records for it.
-  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+  /// `owner`; the owner drops its records for `dead` — but only records
+  /// published at or before `reported_at`. The freshness guard keeps a
+  /// delayed "dead" report (the probe that failed happened at
+  /// `reported_at`) from evicting an entry the node re-published after
+  /// recovering — without it, a slot-reusing rejoin could lose its fresh
+  /// record to a stale report about its previous incarnation. The default
+  /// (+inf) is the legacy trust-the-reporter behavior. When `reporter` is
+  /// given and the fault plane is active, the report itself is a kRepair
+  /// message subject to loss/partition.
+  void report_dead(
+      overlay::NodeId owner, overlay::NodeId dead,
+      sim::Time reported_at = std::numeric_limits<sim::Time>::infinity(),
+      overlay::NodeId reporter = overlay::kInvalidNode);
 
   /// Drops entries that expired before `now` across all stores; returns
   /// the number dropped. Per store this touches only the entries that
@@ -254,14 +332,42 @@ class BasicMapService {
   /// joins/leaves when the migration protocol is followed).
   bool check_placement_invariant() const;
 
-  /// Fault injection: every publish *message* (one per map level) is lost
-  /// with `publish_loss` probability before reaching its owner. Soft state
-  /// is designed to absorb this — the next republish refills the map — and
-  /// the failure-injection tests verify exactly that.
+  /// Installs the shared fault plane: every publish/lookup/repair message
+  /// consults it before being considered delivered. Pass nullptr to
+  /// detach. The plane must outlive the service (the facade owns both).
+  void set_fault_plane(sim::FaultPlane* plane) {
+    fault_plane_ = plane;
+    owned_fault_plane_.reset();
+  }
+  sim::FaultPlane* fault_plane() const { return fault_plane_; }
+
+  /// Enables bounded retry with exponential backoff + jitter. Lost
+  /// publish messages are re-sent through `queue` (fire-and-forget, up to
+  /// policy.retries() times); lost lookup fetches re-try inline before
+  /// failing over to the next replica, accounting the backoff they would
+  /// have waited in LookupResult::backoff_ms. `queue` may be null, which
+  /// confines retries to the inline lookup path.
+  void set_retry(sim::EventQueue* queue, util::RetryPolicy policy,
+                 std::uint64_t jitter_seed = 0x7e7521ull) {
+    retry_queue_ = queue;
+    retry_ = policy;
+    retry_rng_ = util::Rng(jitter_seed);
+  }
+  const util::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Legacy fault-injection knob, kept as a thin shim over the fault
+  /// plane: every publish *message* (one per map level) is lost with
+  /// `publish_loss` probability before reaching its owner. Soft state is
+  /// designed to absorb this — the next republish refills the map — and
+  /// the failure-injection tests verify exactly that. Replaces any plane
+  /// installed via set_fault_plane with a service-owned one.
   void inject_faults(double publish_loss, std::uint64_t seed) {
     TO_EXPECTS(publish_loss >= 0.0 && publish_loss <= 1.0);
-    publish_loss_ = publish_loss;
-    fault_rng_ = util::Rng(seed);
+    sim::FaultConfig fault;
+    fault.publish_loss = publish_loss;
+    fault.seed = seed;
+    owned_fault_plane_ = std::make_unique<sim::FaultPlane>(fault);
+    fault_plane_ = owned_fault_plane_.get();
   }
 
   /// Hook used by the pub/sub layer: called with every stored entry
@@ -307,6 +413,48 @@ class BasicMapService {
   /// the observer.
   void place_entry(overlay::NodeId owner, StoredEntry stored);
 
+  /// True when per-message fault gating is on (plane installed + active).
+  bool plane_active() const {
+    return fault_plane_ != nullptr && fault_plane_->active();
+  }
+  /// Fault verdict for a message forwarded along route_scratch_.path.
+  sim::Verdict gate_route(sim::MessageKind kind);
+
+  enum class PublishSend : std::uint8_t {
+    kDelivered,    // entry placed on its owner
+    kLost,         // fault plane loss draw — transient, retryable
+    kBlocked,      // crash/partition block — wait for republish/heal
+    kRouteFailed,  // overlay never reached the owner
+    kCollapsed,    // replica landed on an owner that already has a copy
+  };
+  /// Routes and (fault plane permitting) places one publish message for
+  /// replica `replica` of `node`'s record at map level `level`. Adds the
+  /// routed hops to `hops`. `placed_owners` are owners that already
+  /// received this publish round's copy (duplicate-owner replicas are
+  /// suppressed after routing discovers the collision); a delivered copy
+  /// reports its owner through `delivered_owner`.
+  PublishSend send_publish_message(
+      overlay::NodeId node, const proximity::LandmarkVector& vector,
+      const util::BigUint& number, sim::Time now, double load,
+      double capacity, int level, std::span<const std::uint32_t> cell,
+      int replica, std::size_t& hops,
+      std::span<const overlay::NodeId> placed_owners = {},
+      overlay::NodeId* delivered_owner = nullptr);
+
+  /// Schedules retry number `attempt` of a lost publish message on the
+  /// EventQueue (no-op past the policy's attempt budget).
+  void schedule_publish_retry(overlay::NodeId node,
+                              proximity::LandmarkVector vector,
+                              util::BigUint number, double load,
+                              double capacity, int level, int replica,
+                              int attempt);
+  /// Fired by the EventQueue: re-validates the publisher and re-sends.
+  void retry_publish_message(overlay::NodeId node,
+                             const proximity::LandmarkVector& vector,
+                             const util::BigUint& number, double load,
+                             double capacity, int level, int replica,
+                             int attempt);
+
   /// Collect entries of map `cell_key` stored on `owner` into `out`,
   /// pruning expired ones first (soft-state decay on access).
   void collect_from(overlay::NodeId owner, std::uint64_t cell_key,
@@ -320,8 +468,14 @@ class BasicMapService {
   overlay::RouteScratch route_scratch_;
   MapServiceStats stats_;
   PublishObserver publish_observer_;
-  double publish_loss_ = 0.0;
-  util::Rng fault_rng_{0};
+  /// Fault plane consulted per message; usually the facade's shared
+  /// plane, or a service-owned one when the legacy inject_faults shim is
+  /// used. nullptr = no fault gating at all.
+  sim::FaultPlane* fault_plane_ = nullptr;
+  std::unique_ptr<sim::FaultPlane> owned_fault_plane_;
+  sim::EventQueue* retry_queue_ = nullptr;
+  util::RetryPolicy retry_;
+  util::Rng retry_rng_{0x7e7521ull};
 
   // -- Hot-path caches and scratch ---------------------------------------
   // Everything below is cost, not semantics: the service instantiated over

@@ -44,6 +44,13 @@ PastryMapStore* PastryMapService::find_store(overlay::NodeId node) {
   return it == stores_.end() ? nullptr : &it->second;
 }
 
+sim::Verdict PastryMapService::gate_path_(
+    sim::MessageKind kind, const std::vector<overlay::NodeId>& path) {
+  return fault_plane_->message_via(
+      kind, path,
+      [&](overlay::NodeId id) { return pastry_->node(id).host; });
+}
+
 std::size_t PastryMapService::publish(
     overlay::NodeId node, const proximity::LandmarkVector& vector,
     sim::Time now) {
@@ -60,9 +67,25 @@ std::size_t PastryMapService::publish(
         pastry_->slot_range(id, row - 1, pastry_->digit(id, row - 1));
     const overlay::PastryId position = position_in(number, lo, hi);
     const overlay::RouteResult route = pastry_->route(node, position);
-    if (!route.success) continue;
+    if (!route.success) {
+      // Routing failure is its own bucket, never conflated with injected
+      // loss (same split as the eCAN backend).
+      ++stats_.failed_routes;
+      continue;
+    }
     hops += route.hops();
     const overlay::NodeId owner = route.path.back();
+    if (plane_active_()) {
+      const sim::Verdict verdict =
+          gate_path_(sim::MessageKind::kPublish, route.path);
+      if (!verdict.delivered()) {
+        if (verdict.retryable())
+          ++stats_.lost_messages;
+        else
+          ++stats_.blocked_messages;
+        continue;
+      }
+    }
 
     PastryMapEntry entry;
     entry.node = node;
@@ -96,6 +119,13 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
     return {};
   }
   local_meta.owner = route.path.back();
+  const bool gated = plane_active_();
+  if (gated &&
+      !gate_path_(sim::MessageKind::kLookup, route.path).delivered()) {
+    ++stats_.fault_blocked_lookups;
+    if (meta != nullptr) *meta = local_meta;
+    return {};
+  }
 
   const PastryMapStoreTraits::GroupKey region{prefix_digits, lo};
   std::vector<const PastryMapEntry*> found;
@@ -115,6 +145,7 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
   std::size_t cursor = 0;
   for (std::size_t i = 0; i < region_members.size(); ++i)
     if (region_members[i] == local_meta.owner) cursor = i;
+  const net::HostId querier_host = pastry_->node(querier).host;
   for (int step = 1; step <= config_.walk_ttl &&
                      found.size() < config_.min_candidates &&
                      static_cast<std::size_t>(step) < region_members.size();
@@ -124,6 +155,12 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
     ++local_meta.owners_visited;
     ++local_meta.route_hops;
     ++stats_.route_hops;
+    // Each walk step is one more message from the querier; an owner the
+    // fault plane cuts off just contributes nothing this round.
+    if (gated &&
+        !fault_plane_->deliver(sim::MessageKind::kLookup, querier_host,
+                               pastry_->node(region_members[index]).host))
+      continue;
     collect(region_members[index]);
   }
 
@@ -158,10 +195,21 @@ void PastryMapService::remove_everywhere(overlay::NodeId node) {
 }
 
 void PastryMapService::report_dead(overlay::NodeId owner,
-                                   overlay::NodeId dead) {
+                                   overlay::NodeId dead,
+                                   sim::Time reported_at,
+                                   overlay::NodeId reporter) {
+  if (reporter != overlay::kInvalidNode && plane_active_() &&
+      !fault_plane_->deliver(sim::MessageKind::kRepair,
+                             pastry_->node(reporter).host,
+                             pastry_->node(owner).host)) {
+    ++stats_.lost_repairs;
+    return;
+  }
   PastryMapStore* store = find_store(owner);
   if (store == nullptr) return;
-  stats_.lazy_deletions += store->erase_node(dead);
+  // Freshness guard: records republished after the reporter's failed
+  // probe survive a delayed "dead" report.
+  stats_.lazy_deletions += store->erase_node_before(dead, reported_at);
 }
 
 std::size_t PastryMapService::expire_before(sim::Time now) {

@@ -16,6 +16,7 @@
 // are O(1), and expiry touches only expired records.
 #pragma once
 
+#include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "overlay/pastry.hpp"
 #include "proximity/landmarks.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "softstate/indexed_store.hpp"
 
 namespace topo::softstate {
@@ -62,6 +64,13 @@ struct PastryMapStats {
   std::uint64_t route_hops = 0;
   std::uint64_t expired_entries = 0;
   std::uint64_t lazy_deletions = 0;
+  /// Same accounting split as the eCAN backend (MapServiceStats): overlay
+  /// routing failures vs. fault-plane loss vs. crash/partition blocks.
+  std::uint64_t failed_routes = 0;
+  std::uint64_t lost_messages = 0;
+  std::uint64_t blocked_messages = 0;
+  std::uint64_t fault_blocked_lookups = 0;
+  std::uint64_t lost_repairs = 0;
 };
 
 /// Store-description traits for the Pastry backend: a record is identified
@@ -130,9 +139,20 @@ class PastryMapService {
                                      PastryLookupMeta* meta = nullptr);
 
   void remove_everywhere(overlay::NodeId node);
-  void report_dead(overlay::NodeId owner, overlay::NodeId dead);
+  /// Lazy repair with the same freshness guard as the eCAN backend: only
+  /// records published at or before `reported_at` are evicted, and when a
+  /// `reporter` is given the report is a kRepair message under the fault
+  /// plane.
+  void report_dead(
+      overlay::NodeId owner, overlay::NodeId dead,
+      sim::Time reported_at = std::numeric_limits<sim::Time>::infinity(),
+      overlay::NodeId reporter = overlay::kInvalidNode);
   std::size_t expire_before(sim::Time now);
   void rehome_from(overlay::NodeId former_owner);
+
+  /// Installs the shared fault plane (nullptr detaches); publish and
+  /// lookup messages consult it before being considered delivered.
+  void set_fault_plane(sim::FaultPlane* plane) { fault_plane_ = plane; }
 
   /// Discards a node's hosted records without re-homing (crash semantics).
   void drop_store(overlay::NodeId owner) { stores_.erase(owner); }
@@ -152,8 +172,16 @@ class PastryMapService {
   const PastryMapStore* find_store(overlay::NodeId node) const;
   PastryMapStore* find_store(overlay::NodeId node);
 
+  /// Fault verdict for a message along `path` (plane_active_() only).
+  sim::Verdict gate_path_(sim::MessageKind kind,
+                          const std::vector<overlay::NodeId>& path);
+  bool plane_active_() const {
+    return fault_plane_ != nullptr && fault_plane_->active();
+  }
+
   overlay::PastryNetwork* pastry_;
   const proximity::LandmarkSet* landmarks_;
+  sim::FaultPlane* fault_plane_ = nullptr;
   PastryMapConfig config_;
   std::unordered_map<overlay::NodeId, PastryMapStore> stores_;
   PastryMapStats stats_;

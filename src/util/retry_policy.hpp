@@ -1,0 +1,59 @@
+// Bounded retry with exponential backoff + jitter.
+//
+// Protocol hardening against the fault plane's transient message loss:
+// a lost publish is re-sent after base_delay_ms, then 2x, 4x, ... up to
+// max_delay_ms, each delay multiplicatively jittered so a burst of losses
+// does not resynchronise every sender into a retry storm. The policy is
+// pure arithmetic — the map service drives the actual re-sends through
+// the shared sim::EventQueue (publishes asynchronously; lookups fail over
+// to the next replica inline and account the backoff they would have
+// waited).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace topo::util {
+
+struct RetryPolicy {
+  /// Total send attempts including the first; 1 disables retries.
+  int max_attempts = 1;
+  double base_delay_ms = 250.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 8'000.0;
+  /// Each delay is drawn from delay * (1 ± jitter); in [0, 1).
+  double jitter = 0.2;
+
+  bool enabled() const { return max_attempts > 1; }
+  int retries() const { return max_attempts > 1 ? max_attempts - 1 : 0; }
+
+  /// Backoff before retry number `retry` (1-based: the delay between the
+  /// initial attempt and the first retry is delay_ms(1, ...)).
+  double delay_ms(int retry, Rng& rng) const {
+    TO_EXPECTS(retry >= 1);
+    TO_EXPECTS(jitter >= 0.0 && jitter < 1.0);
+    const double raw =
+        base_delay_ms * std::pow(multiplier, static_cast<double>(retry - 1));
+    const double capped = std::min(raw, max_delay_ms);
+    if (jitter == 0.0) return capped;
+    return capped * rng.next_double(1.0 - jitter, 1.0 + jitter);
+  }
+
+  /// Worst-case total backoff across every retry (jitter at +jitter);
+  /// callers use it to bound how much simulated time a retry chain can
+  /// still add after its first attempt.
+  double max_total_delay_ms() const {
+    double total = 0.0;
+    for (int r = 1; r <= retries(); ++r) {
+      const double raw =
+          base_delay_ms * std::pow(multiplier, static_cast<double>(r - 1));
+      total += std::min(raw, max_delay_ms) * (1.0 + jitter);
+    }
+    return total;
+  }
+};
+
+}  // namespace topo::util

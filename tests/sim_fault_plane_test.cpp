@@ -1,0 +1,268 @@
+// The unified fault plane: deterministic per seed, inactive by default,
+// and faithful to its fault classes — loss is a per-message draw, a
+// crashed host neither sends nor receives, a partitioned stub is cut off
+// from everything but itself, and path-level gating catches crashed or
+// partitioned forwarding hops.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/fault_plane.hpp"
+#include "util/retry_policy.hpp"
+
+namespace topo {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+/// Two distinct hosts in the same stub domain.
+std::pair<net::HostId, net::HostId> same_stub_pair(const net::Topology& t) {
+  for (net::HostId a = 0; a < t.host_count(); ++a)
+    for (net::HostId b = a + 1; b < t.host_count(); ++b)
+      if (t.host(a).stub_domain == t.host(b).stub_domain &&
+          t.host(a).stub_domain >= 0)
+        return {a, b};
+  ADD_FAILURE() << "no two hosts share a stub domain";
+  return {0, 0};
+}
+
+TEST(FaultPlane, InactiveByDefaultAndDeliversEverything) {
+  sim::FaultPlane plane;
+  EXPECT_FALSE(plane.active());
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = plane.message(sim::MessageKind::kPublish, 0, 1);
+    EXPECT_TRUE(verdict.delivered());
+    EXPECT_EQ(verdict.delay_ms, 0.0);
+  }
+  EXPECT_EQ(plane.stats().dropped(), 0u);
+}
+
+TEST(FaultPlane, SameSeedSameVerdictSequence) {
+  sim::FaultConfig config;
+  config.message_loss = 0.3;
+  config.publish_loss = 0.2;
+  config.seed = 1234;
+  sim::FaultPlane a(config);
+  sim::FaultPlane b(config);
+  for (int i = 0; i < 2000; ++i) {
+    const auto kind = static_cast<sim::MessageKind>(i % 5);
+    const auto va = a.message(kind, 0, 1);
+    const auto vb = b.message(kind, 0, 1);
+    EXPECT_EQ(va.outcome, vb.outcome) << "diverged at message " << i;
+    EXPECT_EQ(va.delay_ms, vb.delay_ms);
+  }
+  EXPECT_EQ(a.stats().lost, b.stats().lost);
+}
+
+TEST(FaultPlane, DifferentSeedsDiverge) {
+  sim::FaultConfig config;
+  config.message_loss = 0.5;
+  config.seed = 1;
+  sim::FaultPlane a(config);
+  config.seed = 2;
+  sim::FaultPlane b(config);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.deliver(sim::MessageKind::kData, 0, 1) !=
+        b.deliver(sim::MessageKind::kData, 0, 1))
+      ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlane, LossRateWithinBinomialBounds) {
+  sim::FaultConfig config;
+  config.message_loss = 0.3;
+  config.seed = 7;
+  sim::FaultPlane plane(config);
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i)
+    (void)plane.message(sim::MessageKind::kData, 0, 1);
+  const double rate = static_cast<double>(plane.stats().lost) / n;
+  EXPECT_GT(rate, 0.27);
+  EXPECT_LT(rate, 0.33);
+  EXPECT_EQ(plane.stats().lost,
+            plane.stats().dropped_by_kind[static_cast<std::size_t>(
+                sim::MessageKind::kData)]);
+}
+
+TEST(FaultPlane, PublishLossAppliesToPublishOnly) {
+  sim::FaultConfig config;
+  config.publish_loss = 0.4;
+  config.seed = 11;
+  sim::FaultPlane plane(config);
+  int lookup_lost = 0;
+  int publish_lost = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!plane.deliver(sim::MessageKind::kLookup, 0, 1)) ++lookup_lost;
+    if (!plane.deliver(sim::MessageKind::kPublish, 0, 1)) ++publish_lost;
+  }
+  EXPECT_EQ(lookup_lost, 0);
+  EXPECT_GT(publish_lost, 2000 * 0.3);
+  EXPECT_LT(publish_lost, 2000 * 0.5);
+}
+
+TEST(FaultPlane, CrashedHostNeitherSendsNorReceives) {
+  sim::FaultPlane plane;  // no loss configured: crash is the only fault
+  plane.crash_host(5);
+  EXPECT_TRUE(plane.active());
+  EXPECT_TRUE(plane.host_crashed(5));
+
+  auto verdict = plane.message(sim::MessageKind::kLookup, 5, 1);
+  EXPECT_EQ(verdict.outcome, sim::DeliveryOutcome::kCrashBlocked);
+  EXPECT_FALSE(verdict.retryable());  // a retry cannot win until restart
+  verdict = plane.message(sim::MessageKind::kLookup, 1, 5);
+  EXPECT_EQ(verdict.outcome, sim::DeliveryOutcome::kCrashBlocked);
+  EXPECT_TRUE(plane.deliver(sim::MessageKind::kLookup, 1, 2));
+
+  plane.restart_host(5);
+  EXPECT_FALSE(plane.active());
+  EXPECT_TRUE(plane.deliver(sim::MessageKind::kLookup, 5, 1));
+}
+
+TEST(FaultPlane, CrashedIntermediateSwallowsRoutedMessage) {
+  sim::FaultPlane plane;
+  plane.crash_host(7);
+  const std::vector<int> path = {0, 7, 3};  // hop ids == host ids here
+  const auto verdict = plane.message_via(
+      sim::MessageKind::kPublish, path,
+      [](int hop) { return static_cast<net::HostId>(hop); });
+  EXPECT_EQ(verdict.outcome, sim::DeliveryOutcome::kCrashBlocked);
+
+  const std::vector<int> clear = {0, 2, 3};
+  EXPECT_TRUE(plane
+                  .message_via(sim::MessageKind::kPublish, clear,
+                               [](int hop) {
+                                 return static_cast<net::HostId>(hop);
+                               })
+                  .delivered());
+}
+
+TEST(FaultPlane, PartitionCutsCrossStubTrafficOnly) {
+  const net::Topology topology = make_topology(17);
+  sim::FaultPlane plane;
+  plane.bind_topology(&topology);
+  ASSERT_GT(plane.stub_count(), 1u);
+
+  const auto [inside_a, inside_b] = same_stub_pair(topology);
+  plane.partition_stub(topology.host(inside_a).stub_domain);
+
+  // Intra-stub traffic still flows inside the partitioned stub.
+  EXPECT_TRUE(plane.deliver(sim::MessageKind::kData, inside_a, inside_b));
+
+  // Traffic crossing the cut dies in both directions.
+  net::HostId outside = net::kInvalidHost;
+  for (net::HostId h = 0; h < topology.host_count(); ++h) {
+    if (topology.host(h).stub_domain != topology.host(inside_a).stub_domain) {
+      outside = h;
+      break;
+    }
+  }
+  ASSERT_NE(outside, net::kInvalidHost);
+  EXPECT_EQ(plane.message(sim::MessageKind::kData, inside_a, outside).outcome,
+            sim::DeliveryOutcome::kPartitionBlocked);
+  EXPECT_EQ(plane.message(sim::MessageKind::kData, outside, inside_a).outcome,
+            sim::DeliveryOutcome::kPartitionBlocked);
+  EXPECT_FALSE(plane.reachable(inside_a, outside));
+
+  plane.heal_all_partitions();
+  EXPECT_FALSE(plane.active());
+  EXPECT_TRUE(plane.deliver(sim::MessageKind::kData, inside_a, outside));
+}
+
+TEST(FaultPlane, PartitionFractionIsSeededAndSized) {
+  const net::Topology topology = make_topology(19);
+  sim::FaultConfig config;
+  config.seed = 23;
+  sim::FaultPlane a(config);
+  sim::FaultPlane b(config);
+  a.bind_topology(&topology);
+  b.bind_topology(&topology);
+  const auto chosen_a = a.partition_stub_fraction(0.5);
+  const auto chosen_b = b.partition_stub_fraction(0.5);
+  EXPECT_EQ(chosen_a, chosen_b);  // same seed, same choice
+  EXPECT_EQ(chosen_a.size(),
+            static_cast<std::size_t>(0.5 * a.stub_count() + 0.5));
+  EXPECT_EQ(a.partitioned_stub_count(), chosen_a.size());
+}
+
+TEST(FaultPlane, SlowStubsAddDelay) {
+  const net::Topology topology = make_topology(29);
+  sim::FaultConfig config;
+  config.stub_delay_ms = 40.0;
+  config.slow_stub_fraction = 1.0;  // every stub slow: delay is certain
+  config.extra_delay_ms = 5.0;
+  config.seed = 31;
+  sim::FaultPlane plane(config);
+  plane.bind_topology(&topology);
+  const auto [a, b] = same_stub_pair(topology);  // guaranteed stub-homed
+  const auto verdict = plane.message(sim::MessageKind::kData, a, b);
+  ASSERT_TRUE(verdict.delivered());
+  EXPECT_DOUBLE_EQ(verdict.delay_ms, 45.0);
+  EXPECT_GT(plane.stats().added_delay_ms, 0.0);
+  EXPECT_EQ(plane.stats().delayed, 1u);
+}
+
+TEST(FaultPlane, StatsAccountDropsByKind) {
+  sim::FaultConfig config;
+  config.message_loss = 1.0;  // everything drops
+  config.seed = 37;
+  sim::FaultPlane plane(config);
+  for (int i = 0; i < 10; ++i)
+    (void)plane.message(sim::MessageKind::kNotify, 0, 1);
+  EXPECT_EQ(plane.stats().lost, 10u);
+  EXPECT_EQ(plane.stats().dropped_by_kind[static_cast<std::size_t>(
+                sim::MessageKind::kNotify)],
+            10u);
+  plane.reset_stats();
+  EXPECT_EQ(plane.stats().messages, 0u);
+}
+
+TEST(RetryPolicy, DisabledByDefault) {
+  util::RetryPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_EQ(policy.retries(), 0);
+}
+
+TEST(RetryPolicy, ExponentialBackoffWithCapAndJitter) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_ms = 100.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 500.0;
+  policy.jitter = 0.2;
+  EXPECT_TRUE(policy.enabled());
+  EXPECT_EQ(policy.retries(), 5);
+
+  util::Rng rng(41);
+  // Nominal (un-jittered) delays: 100, 200, 400, 500(cap), 500(cap).
+  const double nominal[] = {100.0, 200.0, 400.0, 500.0, 500.0};
+  for (int retry = 1; retry <= 5; ++retry) {
+    const double d = policy.delay_ms(retry, rng);
+    EXPECT_GE(d, nominal[retry - 1] * 0.8) << "retry " << retry;
+    EXPECT_LE(d, nominal[retry - 1] * 1.2) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsExact) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_ms = 50.0;
+  policy.multiplier = 3.0;
+  policy.max_delay_ms = 10'000.0;
+  policy.jitter = 0.0;
+  util::Rng rng(43);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, rng), 50.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(2, rng), 150.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(3, rng), 450.0);
+}
+
+}  // namespace
+}  // namespace topo

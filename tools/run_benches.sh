@@ -36,6 +36,7 @@ pastry_pns
 overhead_costs
 churn_lifecycle
 scale_sweep
+fault_sweep
 micro_benchmarks
 "
 
@@ -44,6 +45,13 @@ micro_benchmarks
 if [ -z "${SCALE_NODES:-}" ] && [ -z "${FULL:-}" ]; then
   SCALE_NODES=1000
   export SCALE_NODES
+fi
+
+# fault_sweep likewise: the 1k-node smoke grid unless the caller scaled it.
+if [ -z "${FAULT_NODES:-}" ] && [ -z "${FULL:-}" ]; then
+  FAULT_NODES=1000
+  FAULT_SMOKE=1
+  export FAULT_NODES FAULT_SMOKE
 fi
 
 # Run from a scratch dir so the JSON emitters drop their files where we
