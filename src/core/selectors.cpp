@@ -1,10 +1,21 @@
 #include "core/selectors.hpp"
 
+#include <chrono>
 #include <limits>
 
 #include "geom/zone.hpp"
 
 namespace topo::core {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 overlay::NodeId RandomSelector::select(
     overlay::NodeId for_node, int level, const geom::Zone& cell,
@@ -44,7 +55,9 @@ overlay::NodeId SoftStateSelector::landmark_only_pick(
     if (member == for_node) continue;
     const auto it = vectors_->find(member);
     if (it == vectors_->end()) continue;
-    const double distance = proximity::vector_distance(it->second, my_vector);
+    // Comparison-only: squared distance picks the same argmin without the
+    // per-member sqrt (callers that report a distance re-derive it).
+    const double distance = proximity::squared_distance(it->second, my_vector);
     if (distance < best_distance ||
         (distance == best_distance && member < best)) {
       best_distance = distance;
@@ -72,14 +85,25 @@ overlay::NodeId SoftStateSelector::select(
   const proximity::LandmarkVector& my_vector = vector_it->second;
 
   // Cell coordinates from the cell zone's low corner.
-  std::vector<std::uint32_t> coords(ecan_->dims());
+  cell_coords_scratch_.resize(ecan_->dims());
   for (std::size_t d = 0; d < ecan_->dims(); ++d)
-    coords[d] = geom::grid_coord(cell.lo(d), level);
+    cell_coords_scratch_[d] = geom::grid_coord(cell.lo(d), level);
 
+  // Allocation-free fetch: the candidate buffer and its elements' heap
+  // blocks are reused across every selection this selector runs.
+  const bool timed = stage_timing_enabled_;
+  const auto fetch_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   softstate::LookupResult meta;
-  const auto entries =
-      maps_->lookup_entries(for_node, my_vector, level, coords, now(), &meta);
+  const std::size_t entry_count = maps_->lookup_entries_into(
+      for_node, my_vector, level, cell_coords_scratch_, now(),
+      entries_scratch_, &meta);
+  const std::span<const softstate::MapEntry> entries(entries_scratch_.data(),
+                                                     entry_count);
   last_.candidates = entries.size();
+  const auto rank_start = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+  if (timed) stage_timing_.map_fetch_ms += elapsed_ms(fetch_start);
 
   const net::HostId my_host = ecan_->node(for_node).host;
   const bool gated = faults_ != nullptr && faults_->active();
@@ -127,6 +151,7 @@ overlay::NodeId SoftStateSelector::select(
       last_.chosen = best;
       last_.landmark_distance =
           proximity::vector_distance(vectors_->at(best), my_vector);
+      if (timed) stage_timing_.rank_ms += elapsed_ms(rank_start);
       return best;
     }
   }
@@ -142,6 +167,7 @@ overlay::NodeId SoftStateSelector::select(
   }
   last_.chosen = best;
   last_.landmark_distance = best_distance;
+  if (timed) stage_timing_.rank_ms += elapsed_ms(rank_start);
   return best;
 }
 

@@ -83,6 +83,14 @@ struct SelectorFallbackStats {
   std::uint64_t random_fallbacks = 0;
 };
 
+/// Wall-clock split of a selection: fetching candidates from the soft
+/// state vs. ranking/probing them. Accumulated only while stage timing is
+/// enabled (the join bench's per-stage breakdown); off by default.
+struct SelectorStageTiming {
+  double map_fetch_ms = 0.0;
+  double rank_ms = 0.0;
+};
+
 class SoftStateSelector : public overlay::RepresentativeSelector {
  public:
   /// `clock` may be null (static experiments run at t=0).
@@ -117,6 +125,12 @@ class SoftStateSelector : public overlay::RepresentativeSelector {
   }
   void reset_fallback_stats() { fallback_stats_ = {}; }
 
+  /// Per-stage wall-clock accounting (fetch vs. rank); the timing calls
+  /// only run while enabled, so steady-state selection stays clock-free.
+  void set_stage_timing(bool on) { stage_timing_enabled_ = on; }
+  const SelectorStageTiming& stage_timing() const { return stage_timing_; }
+  void reset_stage_timing() { stage_timing_ = {}; }
+
  protected:
   /// Score to minimize; the base class uses the probed RTT alone.
   virtual double score(const softstate::MapEntry& entry, double rtt_ms) const {
@@ -142,6 +156,12 @@ class SoftStateSelector : public overlay::RepresentativeSelector {
   const sim::FaultPlane* faults_ = nullptr;
   SelectionInfo last_;
   SelectorFallbackStats fallback_stats_;
+  SelectorStageTiming stage_timing_;
+  bool stage_timing_enabled_ = false;
+  /// Reused per-selection scratch (cell coordinates + candidate buffer):
+  /// steady-state selections allocate nothing once these have warmed up.
+  std::vector<std::uint32_t> cell_coords_scratch_;
+  std::vector<softstate::MapEntry> entries_scratch_;
 };
 
 /// Section 6: rank candidates by RTT inflated by their load; a node at

@@ -93,15 +93,42 @@ std::vector<std::uint32_t> HilbertCurve::deinterleave(
   return x;
 }
 
+util::BigUint HilbertCurve::index_in_place(std::span<std::uint32_t> x,
+                                           std::uint32_t limit) const {
+  for (const std::uint32_t c : x) TO_EXPECTS(c <= limit);
+  axes_to_transpose(x);
+  return interleave(x);
+}
+
 util::BigUint HilbertCurve::index(
     std::span<const std::uint32_t> coords) const {
   TO_EXPECTS(coords.size() == static_cast<std::size_t>(dims_));
   std::vector<std::uint32_t> x(coords.begin(), coords.end());
   const std::uint32_t limit =
       bits_ >= 32 ? ~0u : ((1u << bits_) - 1);
-  for (const std::uint32_t c : x) TO_EXPECTS(c <= limit);
-  axes_to_transpose(x);
-  return interleave(x);
+  return index_in_place(x, limit);
+}
+
+util::BigUint HilbertCurve::index(std::span<const std::uint32_t> coords,
+                                  std::span<std::uint32_t> scratch) const {
+  TO_EXPECTS(coords.size() == static_cast<std::size_t>(dims_));
+  TO_EXPECTS(scratch.size() >= coords.size());
+  const std::uint32_t limit =
+      bits_ >= 32 ? ~0u : ((1u << bits_) - 1);
+  std::span<std::uint32_t> x = scratch.first(coords.size());
+  if (coords.data() != scratch.data())
+    std::copy(coords.begin(), coords.end(), x.begin());
+  return index_in_place(x, limit);
+}
+
+void HilbertCurve::index_many(std::span<std::uint32_t> coords,
+                              std::span<util::BigUint> out) const {
+  const auto n = static_cast<std::size_t>(dims_);
+  TO_EXPECTS(coords.size() == out.size() * n);
+  const std::uint32_t limit =
+      bits_ >= 32 ? ~0u : ((1u << bits_) - 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = index_in_place(coords.subspan(i * n, n), limit);
 }
 
 std::vector<std::uint32_t> HilbertCurve::coords(

@@ -34,6 +34,22 @@ class HilbertCurve {
   /// Distance along the curve of the cell at `coords` (size dims).
   util::BigUint index(std::span<const std::uint32_t> coords) const;
 
+  /// Allocation-free variant for hot callers: `scratch` (size dims)
+  /// receives a working copy of `coords` and is clobbered by the in-place
+  /// transpose conversion. `coords` and `scratch` may alias exactly, in
+  /// which case the caller's buffer is consumed directly.
+  util::BigUint index(std::span<const std::uint32_t> coords,
+                      std::span<std::uint32_t> scratch) const;
+
+  /// Bulk encoder for join waves: `coords` holds coords.size()/dims
+  /// coordinate tuples back-to-back and is transposed *in place* (the
+  /// caller's arena doubles as the working buffer); tuple i's curve index
+  /// lands in out[i]. Range validation and the per-level masks are hoisted
+  /// out of the per-tuple loop, and nothing allocates, so encoding a wave
+  /// costs exactly the bit-twiddling.
+  void index_many(std::span<std::uint32_t> coords,
+                  std::span<util::BigUint> out) const;
+
   /// Inverse: cell coordinates of curve position `index`.
   std::vector<std::uint32_t> coords(const util::BigUint& index) const;
 
@@ -44,6 +60,10 @@ class HilbertCurve {
                    std::span<std::uint32_t> out) const;
 
  private:
+  /// Encodes one tuple in place (axes -> transpose -> packed index),
+  /// destroying the input. `limit` is the precomputed coordinate bound.
+  util::BigUint index_in_place(std::span<std::uint32_t> x,
+                               std::uint32_t limit) const;
   void axes_to_transpose(std::span<std::uint32_t> x) const;
   void transpose_to_axes(std::span<std::uint32_t> x) const;
   util::BigUint interleave(std::span<const std::uint32_t> x) const;

@@ -19,6 +19,38 @@ double vector_distance(const LandmarkVector& a, const LandmarkVector& b) {
   return std::sqrt(sum);
 }
 
+double squared_distance(const LandmarkVector& a, const LandmarkVector& b) {
+  TO_EXPECTS(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void squared_distances_soa(std::span<const double> soa, std::size_t count,
+                           const LandmarkVector& query,
+                           std::span<double> out) {
+  TO_EXPECTS(soa.size() == count * query.size());
+  TO_EXPECTS(out.size() >= count);
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(count),
+            0.0);
+  // Dim-major passes: each inner loop reads/writes `count` contiguous
+  // doubles with a broadcast query component — the shape compilers turn
+  // into packed fused multiply-adds. Accumulating dimension-by-dimension
+  // per candidate matches squared_distance()'s summation order, so the
+  // two paths agree bit-for-bit.
+  for (std::size_t d = 0; d < query.size(); ++d) {
+    const double q = query[d];
+    const double* lane = soa.data() + d * count;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double diff = lane[i] - q;
+      out[i] += diff * diff;
+    }
+  }
+}
+
 LandmarkSet::LandmarkSet(std::vector<net::HostId> landmark_hosts,
                          LandmarkConfig config)
     : hosts_(std::move(landmark_hosts)),
@@ -56,6 +88,21 @@ LandmarkVector LandmarkSet::measure(net::RttOracle& oracle,
   return vector;
 }
 
+void LandmarkSet::measure_many(net::RttOracle& oracle,
+                               std::span<const net::HostId> hosts,
+                               std::span<LandmarkVector> out,
+                               std::vector<double>& column_arena) const {
+  TO_EXPECTS(out.size() >= hosts.size());
+  const std::size_t m = hosts_.size();
+  for (std::size_t i = 0; i < hosts.size(); ++i) out[i].resize(m);
+  column_arena.resize(hosts.size());
+  for (std::size_t l = 0; l < m; ++l) {
+    oracle.probe_rtt_many(hosts, hosts_[l], column_arena);
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      out[i][l] = column_arena[i];
+  }
+}
+
 std::vector<int> LandmarkSet::ordering(const LandmarkVector& vector) const {
   TO_EXPECTS(vector.size() == hosts_.size());
   std::vector<int> order(vector.size());
@@ -67,17 +114,48 @@ std::vector<int> LandmarkSet::ordering(const LandmarkVector& vector) const {
   return order;
 }
 
-util::BigUint LandmarkSet::landmark_number(
-    const LandmarkVector& vector) const {
+void LandmarkSet::quantize_into(const LandmarkVector& vector,
+                                std::span<std::uint32_t> out) const {
   TO_EXPECTS(vector.size() == hosts_.size());
   const auto dims = static_cast<std::size_t>(curve_.dims());
-  std::vector<std::uint32_t> coords(dims);
+  TO_EXPECTS(out.size() >= dims);
   for (std::size_t i = 0; i < dims; ++i) {
     const double unit =
         std::min(vector[i] / config_.scale_ms, std::nextafter(1.0, 0.0));
-    coords[i] = geom::grid_coord(unit, curve_.bits());
+    out[i] = geom::grid_coord(unit, curve_.bits());
   }
+}
+
+util::BigUint LandmarkSet::landmark_number(
+    const LandmarkVector& vector) const {
+  const auto dims = static_cast<std::size_t>(curve_.dims());
+  std::vector<std::uint32_t> coords(dims);
+  quantize_into(vector, coords);
   return curve_.index(coords);
+}
+
+util::BigUint LandmarkSet::landmark_number(
+    const LandmarkVector& vector,
+    std::span<std::uint32_t> coords_scratch) const {
+  const auto dims = static_cast<std::size_t>(curve_.dims());
+  TO_EXPECTS(coords_scratch.size() >= dims);
+  const std::span<std::uint32_t> coords = coords_scratch.first(dims);
+  quantize_into(vector, coords);
+  // Aliased call: the quantized coords double as the encoder's working
+  // buffer, so the whole derivation is allocation-free.
+  return curve_.index(coords, coords);
+}
+
+void LandmarkSet::landmark_numbers(std::span<const LandmarkVector> vectors,
+                                   std::vector<std::uint32_t>& coords_arena,
+                                   std::span<util::BigUint> out) const {
+  TO_EXPECTS(out.size() >= vectors.size());
+  const auto dims = static_cast<std::size_t>(curve_.dims());
+  coords_arena.resize(vectors.size() * dims);
+  for (std::size_t i = 0; i < vectors.size(); ++i)
+    quantize_into(vectors[i],
+                  std::span(coords_arena).subspan(i * dims, dims));
+  curve_.index_many(coords_arena, out.first(vectors.size()));
 }
 
 double LandmarkSet::unit_number(const LandmarkVector& vector) const {

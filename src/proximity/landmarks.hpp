@@ -30,6 +30,22 @@ using LandmarkVector = std::vector<double>;
 /// Euclidean distance between two landmark vectors.
 double vector_distance(const LandmarkVector& a, const LandmarkVector& b);
 
+/// Squared Euclidean distance — the comparison-only variant. Ordering by
+/// squared distance equals ordering by distance (sqrt is monotone), so
+/// ranking and selection comparators use this and skip the sqrt; keep
+/// vector_distance for anything that *reports* a distance.
+double squared_distance(const LandmarkVector& a, const LandmarkVector& b);
+
+/// Dense ranking kernel over a dim-major SoA buffer:
+/// out[i] = sum_d (soa[d * count + i] - query[d])^2 for i < count. Each
+/// dimension's pass is a contiguous streaming loop over `count` lanes
+/// (auto-vectorizable), and the per-candidate accumulation order matches
+/// squared_distance(), so the results are bit-identical to the scalar
+/// calls.
+void squared_distances_soa(std::span<const double> soa, std::size_t count,
+                           const LandmarkVector& query,
+                           std::span<double> out);
+
 struct LandmarkConfig {
   int bits_per_dim = 6;  // grid resolution per landmark-space axis ("x")
   /// Number of leading vector components used to compute the landmark
@@ -60,12 +76,49 @@ class LandmarkSet {
   /// separate from the candidate-probe budget).
   LandmarkVector measure(net::RttOracle& oracle, net::HostId host) const;
 
+  /// Bulk measurement for a join wave: probes landmark-major, so the
+  /// oracle's engine walks its per-landmark state once per landmark
+  /// instead of once per (host, landmark) pair. `out[i]` receives
+  /// hosts[i]'s vector (each element is resized in place, reusing its
+  /// heap buffer); `column_arena` is the caller-owned scratch column.
+  /// Probe counts and values match per-host measure() calls exactly —
+  /// callers needing scalar-identical measurement-noise draws must keep
+  /// the scalar loop (the facade's join_many does).
+  void measure_many(net::RttOracle& oracle,
+                    std::span<const net::HostId> hosts,
+                    std::span<LandmarkVector> out,
+                    std::vector<double>& column_arena) const;
+
   /// Landmarks sorted by increasing RTT: the landmark ordering.
   std::vector<int> ordering(const LandmarkVector& vector) const;
 
   /// Scalar landmark number: Hilbert index of the quantized vector (or of
   /// its leading vector_index_size components).
   util::BigUint landmark_number(const LandmarkVector& vector) const;
+
+  /// Allocation-free variant: `coords_scratch` (size >= curve dims) holds
+  /// the quantized coordinates and is clobbered by the in-place encode.
+  util::BigUint landmark_number(const LandmarkVector& vector,
+                                std::span<std::uint32_t> coords_scratch) const;
+
+  /// Grid dimensionality of the landmark-number curve (min(m,
+  /// vector_index_size) when the index optimization is on, m otherwise) —
+  /// the per-tuple width of the bulk-encode arenas below.
+  int number_dims() const { return curve_.dims(); }
+
+  /// Quantizes `vector`'s leading number_dims() components onto the
+  /// landmark-space grid.
+  void quantize_into(const LandmarkVector& vector,
+                     std::span<std::uint32_t> out) const;
+
+  /// Bulk encode for a join wave: quantizes every vector into
+  /// `coords_arena` (resized to vectors.size() * number_dims()) and
+  /// Hilbert-encodes the whole wave through HilbertCurve::index_many.
+  /// out[i] == landmark_number(vectors[i]), with zero per-node
+  /// allocations once the arena has warmed up.
+  void landmark_numbers(std::span<const LandmarkVector> vectors,
+                        std::vector<std::uint32_t>& coords_arena,
+                        std::span<util::BigUint> out) const;
 
   /// Total bits of a landmark number.
   int number_bits() const { return curve_.index_bits(); }

@@ -16,10 +16,12 @@ std::vector<net::HostId> rank_by_landmark_distance(
   const std::size_t keep = std::min(limit, database.size());
   std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
                     order.end(), [&](std::size_t a, std::size_t b) {
-                      return vector_distance(database[a].vector,
-                                             query_vector) <
-                             vector_distance(database[b].vector,
-                                             query_vector);
+                      // Comparison-only ranking: squared distances give
+                      // the same order without the sqrt per comparison.
+                      return squared_distance(database[a].vector,
+                                              query_vector) <
+                             squared_distance(database[b].vector,
+                                              query_vector);
                     });
   std::vector<net::HostId> hosts;
   hosts.reserve(keep);

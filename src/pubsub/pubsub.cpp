@@ -16,13 +16,22 @@ PubSubService::PubSubService(overlay::EcanNetwork& ecan,
 SubscriptionId PubSubService::subscribe(Subscription subscription) {
   TO_EXPECTS(subscription.subscriber != overlay::kInvalidNode);
   const SubscriptionId id = next_id_++;
+  by_cell_[subscription.cell_key].push_back(id);
   subscriptions_.emplace(id, std::move(subscription));
   ++stats_.subscriptions;
   return id;
 }
 
 void PubSubService::unsubscribe(SubscriptionId id) {
-  subscriptions_.erase(id);
+  const auto it = subscriptions_.find(id);
+  if (it != subscriptions_.end()) {
+    const auto bucket = by_cell_.find(it->second.cell_key);
+    if (bucket != by_cell_.end()) {
+      std::erase(bucket->second, id);
+      if (bucket->second.empty()) by_cell_.erase(bucket);
+    }
+    subscriptions_.erase(it);
+  }
   seen_.erase(id);
 }
 
@@ -39,19 +48,22 @@ Subscription* PubSubService::find(SubscriptionId id) {
   return it == subscriptions_.end() ? nullptr : &it->second;
 }
 
-void PubSubService::deliver(overlay::NodeId from,
-                            const Subscription& subscription,
+void PubSubService::deliver(overlay::NodeId from, overlay::NodeId subscriber,
                             Notification notification) {
   // The notification travels from the map owner to the subscriber over the
-  // overlay; account the hops.
-  if (ecan_->alive(from) && ecan_->alive(subscription.subscriber)) {
-    const overlay::RouteResult route = ecan_->route_ecan(
-        from, ecan_->node(subscription.subscriber).zone.center());
-    stats_.route_hops += route.hops();
+  // overlay; account the hops. The route scratch is done with before the
+  // handler runs, so a handler that republishes can safely reuse it.
+  if (ecan_->alive(from) && ecan_->alive(subscriber)) {
+    const bool success = ecan_->route_ecan(
+        from, ecan_->node(subscriber).zone.center(), route_scratch_);
+    (void)success;
+    stats_.route_hops += route_scratch_.path.empty()
+                             ? 0
+                             : route_scratch_.path.size() - 1;
     if (fault_plane_ != nullptr && fault_plane_->active() &&
-        !route.path.empty()) {
+        !route_scratch_.path.empty()) {
       const auto verdict = fault_plane_->message_via(
-          sim::MessageKind::kNotify, route.path,
+          sim::MessageKind::kNotify, route_scratch_.path,
           [&](overlay::NodeId id) { return ecan_->node(id).host; });
       if (!verdict.delivered()) {
         // A missed notification is not an error in the soft-state model:
@@ -63,61 +75,94 @@ void PubSubService::deliver(overlay::NodeId from,
     }
   }
   ++stats_.notifications;
-  if (handler_) handler_(subscription.subscriber, notification);
+  if (handler_) handler_(subscriber, notification);
+}
+
+void PubSubService::match_one(
+    SubscriptionId id, Subscription& subscription,
+    const softstate::StoredEntry& stored,
+    std::vector<std::pair<overlay::NodeId, Notification>>& matched) {
+  if (subscription.level != stored.level ||
+      subscription.cell_key != stored.cell_key)
+    return;
+  if (stored.entry.node == subscription.subscriber) return;
+  ++stats_.predicate_evaluations;
+
+  // Load watch on the current representative.
+  if (stored.entry.node == subscription.watched &&
+      stored.entry.capacity > 0.0 &&
+      stored.entry.load / stored.entry.capacity >=
+          subscription.load_threshold) {
+    Notification n;
+    n.reason = Notification::Reason::kLoadExceeded;
+    n.subscription = id;
+    n.entry = stored.entry;
+    matched.emplace_back(subscription.subscriber, std::move(n));
+    return;
+  }
+
+  // New-node watch.
+  if (subscription.notify_on_new_node) {
+    if (seen_[id].insert(stored.entry.node).second) {
+      Notification n;
+      n.reason = Notification::Reason::kNewNode;
+      n.subscription = id;
+      n.entry = stored.entry;
+      matched.emplace_back(subscription.subscriber, std::move(n));
+      return;
+    }
+  }
+
+  // Closer-candidate watch. Full (not squared) distance: the threshold is
+  // the reported distance the subscriber stored via update_watch.
+  const double distance =
+      proximity::vector_distance(stored.entry.vector, subscription.vector);
+  if (distance <
+      subscription.current_best_distance * subscription.closer_margin) {
+    Notification n;
+    n.reason = Notification::Reason::kCloserCandidate;
+    n.subscription = id;
+    n.entry = stored.entry;
+    matched.emplace_back(subscription.subscriber, std::move(n));
+  }
 }
 
 void PubSubService::on_publish(overlay::NodeId owner,
                                const softstate::StoredEntry& stored) {
   // Two phases: match first, deliver after — the handler may mutate the
   // subscription table (re-subscribe, update_watch), which must not happen
-  // while iterating it.
-  std::vector<std::pair<Subscription, Notification>> matched;
-  for (auto& [id, subscription] : subscriptions_) {
-    if (subscription.level != stored.level ||
-        subscription.cell_key != stored.cell_key)
-      continue;
-    if (stored.entry.node == subscription.subscriber) continue;
-    ++stats_.predicate_evaluations;
+  // while iterating it. The match buffer is a member reused across
+  // publishes; a handler that republishes re-enters here and falls back to
+  // a local buffer.
+  std::vector<std::pair<overlay::NodeId, Notification>> local;
+  auto& matched = match_depth_ == 0 ? matched_scratch_ : local;
+  ++match_depth_;
+  matched.clear();
 
-    // Load watch on the current representative.
-    if (stored.entry.node == subscription.watched &&
-        stored.entry.capacity > 0.0 &&
-        stored.entry.load / stored.entry.capacity >=
-            subscription.load_threshold) {
-      Notification n;
-      n.reason = Notification::Reason::kLoadExceeded;
-      n.subscription = id;
-      n.entry = stored.entry;
-      matched.emplace_back(subscription, std::move(n));
-      continue;
-    }
-
-    // New-node watch.
-    if (subscription.notify_on_new_node) {
-      if (seen_[id].insert(stored.entry.node).second) {
-        Notification n;
-        n.reason = Notification::Reason::kNewNode;
-        n.subscription = id;
-        n.entry = stored.entry;
-        matched.emplace_back(subscription, std::move(n));
-        continue;
-      }
-    }
-
-    // Closer-candidate watch.
-    const double distance = proximity::vector_distance(
-        stored.entry.vector, subscription.vector);
-    if (distance <
-        subscription.current_best_distance * subscription.closer_margin) {
-      Notification n;
-      n.reason = Notification::Reason::kCloserCandidate;
-      n.subscription = id;
-      n.entry = stored.entry;
-      matched.emplace_back(subscription, std::move(n));
-    }
+  if (reference_matcher_) {
+    // Seed-era cost model: every publish scans the whole table. Matches
+    // are sorted into ascending-id order, which is exactly the order the
+    // per-map index below produces.
+    for (auto& [id, subscription] : subscriptions_)
+      match_one(id, subscription, stored, matched);
+    std::sort(matched.begin(), matched.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.subscription < b.second.subscription;
+              });
+  } else {
+    // One-traversal-many-subscribers: only the published map's own bucket
+    // is evaluated. Buckets hold ids in ascending order (monotone next_id_,
+    // appended on subscribe), so no sort is needed — delivery order is
+    // identical to the reference matcher.
+    const auto bucket = by_cell_.find(stored.cell_key);
+    if (bucket != by_cell_.end())
+      for (const SubscriptionId id : bucket->second)
+        match_one(id, subscriptions_.at(id), stored, matched);
   }
-  for (auto& [subscription, notification] : matched)
-    deliver(owner, subscription, std::move(notification));
+
+  for (auto& [subscriber, notification] : matched)
+    deliver(owner, subscriber, std::move(notification));
+  --match_depth_;
 }
 
 void PubSubService::notify_departure(overlay::NodeId departed) {
@@ -127,7 +172,8 @@ void PubSubService::notify_departure(overlay::NodeId departed) {
     (void)id;
     seen.erase(departed);
   }
-  // Two-phase for the same reason as on_publish.
+  // Two-phase for the same reason as on_publish. Departure watches are
+  // keyed by the watched node, not by map, so this stays a full scan.
   std::vector<std::pair<overlay::NodeId, Notification>> matched;
   for (auto& [id, subscription] : subscriptions_) {
     if (subscription.watched != departed) continue;
@@ -136,6 +182,10 @@ void PubSubService::notify_departure(overlay::NodeId departed) {
     n.subscription = id;
     matched.emplace_back(subscription.subscriber, std::move(n));
   }
+  std::sort(matched.begin(), matched.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.subscription < b.second.subscription;
+            });
   // Delivered as part of the departure protocol (the proactive map update);
   // one message per watcher, no extra routing charged beyond the publish.
   for (auto& [subscriber, notification] : matched) {

@@ -108,9 +108,33 @@ class PubSubService {
 
   std::size_t active_subscriptions() const { return subscriptions_.size(); }
 
+  /// Visits every live subscription as (id, Subscription); unspecified
+  /// order. The equivalence tests use this to compare full subscription
+  /// tables across systems.
+  template <typename Fn>
+  void for_each_subscription(Fn&& fn) const {
+    for (const auto& [id, subscription] : subscriptions_)
+      fn(id, subscription);
+  }
+
+  /// Match each publish by scanning the whole subscription table (the
+  /// seed-era cost model) instead of the per-map index. Delivery order and
+  /// every notification are identical either way — ascending subscription
+  /// id — so this knob exists for the matcher-equivalence tests and the
+  /// join bench's scalar-reference mode, exactly like
+  /// MapConfig::use_reference_router.
+  void set_reference_matcher(bool on) { reference_matcher_ = on; }
+  bool reference_matcher() const { return reference_matcher_; }
+
  private:
   void on_publish(overlay::NodeId owner, const softstate::StoredEntry& entry);
-  void deliver(overlay::NodeId from, const Subscription& subscription,
+  /// Evaluates one subscription's predicates against a placed entry,
+  /// appending to `matched` (subscriber + ready notification) on a hit.
+  void match_one(SubscriptionId id, Subscription& subscription,
+                 const softstate::StoredEntry& stored,
+                 std::vector<std::pair<overlay::NodeId, Notification>>&
+                     matched);
+  void deliver(overlay::NodeId from, overlay::NodeId subscriber,
                Notification notification);
 
   overlay::EcanNetwork* ecan_;
@@ -118,12 +142,25 @@ class PubSubService {
   sim::FaultPlane* fault_plane_ = nullptr;
   Handler handler_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  /// One-traversal-many-subscribers fan-out: subscription ids bucketed by
+  /// the map they watch (the packed cell key encodes level + cell), so a
+  /// placed entry touches exactly its own map's subscribers instead of
+  /// scanning the whole table. Ids are appended in creation order and ids
+  /// are monotone, so each bucket is already in ascending-id (delivery)
+  /// order.
+  std::unordered_map<std::uint64_t, std::vector<SubscriptionId>> by_cell_;
   // Which nodes each new-node watch has already seen. Departed nodes are
   // purged in notify_departure so a rejoin counts as new again.
   std::unordered_map<SubscriptionId, std::unordered_set<overlay::NodeId>>
       seen_;
   SubscriptionId next_id_ = 1;
   PubSubStats stats_;
+  bool reference_matcher_ = false;
+  /// Scratch reused across publishes (guarded for re-entrant publishes:
+  /// a handler that republishes falls back to a local buffer).
+  std::vector<std::pair<overlay::NodeId, Notification>> matched_scratch_;
+  int match_depth_ = 0;
+  overlay::RouteScratch route_scratch_;
 };
 
 }  // namespace topo::pubsub

@@ -137,12 +137,13 @@ std::vector<ChordMapEntry> ChordMapService::lookup(
 
   // Distance ties are broken by node id so the returned prefix is
   // deterministic regardless of collection order. Each candidate's
-  // distance is computed once, not on every comparison.
+  // distance is computed once, not on every comparison — and squared,
+  // since the value only ever feeds this comparison.
   std::vector<std::pair<double, const ChordMapEntry*>> ranked;
   ranked.reserve(found.size());
   for (const ChordMapEntry* entry : found)
-    ranked.emplace_back(proximity::vector_distance(entry->vector,
-                                                   querier_vector),
+    ranked.emplace_back(proximity::squared_distance(entry->vector,
+                                                    querier_vector),
                         entry);
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {

@@ -119,28 +119,6 @@ Store* BasicMapService<Store>::find_store(overlay::NodeId node) {
 }
 
 template <typename Store>
-template <typename Fn>
-void BasicMapService<Store>::for_each_store(Fn&& fn) {
-  if constexpr (Store::kReferenceCostModel) {
-    for (auto& [owner, store] : stores_) fn(owner, store);
-  } else {
-    for (std::size_t id = 0; id < stores_.size(); ++id)
-      fn(static_cast<overlay::NodeId>(id), stores_[id]);
-  }
-}
-
-template <typename Store>
-template <typename Fn>
-void BasicMapService<Store>::for_each_store(Fn&& fn) const {
-  if constexpr (Store::kReferenceCostModel) {
-    for (const auto& [owner, store] : stores_) fn(owner, store);
-  } else {
-    for (std::size_t id = 0; id < stores_.size(); ++id)
-      fn(static_cast<overlay::NodeId>(id), stores_[id]);
-  }
-}
-
-template <typename Store>
 bool BasicMapService<Store>::route_to(overlay::NodeId from,
                                       const geom::Point& position) {
   if (config_.use_reference_router) {
@@ -165,8 +143,21 @@ template <typename Store>
 std::size_t BasicMapService<Store>::publish(
     overlay::NodeId node, const proximity::LandmarkVector& vector,
     sim::Time now, double load, double capacity) {
-  return publish(node, vector, landmarks_->landmark_number(vector), now,
-                 load, capacity);
+  if constexpr (Store::kReferenceCostModel) {
+    // Seed-era derivation cost: a temporary coordinate vector plus the
+    // encoder's own working copy, allocated per publish.
+    return publish(node, vector, landmarks_->landmark_number(vector), now,
+                   load, capacity);
+  } else {
+    // Identical number, derived through the caller-owned scratch so a
+    // publish without a cached number still allocates nothing.
+    number_coords_scratch_.resize(
+        static_cast<std::size_t>(landmarks_->number_dims()));
+    return publish(
+        node, vector,
+        landmarks_->landmark_number(vector, number_coords_scratch_), now,
+        load, capacity);
+  }
 }
 
 template <typename Store>
@@ -347,9 +338,9 @@ std::vector<MapEntry> BasicMapService<Store>::lookup_entries(
     int level, std::span<const std::uint32_t> cell, sim::Time now,
     LookupResult* meta) {
   std::vector<MapEntry> entries;
-  const std::size_t count = lookup_entries_into(
-      querier, querier_vector, landmarks_->landmark_number(querier_vector),
-      level, cell, now, entries, meta);
+  const std::size_t count = lookup_entries_into(querier, querier_vector,
+                                                level, cell, now, entries,
+                                                meta);
   entries.resize(count);
   return entries;
 }
@@ -469,9 +460,12 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
                       found.begin() + static_cast<std::ptrdiff_t>(ranked),
                       found.end(),
                       [&](const StoredEntry* a, const StoredEntry* b) {
-                        const double da = proximity::vector_distance(
+                        // Squared distances: same ordering as the fast
+                        // path's SoA kernel (and sqrt-free like it), still
+                        // recomputed per comparison as the seed did.
+                        const double da = proximity::squared_distance(
                             a->entry.vector, querier_vector);
-                        const double db = proximity::vector_distance(
+                        const double db = proximity::squared_distance(
                             b->entry.vector, querier_vector);
                         if (da != db) return da < db;
                         return a->entry.node < b->entry.node;
@@ -541,13 +535,28 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
     // them by node id — without a total order the partial-sort prefix
     // would be implementation-defined.
     std::size_t self_entries = 0;
+    const std::size_t found_count = found_scratch_.size();
+    const std::size_t m = querier_vector.size();
+    // Rank keys through the SoA microkernel: transpose the candidates'
+    // vectors into a dim-major buffer once, then one vectorizable pass
+    // computes every squared distance. Same keys as calling
+    // squared_distance per candidate, minus the strided cache misses.
+    soa_scratch_.resize(found_count * m);
+    dist_scratch_.resize(found_count);
+    for (std::size_t i = 0; i < found_count; ++i) {
+      const proximity::LandmarkVector& v = found_scratch_[i]->entry.vector;
+      TO_EXPECTS(v.size() == m);
+      for (std::size_t d = 0; d < m; ++d)
+        soa_scratch_[d * found_count + i] = v[d];
+    }
+    proximity::squared_distances_soa(soa_scratch_, found_count,
+                                     querier_vector, dist_scratch_);
     ranked_scratch_.clear();
-    ranked_scratch_.reserve(found_scratch_.size());
-    for (const StoredEntry* stored : found_scratch_) {
-      if (stored->entry.node == querier) ++self_entries;
-      ranked_scratch_.push_back(RankedRef{
-          proximity::vector_distance(stored->entry.vector, querier_vector),
-          stored});
+    ranked_scratch_.reserve(found_count);
+    for (std::size_t i = 0; i < found_count; ++i) {
+      if (found_scratch_[i]->entry.node == querier) ++self_entries;
+      ranked_scratch_.push_back(
+          RankedRef{dist_scratch_[i], found_scratch_[i]});
     }
     const std::size_t ranked =
         std::min(ranked_scratch_.size(), config_.max_return + self_entries);
@@ -576,6 +585,25 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
   stats_.route_hops += result.route_hops;
   if (meta != nullptr) *meta = result;
   return count;
+}
+
+template <typename Store>
+std::size_t BasicMapService<Store>::lookup_entries_into(
+    overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+    int level, std::span<const std::uint32_t> cell, sim::Time now,
+    std::vector<MapEntry>& out, LookupResult* meta) {
+  if constexpr (Store::kReferenceCostModel) {
+    return lookup_entries_into(querier, querier_vector,
+                               landmarks_->landmark_number(querier_vector),
+                               level, cell, now, out, meta);
+  } else {
+    number_coords_scratch_.resize(
+        static_cast<std::size_t>(landmarks_->number_dims()));
+    return lookup_entries_into(
+        querier, querier_vector,
+        landmarks_->landmark_number(querier_vector, number_coords_scratch_),
+        level, cell, now, out, meta);
+  }
 }
 
 template <typename Store>

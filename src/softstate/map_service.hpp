@@ -273,6 +273,14 @@ class BasicMapService {
       std::span<const std::uint32_t> cell, sim::Time now,
       std::vector<MapEntry>& out, LookupResult* meta = nullptr);
 
+  /// As above for callers without a cached landmark number: the number is
+  /// derived through service-owned scratch, so the call still allocates
+  /// nothing once warmed up.
+  std::size_t lookup_entries_into(
+      overlay::NodeId querier, const proximity::LandmarkVector& querier_vector,
+      int level, std::span<const std::uint32_t> cell, sim::Time now,
+      std::vector<MapEntry>& out, LookupResult* meta = nullptr);
+
   /// Proactive removal at graceful departure ("the most proactive measure
   /// is to update the map when a node is about to depart"). Call *before*
   /// the node leaves the overlay.
@@ -331,6 +339,17 @@ class BasicMapService {
   /// currently owns the entry's position (holds after any sequence of
   /// joins/leaves when the migration protocol is followed).
   bool check_placement_invariant() const;
+
+  /// Visits every stored entry with its hosting owner (iteration order is
+  /// store-internal). The batched-join equivalence tests use this to
+  /// compare full map contents across services.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for_each_store([&](overlay::NodeId owner, const Store& store) {
+      store.for_each(
+          [&](const StoredEntry& stored) { fn(owner, stored); });
+    });
+  }
 
   /// Installs the shared fault plane: every publish/lookup/repair message
   /// consults it before being considered delivered. Pass nullptr to
@@ -401,9 +420,23 @@ class BasicMapService {
   /// the sweep/stats paths iterate. Dense iteration includes empty
   /// stores; callers already treat empty as absent.
   template <typename Fn>
-  void for_each_store(Fn&& fn);
+  void for_each_store(Fn&& fn) {
+    if constexpr (Store::kReferenceCostModel) {
+      for (auto& [owner, store] : stores_) fn(owner, store);
+    } else {
+      for (std::size_t id = 0; id < stores_.size(); ++id)
+        fn(static_cast<overlay::NodeId>(id), stores_[id]);
+    }
+  }
   template <typename Fn>
-  void for_each_store(Fn&& fn) const;
+  void for_each_store(Fn&& fn) const {
+    if constexpr (Store::kReferenceCostModel) {
+      for (const auto& [owner, store] : stores_) fn(owner, store);
+    } else {
+      for (std::size_t id = 0; id < stores_.size(); ++id)
+        fn(static_cast<overlay::NodeId>(id), stores_[id]);
+    }
+  }
 
   /// Routes a map message from `from` to the owner of `position` using
   /// the configured router; the hop path lands in route_scratch_.path.
@@ -490,13 +523,23 @@ class BasicMapService {
 
   /// A candidate with its sort key precomputed: the seed recomputed the
   /// landmark distance inside the sort comparator, which gprofng puts at
-  /// ~1/3 of lookup-heavy runs.
+  /// ~1/3 of lookup-heavy runs. The key is the *squared* landmark
+  /// distance — ordering is unchanged (sqrt is monotone) and the rank
+  /// pass sheds one sqrt per candidate.
   struct RankedRef {
-    double distance;
+    double distance;  // squared landmark distance to the querier
     const StoredEntry* stored;
   };
   std::vector<const StoredEntry*> found_scratch_;
   std::vector<RankedRef> ranked_scratch_;
+  /// Dim-major SoA copy of the candidates' vectors plus the per-candidate
+  /// squared distances, feeding the vectorizable ranking kernel
+  /// (proximity::squared_distances_soa).
+  std::vector<double> soa_scratch_;
+  std::vector<double> dist_scratch_;
+  /// Quantized-coordinate scratch for deriving a landmark number on the
+  /// non-cached publish path without the seed's temporary vectors.
+  std::vector<std::uint32_t> number_coords_scratch_;
   std::vector<overlay::NodeId> ring_scratch_;
   std::vector<overlay::NodeId> next_ring_scratch_;
   /// Visited set for the ring expansion as an epoch-stamped array over

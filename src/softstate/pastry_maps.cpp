@@ -166,11 +166,12 @@ std::vector<PastryMapEntry> PastryMapService::lookup(
 
   // Distance ties are broken by node id so the returned prefix is
   // deterministic regardless of collection order. Each candidate's
-  // distance is computed once, not on every comparison.
+  // distance is computed once, not on every comparison — and squared,
+  // since the value only ever feeds this comparison.
   std::vector<std::pair<double, const PastryMapEntry*>> ranked;
   ranked.reserve(found.size());
   for (const PastryMapEntry* entry : found)
-    ranked.emplace_back(proximity::vector_distance(entry->vector, vector),
+    ranked.emplace_back(proximity::squared_distance(entry->vector, vector),
                         entry);
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {

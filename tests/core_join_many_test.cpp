@@ -1,0 +1,211 @@
+// join_many ≡ N × join: the batched join fast path must leave the system
+// in exactly the state an equivalent sequence of scalar joins produces —
+// zones, routing tables, map contents, subscriptions, and every stat —
+// across seeds, RTT engines, fault-plane on/off, and measurement noise.
+#include "core/soft_state_overlay.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::core {
+namespace {
+
+net::Topology make_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology t = net::generate_transit_stub(net::tsk_tiny(), rng);
+  net::assign_latencies(t, net::LatencyModel::kManual, rng);
+  return t;
+}
+
+std::vector<net::HostId> wave_hosts(const net::Topology& t,
+                                    std::uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<net::HostId> hosts;
+  hosts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    hosts.push_back(static_cast<net::HostId>(rng.next_u64(t.host_count())));
+  return hosts;
+}
+
+/// Full-precision, order-independent dump of everything a join touches.
+std::string snapshot(SoftStateOverlay& s) {
+  std::ostringstream out;
+  out.precision(17);
+  const auto& ecan = s.ecan();
+
+  // Zones + expressway tables per live node.
+  for (overlay::NodeId id = 0; id < ecan.slot_count(); ++id) {
+    if (!ecan.alive(id)) continue;
+    out << "node " << id << " host " << ecan.node(id).host << " zone";
+    for (std::size_t d = 0; d < ecan.dims(); ++d)
+      out << ' ' << ecan.node(id).zone.lo(d) << ' '
+          << ecan.node(id).zone.hi(d);
+    const int levels = ecan.node_level(id);
+    out << " levels " << levels << " table";
+    for (int h = 1; h <= levels; ++h)
+      for (std::size_t dim = 0; dim < ecan.dims(); ++dim)
+        for (int dir = 0; dir < 2; ++dir)
+          out << ' ' << ecan.table_entry(id, h, dim, dir);
+    out << '\n';
+  }
+
+  // Map contents, sorted for container-order independence.
+  std::vector<std::string> entries;
+  s.maps().for_each_entry(
+      [&](overlay::NodeId owner, const softstate::StoredEntry& stored) {
+        std::ostringstream line;
+        line.precision(17);
+        line << "entry owner " << owner << " level " << stored.level
+             << " cell " << stored.cell_key << " node " << stored.entry.node
+             << " host " << stored.entry.host << " num "
+             << stored.entry.landmark_number.low64() << ' '
+             << stored.entry.landmark_number.to_unit(64) << " load "
+             << stored.entry.load << " cap " << stored.entry.capacity
+             << " t " << stored.entry.published_at << ' '
+             << stored.entry.expires_at << " vec";
+        for (const double v : stored.entry.vector) line << ' ' << v;
+        entries.push_back(line.str());
+      });
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& line : entries) out << line << '\n';
+
+  // Subscription table, sorted by id (ids are assigned in protocol order,
+  // so they match across equivalent runs).
+  std::vector<std::string> subs;
+  s.pubsub().for_each_subscription(
+      [&](pubsub::SubscriptionId id, const pubsub::Subscription& sub) {
+        std::ostringstream line;
+        line.precision(17);
+        line << "sub " << id << " by " << sub.subscriber << " level "
+             << sub.level << " cell " << sub.cell_key << " watched "
+             << sub.watched << " best " << sub.current_best_distance;
+        subs.push_back(line.str());
+      });
+  std::sort(subs.begin(), subs.end());
+  for (const std::string& line : subs) out << line << '\n';
+
+  // Every counter the join protocol moves.
+  const SystemStats& st = s.stats();
+  out << "sys " << st.joins << ' ' << st.reselections << ' '
+      << st.republishes << '\n';
+  const auto& ms = s.maps().stats();
+  out << "maps " << ms.publishes << ' ' << ms.lookups << ' '
+      << ms.route_hops << ' ' << ms.expired_entries << ' '
+      << ms.lazy_deletions << ' ' << ms.lost_messages << ' '
+      << ms.failed_routes << ' ' << ms.publish_messages << ' '
+      << ms.blocked_publishes << '\n';
+  const auto& ps = s.pubsub().stats();
+  out << "pubsub " << ps.subscriptions << ' ' << ps.notifications << ' '
+      << ps.route_hops << ' ' << ps.predicate_evaluations << ' '
+      << ps.dropped_notifications << '\n';
+  out << "probes " << s.oracle().probe_count() << '\n';
+  return out.str();
+}
+
+struct Variant {
+  std::uint64_t seed;
+  net::RttEngineKind engine;
+  bool faults;
+  double noise;
+};
+
+class JoinManyEquivalence : public ::testing::TestWithParam<Variant> {};
+
+SystemConfig variant_config(const Variant& v) {
+  SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  config.seed = v.seed;
+  config.rtt_engine = v.engine;
+  if (v.faults) {
+    config.fault.message_loss = 0.05;
+    config.fault.publish_loss = 0.05;
+  }
+  return config;
+}
+
+TEST_P(JoinManyEquivalence, WaveMatchesScalarSequence) {
+  const Variant v = GetParam();
+  const net::Topology t = make_topology(v.seed);
+  const auto hosts = wave_hosts(t, v.seed * 31 + 7, 96);
+
+  SoftStateOverlay scalar(t, variant_config(v));
+  SoftStateOverlay batched(t, variant_config(v));
+  if (v.noise > 0.0) {
+    scalar.oracle().set_measurement_noise(v.noise, 77);
+    batched.oracle().set_measurement_noise(v.noise, 77);
+  }
+
+  std::vector<overlay::NodeId> scalar_ids;
+  scalar_ids.reserve(hosts.size());
+  for (const net::HostId host : hosts) scalar_ids.push_back(scalar.join(host));
+
+  JoinWaveStats ws;
+  const std::vector<overlay::NodeId> batched_ids =
+      batched.join_many(hosts, &ws);
+
+  EXPECT_EQ(batched_ids, scalar_ids);
+  EXPECT_EQ(ws.wave_size, hosts.size());
+  EXPECT_EQ(ws.bulk_measured, v.noise == 0.0);
+  EXPECT_EQ(snapshot(batched), snapshot(scalar));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, JoinManyEquivalence,
+    ::testing::Values(
+        Variant{1, net::RttEngineKind::kDijkstra, false, 0.0},
+        Variant{2, net::RttEngineKind::kDijkstra, true, 0.0},
+        Variant{3, net::RttEngineKind::kHierarchical, false, 0.0},
+        Variant{4, net::RttEngineKind::kHierarchical, true, 0.0},
+        Variant{5, net::RttEngineKind::kDijkstra, false, 0.2},
+        Variant{6, net::RttEngineKind::kHierarchical, true, 0.2}));
+
+TEST(JoinMany, WaveOnExistingOverlayMatchesScalar) {
+  // join_many must compose with prior scalar joins (non-empty overlay) and
+  // with waves issued back to back.
+  const net::Topology t = make_topology(9);
+  SystemConfig config;
+  config.landmark_count = 8;
+  config.rtt_budget = 8;
+  config.seed = 9;
+  const auto hosts = wave_hosts(t, 100, 80);
+
+  SoftStateOverlay scalar(t, config);
+  SoftStateOverlay batched(t, config);
+  for (std::size_t i = 0; i < 16; ++i) {
+    scalar.join(hosts[i]);
+    batched.join(hosts[i]);
+  }
+  const std::span<const net::HostId> rest(hosts.data() + 16,
+                                          hosts.size() - 16);
+  for (const net::HostId host : rest) scalar.join(host);
+  // Two half waves: arena reuse across waves must not leak state.
+  batched.join_many(rest.subspan(0, rest.size() / 2));
+  batched.join_many(rest.subspan(rest.size() / 2));
+
+  EXPECT_EQ(snapshot(batched), snapshot(scalar));
+}
+
+TEST(JoinMany, EmptyWaveIsANoOp) {
+  const net::Topology t = make_topology(11);
+  SystemConfig config;
+  config.landmark_count = 8;
+  config.seed = 11;
+  SoftStateOverlay system(t, config);
+  JoinWaveStats ws;
+  ws.wave_size = 123;  // must be overwritten
+  EXPECT_TRUE(system.join_many({}, &ws).empty());
+  EXPECT_EQ(ws.wave_size, 0u);
+  EXPECT_EQ(system.stats().joins, 0u);
+}
+
+}  // namespace
+}  // namespace topo::core

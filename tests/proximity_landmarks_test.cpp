@@ -143,6 +143,89 @@ TEST(LandmarkSet, UnitNumberInUnitInterval) {
   }
 }
 
+TEST(SquaredDistance, IsTheSquareUnderTheSameAccumulation) {
+  // vector_distance is sqrt of the same dim-order accumulation, so the two
+  // must agree bit-for-bit through sqrt.
+  util::Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + rng.next_u64(20);
+    LandmarkVector a(m), b(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      a[i] = rng.next_double(0.0, 400.0);
+      b[i] = rng.next_double(0.0, 400.0);
+    }
+    EXPECT_EQ(vector_distance(a, b), std::sqrt(squared_distance(a, b)));
+    EXPECT_EQ(squared_distance(a, b), squared_distance(b, a));
+  }
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(SquaredDistancesSoa, BitIdenticalToScalarKernel) {
+  util::Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 1 + rng.next_u64(16);
+    const std::size_t count = 1 + rng.next_u64(40);
+    LandmarkVector query(m);
+    for (auto& q : query) q = rng.next_double(0.0, 400.0);
+    std::vector<LandmarkVector> candidates(count, LandmarkVector(m));
+    std::vector<double> soa(m * count);
+    for (std::size_t i = 0; i < count; ++i)
+      for (std::size_t d = 0; d < m; ++d) {
+        candidates[i][d] = rng.next_double(0.0, 400.0);
+        soa[d * count + i] = candidates[i][d];  // dim-major lanes
+      }
+    std::vector<double> out(count);
+    squared_distances_soa(soa, count, query, out);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(out[i], squared_distance(candidates[i], query)) << i;
+  }
+}
+
+TEST(LandmarkSet, MeasureManyMatchesScalarMeasure) {
+  Fixture f(23);
+  util::Rng rng(24);
+  const LandmarkSet set = LandmarkSet::choose_random(f.topology, 9, rng, {});
+  std::vector<net::HostId> hosts;
+  for (net::HostId h = 0; h < f.topology.host_count(); h += 3)
+    hosts.push_back(h);
+
+  f.oracle->reset_probe_count();
+  std::vector<LandmarkVector> bulk(hosts.size());
+  std::vector<double> column;
+  set.measure_many(*f.oracle, hosts, bulk, column);
+  const std::uint64_t bulk_probes = f.oracle->probe_count();
+
+  f.oracle->reset_probe_count();
+  for (std::size_t i = 0; i < hosts.size(); ++i)
+    ASSERT_EQ(bulk[i], set.measure(*f.oracle, hosts[i])) << hosts[i];
+  EXPECT_EQ(bulk_probes, f.oracle->probe_count());
+}
+
+TEST(LandmarkSet, LandmarkNumbersMatchScalarDerivation) {
+  Fixture f(25);
+  util::Rng rng(26);
+  for (const int index_size : {0, 4}) {
+    LandmarkConfig config;
+    config.vector_index_size = index_size;
+    const LandmarkSet set =
+        LandmarkSet::choose_random(f.topology, 10, rng, config);
+    std::vector<LandmarkVector> vectors;
+    for (net::HostId h = 0; h < 40; h += 4)
+      vectors.push_back(set.measure(*f.oracle, h));
+
+    std::vector<util::BigUint> bulk(vectors.size());
+    std::vector<std::uint32_t> arena;
+    set.landmark_numbers(vectors, arena, bulk);
+    std::vector<std::uint32_t> scratch(
+        static_cast<std::size_t>(set.number_dims()));
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      const util::BigUint scalar = set.landmark_number(vectors[i]);
+      EXPECT_EQ(bulk[i], scalar);
+      EXPECT_EQ(set.landmark_number(vectors[i], scratch), scalar);
+    }
+  }
+}
+
 TEST(Factorial, SmallValues) {
   EXPECT_EQ(factorial(0), 1u);
   EXPECT_EQ(factorial(1), 1u);

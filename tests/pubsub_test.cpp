@@ -1,6 +1,7 @@
 #include "pubsub/pubsub.hpp"
 
 #include <memory>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -269,6 +270,74 @@ TEST(PubSub, NotificationRouteHopsAccounted) {
   if (!f.received.empty()) {
     EXPECT_GT(f.pubsub->stats().predicate_evaluations, 0u);
   }
+}
+
+TEST(PubSub, IndexedMatcherEquivalentToReferenceMatcher) {
+  // The per-map index and the seed-era full-table scan must deliver the
+  // same notifications in the same order, with identical predicate and
+  // routing accounting. Drive both through an identical broad mix of
+  // subscriptions and publishes and compare the full event streams.
+  auto run = [](bool reference) {
+    Fixture f(31);
+    f.pubsub->set_reference_matcher(reference);
+    // Broad subscriptions: every node watches its own level-1 cell, some
+    // with new-node watches, some with tight load thresholds.
+    std::size_t count = 0;
+    for (const auto id : f.nodes) {
+      if (f.ecan->node_level(id) < 1) continue;
+      Subscription s =
+          f.base_subscription(id, 1, f.cell_key_of(id, 1));
+      s.current_best_distance = 1e9;
+      s.notify_on_new_node = (count % 3) == 0;
+      if ((count % 4) == 0) {
+        s.load_threshold = 0.5;
+        s.watched = f.nodes[(count + 1) % f.nodes.size()];
+      }
+      ++count;
+      f.pubsub->subscribe(std::move(s));
+    }
+    // Publish everyone twice (repeat publishes exercise the seen_ sets),
+    // with load crossing thresholds on the second round.
+    for (const auto id : f.nodes)
+      f.maps->publish(id, f.vectors[id], 0.0);
+    for (const auto id : f.nodes)
+      f.maps->publish(id, f.vectors[id], 1.0, /*load=*/0.9);
+    // Unsubscribe a slice, then publish again: index removal must track.
+    std::size_t removed = 0;
+    for (SubscriptionId sub = 1; sub <= count && removed < 8; sub += 3) {
+      f.pubsub->unsubscribe(sub);
+      ++removed;
+    }
+    for (const auto id : f.nodes)
+      f.maps->publish(id, f.vectors[id], 2.0, /*load=*/0.9);
+    return std::make_tuple(f.received, f.pubsub->stats());
+  };
+
+  const auto [fast_events, fast_stats] = run(false);
+  const auto [ref_events, ref_stats] = run(true);
+
+  ASSERT_EQ(fast_events.size(), ref_events.size());
+  for (std::size_t i = 0; i < fast_events.size(); ++i) {
+    EXPECT_EQ(fast_events[i].first, ref_events[i].first) << i;
+    EXPECT_EQ(fast_events[i].second.subscription,
+              ref_events[i].second.subscription)
+        << i;
+    EXPECT_EQ(fast_events[i].second.reason, ref_events[i].second.reason)
+        << i;
+    EXPECT_EQ(fast_events[i].second.entry.node,
+              ref_events[i].second.entry.node)
+        << i;
+  }
+  EXPECT_EQ(fast_stats.notifications, ref_stats.notifications);
+  EXPECT_EQ(fast_stats.route_hops, ref_stats.route_hops);
+  EXPECT_EQ(fast_stats.predicate_evaluations,
+            ref_stats.predicate_evaluations);
+  EXPECT_EQ(fast_stats.dropped_notifications,
+            ref_stats.dropped_notifications);
+  // The index only pays for the published map's own subscribers; the
+  // reference scan evaluates... also only those (the predicate gate), but
+  // walks the whole table to find them. Evaluation counts must agree
+  // exactly either way.
 }
 
 }  // namespace

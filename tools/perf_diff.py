@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced BENCH_join.json against a committed baseline.
+
+Usage: tools/perf_diff.py CANDIDATE [BASELINE]
+
+BASELINE defaults to bench/trajectory/BENCH_join.json (the committed
+trajectory point). Rows are matched by overlay size n; for each match the
+batched-leg join throughput must stay within TOLERANCE of the baseline.
+The candidate must also report `equivalent: true` everywhere — a faster
+wave that lands in a different final state is a bug, not a win.
+
+Exit status: 0 when every matched row holds, 1 on a >10% throughput
+regression or an equivalence failure, 2 on missing/garbled input.
+
+Notes for reading the report: absolute joins/s moves with the machine, so
+the gate is deliberately loose (10%); the committed baseline should only
+be regenerated on a quiet machine via
+  JOIN_NODES=1000,10000 BENCH_JSON=bench/trajectory/BENCH_join.json \
+      build/bench/join_sweep
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.10  # fail on >10% throughput regression
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("bench") != "join_sweep" or "results" not in doc:
+        print(f"perf_diff: {path} is not a join_sweep artifact", file=sys.stderr)
+        sys.exit(2)
+    return {row["n"]: row for row in doc["results"]}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate_path = argv[1]
+    baseline_path = argv[2] if len(argv) == 3 else "bench/trajectory/BENCH_join.json"
+
+    candidate = load(candidate_path)
+    baseline = load(baseline_path)
+
+    failures = []
+    compared = 0
+    for n, base_row in sorted(baseline.items()):
+        cand_row = candidate.get(n)
+        if cand_row is None:
+            continue  # smoke runs cover a subset of the baseline sizes
+        compared += 1
+        if not cand_row.get("equivalent", False):
+            failures.append(f"n={n}: batched join diverged from scalar state")
+            continue
+        base = base_row["batch"]["join_per_s"]
+        cand = cand_row["batch"]["join_per_s"]
+        ratio = cand / base if base > 0 else 0.0
+        verdict = "ok" if ratio >= 1.0 - TOLERANCE else "REGRESSION"
+        print(f"n={n}: batch {cand:.0f} joins/s vs baseline {base:.0f} "
+              f"({ratio:.2f}x) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"n={n}: batch throughput {ratio:.2f}x of baseline "
+                f"(floor {1.0 - TOLERANCE:.2f}x)")
+
+    if compared == 0:
+        print("perf_diff: no overlapping sizes between candidate and baseline",
+              file=sys.stderr)
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"perf_diff: FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"perf_diff: {compared} size(s) within {TOLERANCE:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -37,6 +37,7 @@ overhead_costs
 churn_lifecycle
 scale_sweep
 fault_sweep
+join_sweep
 micro_benchmarks
 "
 
@@ -54,6 +55,14 @@ if [ -z "${FAULT_NODES:-}" ] && [ -z "${FULL:-}" ]; then
   export FAULT_NODES FAULT_SMOKE
 fi
 
+# join_sweep likewise: 1k joins unless the caller scaled it. The full run
+# (FULL=1 or explicit JOIN_NODES) also covers the committed 10k trajectory
+# point, which takes minutes because of the seed-reference leg.
+if [ -z "${JOIN_NODES:-}" ] && [ -z "${FULL:-}" ]; then
+  JOIN_NODES=1000
+  export JOIN_NODES
+fi
+
 # Run from a scratch dir so the JSON emitters drop their files where we
 # can sweep them up, regardless of each bench's default output path.
 SCRATCH=$(mktemp -d)
@@ -68,6 +77,12 @@ done
 for json in "$SCRATCH"/BENCH_*.json; do
   [ -e "$json" ] && cp "$json" "$OUT/"
 done
+
+# Gate the batched join path against the committed trajectory point: a
+# >10% throughput regression (or an equivalence failure) fails the run.
+if [ -e "$OUT/BENCH_join.json" ] && [ -e bench/trajectory/BENCH_join.json ]; then
+  python3 tools/perf_diff.py "$OUT/BENCH_join.json"
+fi
 
 echo
 echo "logs and JSON artifacts in $OUT:"
