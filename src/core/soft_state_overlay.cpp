@@ -29,14 +29,24 @@ SoftStateOverlay::SoftStateOverlay(const net::Topology& topology,
     config_.fault.seed = config_.seed ^ 0xfa417b145eull;
   faults_ = std::make_unique<sim::FaultPlane>(config_.fault);
   faults_->bind_topology(&topology);
+  // Same derivation for the traffic plane's drop-draw stream.
+  if (config_.traffic.seed == 0)
+    config_.traffic.seed = config_.seed ^ 0x10adf10b5ull;
+  traffic_ = std::make_unique<net::TrafficPlane>(config_.traffic);
+  traffic_->bind_topology(&topology);
+  // While active, every RTT the oracle reports carries the queuing-delay
+  // term — landmark vectors, selection probes and hop costs all see load.
+  oracle_.set_traffic_plane(traffic_.get());
   maps_ = std::make_unique<softstate::MapService>(ecan_, landmarks_,
                                                   config.map);
   maps_->set_fault_plane(faults_.get());
+  maps_->set_traffic_plane(traffic_.get());
   if (config_.retry.enabled())
     maps_->set_retry(&events_, config_.retry,
                      config_.seed ^ 0x7e7521ull);
   pubsub_ = std::make_unique<pubsub::PubSubService>(ecan_, *maps_);
   pubsub_->set_fault_plane(faults_.get());
+  pubsub_->set_traffic_plane(traffic_.get());
   pubsub_->set_handler(
       [this](overlay::NodeId subscriber, const pubsub::Notification& n) {
         on_notification(subscriber, n);
@@ -67,10 +77,14 @@ overlay::NodeId SoftStateOverlay::join(net::HostId host) {
     migrate_objects_after_split(id, split_peer);
   }
 
-  // 3. Publish the proximity record into every enclosing zone's map.
+  // 3. Publish the proximity record into every enclosing zone's map. The
+  // published load comes from the probe / traffic plane, not a hardcoded
+  // zero: threshold subscriptions and the load-aware selector must see a
+  // loaded node as loaded from its very first record, not only after the
+  // first republish.
   const double capacity =
       capacities_.count(id) != 0 ? capacities_[id] : 1.0;
-  maps_->publish(id, vector, events_.now(), /*load=*/0.0, capacity);
+  maps_->publish(id, vector, events_.now(), node_load(id), capacity);
 
   // 4. Proximity-neighbor selection via the global soft state.
   ecan_.build_table(id, *selector_);
@@ -155,11 +169,14 @@ std::vector<overlay::NodeId> SoftStateOverlay::join_many(
     const auto publish_start = WaveClock::now();
     const double capacity =
         capacities_.count(id) != 0 ? capacities_[id] : 1.0;
+    // Same probed load as the scalar join (node_load is a pure function
+    // of the probe / traffic state, so scalar ≡ batched state holds).
+    const double load = node_load(id);
     if (bulk) {
-      maps_->publish(id, vector, wave_numbers_[i], events_.now(),
-                     /*load=*/0.0, capacity);
+      maps_->publish(id, vector, wave_numbers_[i], events_.now(), load,
+                     capacity);
     } else {
-      maps_->publish(id, vector, events_.now(), /*load=*/0.0, capacity);
+      maps_->publish(id, vector, events_.now(), load, capacity);
     }
     ws.publish_ms += wave_elapsed_ms(publish_start);
 
@@ -262,6 +279,14 @@ overlay::RouteResult SoftStateOverlay::lookup(overlay::NodeId from,
            .delivered()) {
     route.success = false;
   }
+  // ... and through saturated links: congestion drops data the same way.
+  if (route.success && traffic_->active() &&
+      !traffic_
+           ->message_via(route.path,
+                         [&](overlay::NodeId id) { return ecan_.node(id).host; })
+           .delivered) {
+    route.success = false;
+  }
   return route;
 }
 
@@ -335,6 +360,9 @@ void SoftStateOverlay::migrate_objects_after_split(
 void SoftStateOverlay::run_for(sim::Time ms) {
   events_.run_until(events_.now() + ms);
   maps_->expire_before(events_.now());
+  // Fold the window's gated messages into measured link rates so the
+  // system's own control traffic shows up as utilization.
+  if (traffic_->active()) traffic_->advance_to(events_.now());
 }
 
 void SoftStateOverlay::set_capacity(overlay::NodeId id, double capacity) {
@@ -346,11 +374,16 @@ void SoftStateOverlay::republish_now(overlay::NodeId id) {
   if (!ecan_.alive(id)) return;
   const auto it = vectors_.find(id);
   if (it == vectors_.end()) return;
-  const double load = load_probe_ ? load_probe_(id) : 0.0;
   const double capacity =
       capacities_.count(id) != 0 ? capacities_[id] : 1.0;
-  maps_->publish(id, it->second, events_.now(), load, capacity);
+  maps_->publish(id, it->second, events_.now(), node_load(id), capacity);
   ++stats_.republishes;
+}
+
+double SoftStateOverlay::node_load(overlay::NodeId id) const {
+  if (load_probe_) return load_probe_(id);
+  if (traffic_->active()) return traffic_->host_utilization(ecan_.node(id).host);
+  return 0.0;
 }
 
 void SoftStateOverlay::schedule_republish(overlay::NodeId id) {

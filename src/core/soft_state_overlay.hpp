@@ -28,6 +28,7 @@
 #include "core/selectors.hpp"
 #include "net/rtt_oracle.hpp"
 #include "net/graph.hpp"
+#include "net/traffic_plane.hpp"
 #include "overlay/ecan.hpp"
 #include "proximity/landmarks.hpp"
 #include "pubsub/pubsub.hpp"
@@ -71,6 +72,12 @@ struct SystemConfig {
   /// code path is bit-identical to the fault-free system. `fault.seed` of 0
   /// derives from `seed` so sweeps stay deterministic per trial.
   sim::FaultConfig fault;
+
+  /// Traffic plane (link capacities, queuing delay, congestion drops).
+  /// Disabled by default: the plane is never consulted and every code
+  /// path — including every RTT the oracle reports — is bit-identical to
+  /// the load-free system. `traffic.seed` of 0 derives from `seed`.
+  net::TrafficConfig traffic;
 
   /// Bounded retry with exponential backoff for lost publish/lookup
   /// messages, driven by the facade's event queue. Disabled by default
@@ -185,6 +192,12 @@ class SoftStateOverlay {
   /// Force an immediate republish (tests / examples).
   void republish_now(overlay::NodeId id);
 
+  /// The load published with `id`'s record: the installed probe if any,
+  /// else the traffic plane's utilization of the node's host (max over
+  /// its attached links) while the plane is active, else 0. Used by join
+  /// and republish alike, so maps carry real load from the first publish.
+  double node_load(overlay::NodeId id) const;
+
   // -- Component access ---------------------------------------------------
 
   overlay::EcanNetwork& ecan() { return ecan_; }
@@ -198,6 +211,11 @@ class SoftStateOverlay {
   /// every map, pub/sub, and data message consults it.
   sim::FaultPlane& faults() { return *faults_; }
   const sim::FaultPlane& faults() const { return *faults_; }
+  /// The shared traffic plane: offer background flows here; while active
+  /// it queues and drops every map, pub/sub, and data message, and its
+  /// per-host utilization is the default published load.
+  net::TrafficPlane& traffic() { return *traffic_; }
+  const net::TrafficPlane& traffic() const { return *traffic_; }
   SoftStateSelector& selector() { return *selector_; }
   const VectorStore& vectors() const { return vectors_; }
   const SystemConfig& config() const { return config_; }
@@ -216,6 +234,7 @@ class SoftStateOverlay {
   proximity::LandmarkSet landmarks_;
   overlay::EcanNetwork ecan_;
   std::unique_ptr<sim::FaultPlane> faults_;
+  std::unique_ptr<net::TrafficPlane> traffic_;
   std::unique_ptr<softstate::MapService> maps_;
   std::unique_ptr<pubsub::PubSubService> pubsub_;
   sim::EventQueue events_;

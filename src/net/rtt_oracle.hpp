@@ -40,6 +40,7 @@
 
 #include "net/graph.hpp"
 #include "net/rtt_engine.hpp"
+#include "net/traffic_plane.hpp"
 #include "util/rng.hpp"
 
 namespace topo::util {
@@ -66,12 +67,27 @@ class RttOracle {
   const char* engine_name() const { return engine_->name(); }
   const RttEngine& engine() const { return *engine_; }
 
+  /// Attaches a traffic plane: while the plane is active, every latency
+  /// this oracle reports carries the round-trip queuing delay of the
+  /// physical path on top of the engine's propagation RTT — probes,
+  /// landmark vectors and overlay hop costs all see load. With the plane
+  /// detached or inactive the added term is exactly absent (not merely
+  /// zero), so results are bit-identical to a build without it. An
+  /// oracle with a traffic plane attached is single-threaded (the plane's
+  /// path cache mutates on query); benches that share an oracle across
+  /// trials share a queue-free one.
+  void set_traffic_plane(TrafficPlane* plane) { traffic_ = plane; }
+  const TrafficPlane* traffic_plane() const { return traffic_; }
+
   /// Simulator-side latency lookup (free; not counted as a probe).
   double latency_ms(HostId from, HostId to) {
     TO_EXPECTS(from < topology_->host_count());
     TO_EXPECTS(to < topology_->host_count());
     if (from == to) return 0.0;
-    return engine_->latency_ms(from, to);
+    double rtt = engine_->latency_ms(from, to);
+    if (traffic_ != nullptr && traffic_->active())
+      rtt += traffic_->queuing_delay_ms(from, to);
+    return rtt;
   }
 
   /// A modeled network measurement: counted, and — unlike the simulator's
@@ -114,6 +130,12 @@ class RttOracle {
     TO_EXPECTS(out.size() >= froms.size());
     probe_count_.fetch_add(froms.size(), std::memory_order_relaxed);
     engine_->latency_column(to, froms, out);
+    if (traffic_ != nullptr && traffic_->active()) {
+      // Same queuing term as the scalar path, added before noise so bulk
+      // and scalar probes stay value-identical.
+      for (std::size_t i = 0; i < froms.size(); ++i)
+        if (froms[i] != to) out[i] += traffic_->queuing_delay_ms(froms[i], to);
+    }
     if (noise_fraction_ > 0.0) {
       std::lock_guard lock(noise_mutex_);
       for (std::size_t i = 0; i < froms.size(); ++i)
@@ -165,6 +187,7 @@ class RttOracle {
  private:
   const Topology* topology_;
   std::unique_ptr<RttEngine> engine_;
+  TrafficPlane* traffic_ = nullptr;
   std::atomic<std::uint64_t> probe_count_{0};
   double noise_fraction_ = 0.0;
   util::Rng noise_rng_{0};

@@ -1,0 +1,167 @@
+#include "net/traffic_plane.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace topo::net {
+
+void TrafficPlane::bind_topology(const Topology* topology) {
+  TO_EXPECTS(topology != nullptr && topology->frozen());
+  topology_ = topology;
+  const std::size_t links = topology->link_count();
+  capacity_mps_.resize(links);
+  offered_mps_.assign(links, 0.0);
+  measured_mps_.assign(links, 0.0);
+  window_counts_.assign(links, 0.0);
+  window_start_ms_ = 0.0;
+  const auto all = topology->links();
+  for (std::size_t i = 0; i < links; ++i)
+    capacity_mps_[i] = config_.capacity_for(all[i].link_class);
+  parent_links_.clear();
+}
+
+void TrafficPlane::offer_flow(HostId from, HostId to, double rate_mps) {
+  TO_EXPECTS(topology_ != nullptr);
+  for_each_path_link_(from, to, [&](std::uint32_t l) {
+    offered_mps_[l] = std::max(0.0, offered_mps_[l] + rate_mps);
+  });
+}
+
+void TrafficPlane::clear_flows() {
+  std::fill(offered_mps_.begin(), offered_mps_.end(), 0.0);
+}
+
+void TrafficPlane::set_link_capacity(std::uint32_t link_index,
+                                     double capacity_mps) {
+  TO_EXPECTS(link_index < capacity_mps_.size());
+  capacity_mps_[link_index] = capacity_mps;
+}
+
+void TrafficPlane::advance_to(double now_ms) {
+  if (topology_ == nullptr) return;
+  const double elapsed = now_ms - window_start_ms_;
+  if (elapsed < config_.utilization_window_ms || elapsed <= 0.0) return;
+  const double scale = 1000.0 / elapsed;
+  for (std::size_t i = 0; i < window_counts_.size(); ++i) {
+    measured_mps_[i] = window_counts_[i] * scale;
+    window_counts_[i] = 0.0;
+  }
+  window_start_ms_ = now_ms;
+}
+
+double TrafficPlane::host_utilization(HostId host) const {
+  TO_EXPECTS(topology_ != nullptr);
+  double utilization = 0.0;
+  for (const auto& nb : topology_->neighbors(host))
+    utilization = std::max(utilization, link_utilization(nb.link_index));
+  return utilization;
+}
+
+double TrafficPlane::queuing_delay_ms(HostId from, HostId to) {
+  TO_EXPECTS(topology_ != nullptr);
+  double delay = 0.0;
+  for_each_path_link_(from, to,
+                      [&](std::uint32_t l) { delay += link_queue_delay_ms(l); });
+  return 2.0 * delay;  // both directions of the round trip queue
+}
+
+double TrafficPlane::max_link_utilization() const {
+  double utilization = 0.0;
+  for (std::size_t i = 0; i < capacity_mps_.size(); ++i)
+    utilization =
+        std::max(utilization, link_utilization(static_cast<std::uint32_t>(i)));
+  return utilization;
+}
+
+std::size_t TrafficPlane::saturated_link_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < capacity_mps_.size(); ++i)
+    if (link_utilization(static_cast<std::uint32_t>(i)) >=
+        config_.drop_threshold)
+      ++count;
+  return count;
+}
+
+double TrafficPlane::link_queue_delay_ms(std::uint32_t link_index) const {
+  const double cap = capacity_mps_[link_index];
+  if (cap <= 0.0) return 0.0;
+  double u = link_utilization(link_index);
+  if (u <= 0.0) return 0.0;
+  u = std::min(u, config_.utilization_cap);
+  return (1000.0 / cap) * u / (1.0 - u);
+}
+
+double TrafficPlane::link_drop_probability(std::uint32_t link_index) const {
+  const double u = link_utilization(link_index);
+  if (u <= config_.drop_threshold) return 0.0;
+  if (config_.drop_full <= config_.drop_threshold) return 1.0;
+  return std::min(
+      1.0, (u - config_.drop_threshold) /
+               (config_.drop_full - config_.drop_threshold));
+}
+
+void TrafficPlane::traverse_(HostId from, HostId to, double& delay,
+                             double& survive) {
+  for_each_path_link_(from, to, [&](std::uint32_t l) {
+    window_counts_[l] += 1.0;
+    delay += link_queue_delay_ms(l);
+    const double p = link_drop_probability(l);
+    if (p > 0.0) survive *= 1.0 - p;
+  });
+}
+
+TrafficPlane::Verdict TrafficPlane::finish_(double delay, double survive) {
+  // One drop draw per message, and only when a saturated link was actually
+  // crossed — an uncongested plane makes no draws, keeping traces
+  // independent of whether it is attached.
+  if (survive < 1.0 && !rng_.next_bool(survive)) {
+    ++stats_.dropped;
+    return Verdict{false, delay};
+  }
+  if (delay > 0.0) {
+    ++stats_.delayed;
+    stats_.queue_delay_ms += delay;
+  }
+  return Verdict{true, delay};
+}
+
+TrafficPlane::Verdict TrafficPlane::message(HostId from, HostId to) {
+  TO_EXPECTS(topology_ != nullptr);
+  ++stats_.messages;
+  double delay = 0.0;
+  double survive = 1.0;
+  traverse_(from, to, delay, survive);
+  return finish_(delay, survive);
+}
+
+const std::vector<std::uint32_t>& TrafficPlane::parent_tree_(HostId source) {
+  auto it = parent_links_.find(source);
+  if (it != parent_links_.end()) return it->second;
+
+  const std::size_t n = topology_->host_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::uint32_t> parent(n, kNoLink);
+  dist_scratch_.assign(n, kInf);
+  dist_scratch_[source] = 0.0;
+
+  using Item = std::pair<double, HostId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, h] = heap.top();
+    heap.pop();
+    if (d > dist_scratch_[h]) continue;
+    for (const auto& nb : topology_->neighbors(h)) {
+      const double nd = d + topology_->link_latency(nb.link_index);
+      if (nd < dist_scratch_[nb.host]) {
+        dist_scratch_[nb.host] = nd;
+        parent[nb.host] = nb.link_index;
+        heap.emplace(nd, nb.host);
+      }
+    }
+  }
+  return parent_links_.emplace(source, std::move(parent)).first->second;
+}
+
+}  // namespace topo::net

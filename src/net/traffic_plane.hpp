@@ -1,0 +1,261 @@
+// Traffic plane: link capacities, queuing delay, and congestion drops.
+//
+// The fault plane (sim/fault_plane.hpp) makes *failure* a first-class
+// input; this component does the same for *load*. Without it, "RTT" is
+// propagation-only and offered traffic is invisible — the paper's §6
+// load/capacity records and load-change notifications have nothing real
+// to report. The traffic plane gives every physical link a capacity (in
+// messages/sec, assigned per LinkClass), accumulates offered load from
+// two sources, and converts utilization into the two observable effects
+// of congestion:
+//
+//   * queuing delay — an M/M/1-style waiting time per link,
+//       Wq(u) = S * u / (1 - u),  S = 1000/capacity ms,
+//     summed over the links of the physical shortest path and composed
+//     onto engine RTTs by net::RttOracle (so probes, landmark vectors and
+//     overlay hop costs all see load, the way a real ping would);
+//   * drops — once a link's utilization crosses `drop_threshold`, each
+//     message crossing it is dropped with probability ramping linearly to
+//     1.0 at `drop_full`, compounded over the path's saturated links with
+//     a single seeded draw per message (mirroring FaultPlane's one loss
+//     draw per message).
+//
+// Offered load per link comes from (a) `offer_flow` — long-lived
+// background flows, rate in messages/sec, added along the physical
+// shortest path — and (b) the system's own control/data messages,
+// counted per link as they are gated through `message`/`message_via` and
+// folded into a measured msg/s rate at each `utilization_window_ms`
+// rollover (advance_to). Utilization is (offered + measured) / capacity.
+//
+// `host_utilization` — the max utilization over a host's attached links —
+// is the default load probe the overlay publishes into the soft-state
+// maps, which closes the §6 loop: saturation shows up in map entries,
+// kLoadExceeded subscriptions fire, and the load-aware selector steers
+// re-selection away from hot representatives.
+//
+// Determinism and bit-identity when off. Like the fault plane: all drop
+// decisions come from one seeded RNG in call order, and a draw happens
+// only when a message actually crosses a saturated link — an inactive
+// plane (enabled=false, the default) is never consulted because callers
+// gate on active(), and an active-but-idle plane makes no draws. A trial
+// owns its plane and runs single-threaded; the shortest-path tree cache
+// mutates on query, so an RttOracle with a traffic plane attached must
+// not be shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace topo::net {
+
+struct TrafficConfig {
+  /// Master switch. Off by default: every message path is bit-identical
+  /// to a build without the plane.
+  bool enabled = false;
+
+  /// Per-class link capacity in messages/sec. The defaults follow the
+  /// transit-stub hierarchy: fat core links, thin stub access links.
+  double inter_transit_capacity = 4000.0;
+  double intra_transit_capacity = 2000.0;
+  double transit_stub_capacity = 1000.0;
+  double intra_stub_capacity = 500.0;
+
+  /// M/M/1 waiting time diverges at u=1; utilization is clamped here for
+  /// the delay term so overload yields a large finite delay (drops model
+  /// the rest of the pain).
+  double utilization_cap = 0.98;
+
+  /// Drop ramp: P(drop) is 0 below drop_threshold, then rises linearly
+  /// to 1.0 at drop_full utilization.
+  double drop_threshold = 0.9;
+  double drop_full = 2.0;
+
+  /// Window over which gated messages are folded into a measured msg/s
+  /// rate (advance_to). Larger windows smooth self-induced load.
+  double utilization_window_ms = 1000.0;
+
+  /// Seed for the drop draws; latched at construction.
+  std::uint64_t seed = 0;
+
+  double capacity_for(LinkClass link_class) const {
+    switch (link_class) {
+      case LinkClass::kInterTransit: return inter_transit_capacity;
+      case LinkClass::kIntraTransit: return intra_transit_capacity;
+      case LinkClass::kTransitStub: return transit_stub_capacity;
+      case LinkClass::kIntraStub: return intra_stub_capacity;
+    }
+    return 0.0;
+  }
+};
+
+struct TrafficPlaneStats {
+  std::uint64_t messages = 0;      // messages gated while active
+  std::uint64_t dropped = 0;       // congestion drops
+  std::uint64_t delayed = 0;       // delivered messages that queued
+  double queue_delay_ms = 0.0;     // summed one-way delay over delivered
+};
+
+class TrafficPlane {
+ public:
+  struct Verdict {
+    bool delivered = true;
+    /// One-way queuing delay accumulated along the path (0 if dropped
+    /// before completion accounting — a dropped message still reports
+    /// the delay of the full path for symmetry, but callers should only
+    /// use it when delivered).
+    double delay_ms = 0.0;
+  };
+
+  /// Default-constructed plane is disabled: active() is false and callers
+  /// skip it entirely.
+  TrafficPlane() : rng_(0) {}
+  explicit TrafficPlane(const TrafficConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Binds the physical graph and assigns per-link capacities from the
+  /// link classes. Required before any gating or delay query.
+  void bind_topology(const Topology* topology);
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// True when the plane participates in message gating and RTT
+  /// composition. Hot paths gate on this; when false the plane costs one
+  /// branch and is never consulted, preserving bit-identity.
+  bool active() const { return config_.enabled && topology_ != nullptr; }
+
+  // -- Offered load --------------------------------------------------------
+
+  /// Adds a long-lived flow of `rate_mps` messages/sec along the physical
+  /// shortest path from -> to. Negative rates subtract (tear-down).
+  void offer_flow(HostId from, HostId to, double rate_mps);
+  /// Removes all offered flows (measured rates are untouched).
+  void clear_flows();
+
+  /// Overrides one link's capacity (tests and hotspot experiments).
+  void set_link_capacity(std::uint32_t link_index, double capacity_mps);
+
+  // -- Measured load -------------------------------------------------------
+
+  /// Folds the per-link message counts gathered since the last rollover
+  /// into measured msg/s rates once `utilization_window_ms` has elapsed.
+  /// The overlay facade calls this as simulated time advances.
+  void advance_to(double now_ms);
+
+  // -- Utilization & delay -------------------------------------------------
+
+  double link_capacity(std::uint32_t link_index) const {
+    TO_EXPECTS(link_index < capacity_mps_.size());
+    return capacity_mps_[link_index];
+  }
+
+  double link_utilization(std::uint32_t link_index) const {
+    TO_EXPECTS(link_index < capacity_mps_.size());
+    const double cap = capacity_mps_[link_index];
+    if (cap <= 0.0) return 0.0;
+    return (offered_mps_[link_index] + measured_mps_[link_index]) / cap;
+  }
+
+  /// Max utilization over the host's attached links — the congestion a
+  /// node actually experiences, and the default load probe the overlay
+  /// publishes (capacity 1.0: the published load IS a utilization).
+  double host_utilization(HostId host) const;
+
+  /// Round-trip queuing delay along the physical shortest path between
+  /// two hosts: 2x the one-way sum of per-link M/M/1 waiting times. This
+  /// is the term RttOracle adds to engine RTTs. Pure query: records no
+  /// traffic, draws nothing.
+  double queuing_delay_ms(HostId from, HostId to);
+
+  /// Largest utilization over all links (introspection/bench reporting).
+  double max_link_utilization() const;
+  /// Links at or above drop_threshold utilization.
+  std::size_t saturated_link_count() const;
+
+  // -- Message gating ------------------------------------------------------
+
+  /// Gates one point-to-point message: records it on every link of the
+  /// physical path, accumulates one-way queuing delay, and draws (at most
+  /// one) drop decision compounded over the path's saturated links.
+  Verdict message(HostId from, HostId to);
+
+  /// Gates a message forwarded along a routed overlay path (a sequence of
+  /// node hops; `host_of` maps a hop to its host). Each overlay hop
+  /// traverses its physical shortest path; delay accumulates over all of
+  /// them and the drop draw stays per-message, matching message(). A
+  /// single-element path is a self-delivery: no links crossed, no cost.
+  template <typename Path, typename HostOf>
+  Verdict message_via(const Path& path, HostOf&& host_of) {
+    TO_EXPECTS(!path.empty());
+    ++stats_.messages;
+    double delay = 0.0;
+    double survive = 1.0;
+    HostId prev = host_of(path.front());
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const HostId host = host_of(path[i]);
+      traverse_(prev, host, delay, survive);
+      prev = host;
+    }
+    return finish_(delay, survive);
+  }
+
+  const TrafficPlaneStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  static constexpr std::uint32_t kNoLink = ~0u;
+
+  /// Per-link queuing delay (one-way) at current utilization.
+  double link_queue_delay_ms(std::uint32_t link_index) const;
+  /// Per-link drop probability at current utilization.
+  double link_drop_probability(std::uint32_t link_index) const;
+
+  /// Records one message on every link of the physical path from -> to,
+  /// accumulating delay and survival probability.
+  void traverse_(HostId from, HostId to, double& delay, double& survive);
+  /// Drop draw (only when some crossed link was saturated) + accounting.
+  Verdict finish_(double delay, double survive);
+
+  /// Parent-link shortest-path tree rooted at `source` (cached). Trees
+  /// are keyed on the smaller endpoint of a query, halving the cache.
+  const std::vector<std::uint32_t>& parent_tree_(HostId source);
+
+  template <typename Fn>
+  void for_each_path_link_(HostId from, HostId to, Fn&& fn) {
+    if (from == to) return;
+    const HostId root = from < to ? from : to;
+    const HostId leaf = from < to ? to : from;
+    const auto& parent = parent_tree_(root);
+    const auto links = topology_->links();
+    for (HostId h = leaf; h != root;) {
+      const std::uint32_t l = parent[h];
+      TO_EXPECTS(l != kNoLink);
+      fn(l);
+      const Link& link = links[l];
+      h = link.a == h ? link.b : link.a;
+    }
+  }
+
+  TrafficConfig config_;
+  const Topology* topology_ = nullptr;
+
+  std::vector<double> capacity_mps_;   // per link
+  std::vector<double> offered_mps_;    // per link, from offer_flow
+  std::vector<double> measured_mps_;   // per link, from window rollover
+  std::vector<double> window_counts_;  // per link, messages this window
+  double window_start_ms_ = 0.0;
+
+  std::unordered_map<HostId, std::vector<std::uint32_t>> parent_links_;
+  // Dijkstra scratch (reused across tree builds).
+  std::vector<double> dist_scratch_;
+
+  util::Rng rng_;
+  TrafficPlaneStats stats_;
+};
+
+}  // namespace topo::net

@@ -39,6 +39,12 @@ void PubSubService::update_watch(SubscriptionId id, overlay::NodeId watched,
                                  double best_distance) {
   const auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
+  // Moving to a new representative re-arms the load alarm — the new
+  // watch starts fresh. Re-selecting the *same* representative (the
+  // fallback when no better candidate exists) keeps the alarm latched,
+  // otherwise a still-saturated rep would re-notify on every republish
+  // and the re-selection loop would spin.
+  if (it->second.watched != watched) it->second.load_alarmed = false;
   it->second.watched = watched;
   it->second.current_best_distance = best_distance;
 }
@@ -73,6 +79,18 @@ void PubSubService::deliver(overlay::NodeId from, overlay::NodeId subscriber,
         return;
       }
     }
+    if (traffic_plane_ != nullptr && traffic_plane_->active() &&
+        !route_scratch_.path.empty() &&
+        !traffic_plane_
+             ->message_via(route_scratch_.path,
+                           [&](overlay::NodeId id) {
+                             return ecan_->node(id).host;
+                           })
+             .delivered) {
+      // Congestion swallows the notification the same way loss does.
+      ++stats_.dropped_notifications;
+      return;
+    }
   }
   ++stats_.notifications;
   if (handler_) handler_(subscriber, notification);
@@ -88,17 +106,30 @@ void PubSubService::match_one(
   if (stored.entry.node == subscription.subscriber) return;
   ++stats_.predicate_evaluations;
 
-  // Load watch on the current representative.
+  // Load watch on the current representative: edge-triggered. Crossing
+  // the threshold fires exactly once; while the load stays high the alarm
+  // is latched and republishes stay silent. The alarm re-arms once
+  // utilization falls below the hysteresis band (below which the same
+  // subscription may fire again on a later crossing).
   if (stored.entry.node == subscription.watched &&
-      stored.entry.capacity > 0.0 &&
-      stored.entry.load / stored.entry.capacity >=
-          subscription.load_threshold) {
-    Notification n;
-    n.reason = Notification::Reason::kLoadExceeded;
-    n.subscription = id;
-    n.entry = stored.entry;
-    matched.emplace_back(subscription.subscriber, std::move(n));
-    return;
+      stored.entry.capacity > 0.0) {
+    const double utilization = stored.entry.load / stored.entry.capacity;
+    if (utilization >= subscription.load_threshold) {
+      if (!subscription.load_alarmed) {
+        subscription.load_alarmed = true;
+        ++stats_.load_exceeded;
+        Notification n;
+        n.reason = Notification::Reason::kLoadExceeded;
+        n.subscription = id;
+        n.entry = stored.entry;
+        matched.emplace_back(subscription.subscriber, std::move(n));
+      }
+      return;
+    }
+    if (utilization < subscription.load_threshold *
+                          (1.0 - subscription.load_hysteresis))
+      subscription.load_alarmed = false;
+    // In or below the band: fall through to the other predicates.
   }
 
   // New-node watch.

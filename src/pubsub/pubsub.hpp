@@ -42,6 +42,16 @@ struct Subscription {
 
   /// Section 6: notify when watched's load/capacity crosses this.
   double load_threshold = std::numeric_limits<double>::infinity();
+  /// The load watch is edge-triggered: crossing the threshold notifies
+  /// once, then the alarm stays latched while the load remains high — a
+  /// representative stuck at 90% must not re-notify on every republish.
+  /// The alarm re-arms only after utilization drops below
+  /// load_threshold * (1 - load_hysteresis) (the hysteresis band keeps a
+  /// load hovering at the threshold from flapping).
+  double load_hysteresis = 0.1;
+  /// Latched edge-trigger state; reset when the watch moves to a new
+  /// representative (update_watch) or the load falls below the band.
+  bool load_alarmed = false;
   /// The representative currently in use (load / departure watch).
   overlay::NodeId watched = overlay::kInvalidNode;
 
@@ -70,6 +80,9 @@ struct PubSubStats {
   /// Notifications the fault plane dropped en route to the subscriber
   /// (the subscriber simply re-selects later — soft state absorbs it).
   std::uint64_t dropped_notifications = 0;
+  /// kLoadExceeded edge-trigger firings (before delivery gating) — the
+  /// Section 6 QoS alarms driving load-aware re-selection.
+  std::uint64_t load_exceeded = 0;
 };
 
 class PubSubService {
@@ -97,6 +110,10 @@ class PubSubService {
   /// Installs the shared fault plane: notifications become kNotify
   /// messages subject to loss/crash/partition along their routed path.
   void set_fault_plane(sim::FaultPlane* plane) { fault_plane_ = plane; }
+
+  /// Installs the shared traffic plane: while active, notifications also
+  /// cross the congestion gate and can be dropped under saturation.
+  void set_traffic_plane(net::TrafficPlane* plane) { traffic_plane_ = plane; }
 
   /// Called by the departure protocol (proactive update): notifies every
   /// subscriber watching `departed` and forgets the node in every
@@ -140,6 +157,7 @@ class PubSubService {
   overlay::EcanNetwork* ecan_;
   softstate::MapService* maps_;
   sim::FaultPlane* fault_plane_ = nullptr;
+  net::TrafficPlane* traffic_plane_ = nullptr;
   Handler handler_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
   /// One-traversal-many-subscribers fan-out: subscription ids bucketed by

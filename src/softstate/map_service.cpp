@@ -168,6 +168,13 @@ sim::Verdict BasicMapService<Store>::gate_route(sim::MessageKind kind) {
 }
 
 template <typename Store>
+net::TrafficPlane::Verdict BasicMapService<Store>::gate_traffic() {
+  return traffic_plane_->message_via(
+      route_scratch_.path,
+      [&](overlay::NodeId id) { return ecan_->node(id).host; });
+}
+
+template <typename Store>
 typename BasicMapService<Store>::PublishSend
 BasicMapService<Store>::send_publish_message(
     overlay::NodeId node, const proximity::LandmarkVector& vector,
@@ -202,6 +209,14 @@ BasicMapService<Store>::send_publish_message(
       }
       ++stats_.blocked_publishes;
       return PublishSend::kBlocked;
+    }
+  }
+  if (traffic_active()) {
+    // Congestion drop: transient like loss — the retry machinery (or the
+    // next republish) recovers it once the hot links drain.
+    if (!gate_traffic().delivered) {
+      ++stats_.congestion_drops;
+      return PublishSend::kLost;
     }
   }
   MapEntry entry;
@@ -354,6 +369,7 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
   TO_EXPECTS(ecan_->alive(querier));
   const std::uint64_t cell_key = ecan_->pack_cell(level, cell);
   const bool gated = plane_active();
+  const bool congested = traffic_active();
   const int replicas = std::max(1, config_.replicas);
 
   // Quorum-less first-success read: fetch from the primary position, fail
@@ -381,7 +397,7 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
       continue;
     tried[tried_count++] = owner;
     if (r > 0) ++stats_.lookup_failovers;
-    if (!gated) {
+    if (!gated && !congested) {
       ++result.attempts;
       ++stats_.lookup_attempts;
       result.owner = owner;
@@ -390,24 +406,39 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
     }
     // Inline bounded retry: loss is transient, so re-try this owner up to
     // the policy budget before failing over; crash/partition verdicts
-    // fail over immediately.
+    // fail over immediately. A congestion drop is transient like loss,
+    // and a congested-but-delivered fetch charges its queuing delay to
+    // the backoff accounting.
     for (int retry_num = 0;; ++retry_num) {
       ++result.attempts;
       ++stats_.lookup_attempts;
-      const sim::Verdict verdict = gate_route(sim::MessageKind::kLookup);
-      if (verdict.delivered()) {
+      const sim::Verdict verdict =
+          gated ? gate_route(sim::MessageKind::kLookup) : sim::Verdict{};
+      bool lost = !verdict.delivered();
+      bool transient = verdict.retryable();
+      if (!lost && congested) {
+        const net::TrafficPlane::Verdict traffic = gate_traffic();
+        if (traffic.delivered) {
+          result.backoff_ms += traffic.delay_ms;
+        } else {
+          ++stats_.congestion_drops;
+          lost = true;
+          transient = true;
+        }
+      }
+      if (!lost) {
         result.owner = owner;
         result.backoff_ms += verdict.delay_ms;
         fetched = true;
         break;
       }
-      if (!verdict.retryable() || retry_num >= retry_.retries()) break;
+      if (!transient || retry_num >= retry_.retries()) break;
       ++stats_.lookup_retries;
       result.backoff_ms += retry_.delay_ms(retry_num + 1, retry_rng_);
     }
   }
   if (!fetched) {
-    if (gated) {
+    if (gated || congested) {
       result.fault_blocked = true;
       ++stats_.fault_blocked_lookups;
     }
@@ -446,6 +477,12 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
                                               querier_host,
                                               ecan_->node(nb).host))
             continue;  // that piece stays unread this round
+          if (congested &&
+              !traffic_plane_->message(querier_host, ecan_->node(nb).host)
+                   .delivered) {
+            ++stats_.congestion_drops;
+            continue;  // congestion swallowed the piece fetch
+          }
           collect_from(nb, cell_key, now, found);
         }
         ring = std::move(next_ring);
@@ -519,6 +556,12 @@ std::size_t BasicMapService<Store>::lookup_entries_into(
                                               querier_host,
                                               ecan_->node(nb).host))
             continue;  // that piece stays unread this round
+          if (congested &&
+              !traffic_plane_->message(querier_host, ecan_->node(nb).host)
+                   .delivered) {
+            ++stats_.congestion_drops;
+            continue;  // congestion swallowed the piece fetch
+          }
           collect_from(nb, cell_key, now, found_scratch_);
         }
         std::swap(ring, next_ring);
@@ -640,6 +683,14 @@ void BasicMapService<Store>::report_dead(overlay::NodeId owner,
       ++stats_.lost_repairs;
       return;
     }
+  }
+  if (reporter != overlay::kInvalidNode && traffic_active() &&
+      !traffic_plane_->message(ecan_->node(reporter).host,
+                               ecan_->node(owner).host)
+           .delivered) {
+    ++stats_.congestion_drops;
+    ++stats_.lost_repairs;
+    return;
   }
   Store* store = find_store(owner);
   if (store == nullptr) return;

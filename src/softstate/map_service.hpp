@@ -33,6 +33,7 @@
 
 #include "geom/hilbert.hpp"
 #include "net/rtt_oracle.hpp"
+#include "net/traffic_plane.hpp"
 #include "overlay/ecan.hpp"
 #include "proximity/landmarks.hpp"
 #include "proximity/nn_search.hpp"
@@ -158,6 +159,10 @@ struct MapServiceStats {
   std::uint64_t fault_blocked_lookups = 0;
   /// Lazy-repair "dead" reports dropped by the fault plane en route.
   std::uint64_t lost_repairs = 0;
+  /// Messages (publish, lookup fetch, ring fetch, repair) dropped by the
+  /// traffic plane under link saturation. Transient like loss: the retry
+  /// and failover machinery engages the same way.
+  std::uint64_t congestion_drops = 0;
 };
 
 /// Store-description traits for the eCAN map backends (see
@@ -360,6 +365,14 @@ class BasicMapService {
   }
   sim::FaultPlane* fault_plane() const { return fault_plane_; }
 
+  /// Installs the shared traffic plane: while it is active, every
+  /// publish/lookup/repair message also crosses the congestion gate
+  /// (queuing delay folded into backoff accounting, drops treated as
+  /// transient loss). Pass nullptr to detach; the plane must outlive the
+  /// service (the facade owns both).
+  void set_traffic_plane(net::TrafficPlane* plane) { traffic_plane_ = plane; }
+  net::TrafficPlane* traffic_plane() const { return traffic_plane_; }
+
   /// Enables bounded retry with exponential backoff + jitter. Lost
   /// publish messages are re-sent through `queue` (fire-and-forget, up to
   /// policy.retries() times); lost lookup fetches re-try inline before
@@ -453,6 +466,13 @@ class BasicMapService {
   /// Fault verdict for a message forwarded along route_scratch_.path.
   sim::Verdict gate_route(sim::MessageKind kind);
 
+  /// True when per-message congestion gating is on.
+  bool traffic_active() const {
+    return traffic_plane_ != nullptr && traffic_plane_->active();
+  }
+  /// Congestion verdict for a message forwarded along route_scratch_.path.
+  net::TrafficPlane::Verdict gate_traffic();
+
   enum class PublishSend : std::uint8_t {
     kDelivered,    // entry placed on its owner
     kLost,         // fault plane loss draw — transient, retryable
@@ -506,6 +526,9 @@ class BasicMapService {
   /// used. nullptr = no fault gating at all.
   sim::FaultPlane* fault_plane_ = nullptr;
   std::unique_ptr<sim::FaultPlane> owned_fault_plane_;
+  /// Traffic plane consulted per message when active; nullptr = no
+  /// congestion gating.
+  net::TrafficPlane* traffic_plane_ = nullptr;
   sim::EventQueue* retry_queue_ = nullptr;
   util::RetryPolicy retry_;
   util::Rng retry_rng_{0x7e7521ull};

@@ -1,0 +1,154 @@
+// Regression tests for the edge-triggered kLoadExceeded watch: a
+// representative stuck above the threshold must notify exactly once, stay
+// silent across republishes while the overload persists, and only re-arm
+// after its utilization drops below the hysteresis band.
+#include "pubsub/pubsub.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency.hpp"
+#include "net/transit_stub.hpp"
+
+namespace topo::pubsub {
+namespace {
+
+struct Fixture {
+  net::Topology topology;
+  std::unique_ptr<net::RttOracle> oracle;
+  std::unique_ptr<proximity::LandmarkSet> landmarks;
+  std::unique_ptr<overlay::EcanNetwork> ecan;
+  std::unique_ptr<softstate::MapService> maps;
+  std::unique_ptr<PubSubService> pubsub;
+  std::vector<overlay::NodeId> nodes;
+  std::unordered_map<overlay::NodeId, proximity::LandmarkVector> vectors;
+  std::vector<std::pair<overlay::NodeId, Notification>> received;
+
+  explicit Fixture(std::uint64_t seed, std::size_t overlay_nodes = 64) {
+    util::Rng rng(seed);
+    topology = net::generate_transit_stub(net::tsk_tiny(), rng);
+    net::assign_latencies(topology, net::LatencyModel::kManual, rng);
+    oracle = std::make_unique<net::RttOracle>(topology);
+    landmarks = std::make_unique<proximity::LandmarkSet>(
+        proximity::LandmarkSet::choose_random(topology, 6, rng, {}));
+    ecan = std::make_unique<overlay::EcanNetwork>(2);
+    for (std::size_t i = 0; i < overlay_nodes; ++i) {
+      const auto host =
+          static_cast<net::HostId>(rng.next_u64(topology.host_count()));
+      nodes.push_back(ecan->join_random(host, rng));
+    }
+    maps = std::make_unique<softstate::MapService>(*ecan, *landmarks,
+                                                   softstate::MapConfig{});
+    pubsub = std::make_unique<PubSubService>(*ecan, *maps);
+    pubsub->set_handler(
+        [this](overlay::NodeId subscriber, const Notification& n) {
+          received.emplace_back(subscriber, n);
+        });
+    for (const auto id : nodes)
+      vectors[id] = landmarks->measure(*oracle, ecan->node(id).host);
+  }
+
+  /// Subscribes `subscriber` to `watched`'s level-1 map with a load watch
+  /// only (the closer-candidate predicate is pinned off).
+  SubscriptionId watch_load(overlay::NodeId subscriber,
+                            overlay::NodeId watched, double threshold,
+                            double hysteresis = 0.1) {
+    Subscription s;
+    s.subscriber = subscriber;
+    s.vector = vectors[subscriber];
+    s.level = 1;
+    s.cell_key = ecan->pack_cell(1, ecan->cell_of_node(watched, 1));
+    s.watched = watched;
+    s.load_threshold = threshold;
+    s.load_hysteresis = hysteresis;
+    s.current_best_distance = 0.0;  // nothing can be closer
+    return pubsub->subscribe(std::move(s));
+  }
+
+  void publish_load(overlay::NodeId node, double load, sim::Time now) {
+    maps->publish(node, vectors[node], now, load, /*capacity=*/1.0);
+  }
+
+  std::size_t load_notifications() const {
+    std::size_t count = 0;
+    for (const auto& [subscriber, n] : received)
+      if (n.reason == Notification::Reason::kLoadExceeded) ++count;
+    return count;
+  }
+};
+
+TEST(PubSubLoadEdge, ConstantOverloadNotifiesExactlyOnce) {
+  Fixture f(1);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  if (f.ecan->node_level(watched) < 1) GTEST_SKIP();
+  f.watch_load(subscriber, watched, 0.8);
+
+  // The load crosses the threshold and *stays* there: four republishes,
+  // one notification (the level-triggered bug re-fired on every one).
+  for (int round = 0; round < 4; ++round)
+    f.publish_load(watched, 0.9, static_cast<sim::Time>(round));
+  EXPECT_EQ(f.load_notifications(), 1u);
+}
+
+TEST(PubSubLoadEdge, InBandDipDoesNotRearm) {
+  Fixture f(2);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  if (f.ecan->node_level(watched) < 1) GTEST_SKIP();
+  f.watch_load(subscriber, watched, 0.8, /*hysteresis=*/0.1);
+
+  f.publish_load(watched, 0.9, 0.0);
+  ASSERT_EQ(f.load_notifications(), 1u);
+  // Dip into the hysteresis band (re-arm point is 0.8 * 0.9 = 0.72): the
+  // alarm stays latched, so climbing back over the threshold is silent.
+  f.publish_load(watched, 0.75, 1.0);
+  f.publish_load(watched, 0.9, 2.0);
+  EXPECT_EQ(f.load_notifications(), 1u);
+}
+
+TEST(PubSubLoadEdge, DropBelowBandRearms) {
+  Fixture f(3);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  if (f.ecan->node_level(watched) < 1) GTEST_SKIP();
+  f.watch_load(subscriber, watched, 0.8, /*hysteresis=*/0.1);
+
+  f.publish_load(watched, 0.9, 0.0);
+  ASSERT_EQ(f.load_notifications(), 1u);
+  // Recovery below the band re-arms; the next crossing fires again.
+  f.publish_load(watched, 0.5, 1.0);
+  EXPECT_EQ(f.load_notifications(), 1u);
+  f.publish_load(watched, 0.95, 2.0);
+  EXPECT_EQ(f.load_notifications(), 2u);
+}
+
+TEST(PubSubLoadEdge, MovingWatchToNewRepresentativeRearms) {
+  Fixture f(4);
+  const auto subscriber = f.nodes[0];
+  const auto watched = f.nodes[1];
+  const auto replacement = f.nodes[2];
+  if (f.ecan->node_level(watched) < 1) GTEST_SKIP();
+  const SubscriptionId id = f.watch_load(subscriber, watched, 0.8);
+
+  f.publish_load(watched, 0.9, 0.0);
+  ASSERT_EQ(f.load_notifications(), 1u);
+
+  // Re-selecting the *same* representative keeps the alarm latched: a
+  // still-saturated rep with no alternative must not notify in a loop.
+  f.pubsub->update_watch(id, watched, 0.0);
+  f.publish_load(watched, 0.9, 1.0);
+  EXPECT_EQ(f.load_notifications(), 1u);
+
+  // Moving to a different representative starts a fresh watch; if the
+  // old rep's cell also hosts the new one, its overload fires once.
+  f.pubsub->update_watch(id, replacement, 0.0);
+  ASSERT_NE(f.pubsub->find(id), nullptr);
+  EXPECT_FALSE(f.pubsub->find(id)->load_alarmed);
+}
+
+}  // namespace
+}  // namespace topo::pubsub

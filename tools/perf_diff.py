@@ -1,28 +1,42 @@
 #!/usr/bin/env python3
-"""Compare a freshly produced BENCH_join.json against a committed baseline.
+"""Compare a freshly produced bench JSON against a committed baseline.
 
 Usage: tools/perf_diff.py CANDIDATE [BASELINE]
 
-BASELINE defaults to bench/trajectory/BENCH_join.json (the committed
-trajectory point). Rows are matched by overlay size n; for each match the
-batched-leg join throughput must stay within TOLERANCE of the baseline.
-The candidate must also report `equivalent: true` everywhere — a faster
-wave that lands in a different final state is a bug, not a win.
+The artifact kind is read from the candidate's `bench` field:
 
-Exit status: 0 when every matched row holds, 1 on a >10% throughput
-regression or an equivalence failure, 2 on missing/garbled input.
-
-Notes for reading the report: absolute joins/s moves with the machine, so
-the gate is deliberately loose (10%); the committed baseline should only
-be regenerated on a quiet machine via
+join_sweep — BASELINE defaults to bench/trajectory/BENCH_join.json. Rows
+match by overlay size n; the batched-leg join throughput must stay within
+JOIN_TOLERANCE of the baseline, and every matched candidate row must
+report `equivalent: true` — a faster wave that lands in a different final
+state is a bug, not a win. Absolute joins/s moves with the machine, so
+the gate is deliberately loose (10%); regenerate the baseline on a quiet
+machine via
   JOIN_NODES=1000,10000 BENCH_JSON=bench/trajectory/BENCH_join.json \
       build/bench/join_sweep
+
+load_sweep — BASELINE defaults to bench/trajectory/BENCH_load.json. Rows
+match by (offered, loop); goodput must not fall more than GOODPUT_DROP
+below the baseline and queue delays must not exceed the baseline by more
+than QUEUE_TOLERANCE. These are simulated quantities — same SEED and
+knobs reproduce them exactly on any machine — so the tolerances only
+leave room for intentional tuning. The gate is skipped (exit 0) when the
+candidate ran with a different nodes/queries configuration than the
+baseline, since rows would not be comparable. Regenerate via
+  LOAD_NODES=1000 LOAD_SMOKE=1 SEED=42 \
+      BENCH_JSON=bench/trajectory/BENCH_load.json build/bench/load_sweep
+
+Exit status: 0 when every matched row holds (or the load gate was
+skipped for a config mismatch), 1 on a regression or equivalence
+failure, 2 on missing/garbled input.
 """
 
 import json
 import sys
 
-TOLERANCE = 0.10  # fail on >10% throughput regression
+JOIN_TOLERANCE = 0.10  # fail on >10% join-throughput regression
+GOODPUT_DROP = 0.02    # fail when goodput falls >2pp below baseline
+QUEUE_TOLERANCE = 0.10  # fail when queue delay exceeds baseline by >10%
 
 
 def load(path):
@@ -32,26 +46,20 @@ def load(path):
     except (OSError, json.JSONDecodeError) as err:
         print(f"perf_diff: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("bench") != "join_sweep" or "results" not in doc:
-        print(f"perf_diff: {path} is not a join_sweep artifact", file=sys.stderr)
+    if doc.get("bench") not in ("join_sweep", "load_sweep") or "results" not in doc:
+        print(f"perf_diff: {path} is not a known bench artifact", file=sys.stderr)
         sys.exit(2)
-    return {row["n"]: row for row in doc["results"]}
+    return doc
 
 
-def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    candidate_path = argv[1]
-    baseline_path = argv[2] if len(argv) == 3 else "bench/trajectory/BENCH_join.json"
-
-    candidate = load(candidate_path)
-    baseline = load(baseline_path)
+def diff_join(candidate, baseline):
+    cand_rows = {row["n"]: row for row in candidate["results"]}
+    base_rows = {row["n"]: row for row in baseline["results"]}
 
     failures = []
     compared = 0
-    for n, base_row in sorted(baseline.items()):
-        cand_row = candidate.get(n)
+    for n, base_row in sorted(base_rows.items()):
+        cand_row = cand_rows.get(n)
         if cand_row is None:
             continue  # smoke runs cover a subset of the baseline sizes
         compared += 1
@@ -61,24 +69,99 @@ def main(argv):
         base = base_row["batch"]["join_per_s"]
         cand = cand_row["batch"]["join_per_s"]
         ratio = cand / base if base > 0 else 0.0
-        verdict = "ok" if ratio >= 1.0 - TOLERANCE else "REGRESSION"
+        verdict = "ok" if ratio >= 1.0 - JOIN_TOLERANCE else "REGRESSION"
         print(f"n={n}: batch {cand:.0f} joins/s vs baseline {base:.0f} "
               f"({ratio:.2f}x) {verdict}")
         if verdict != "ok":
             failures.append(
                 f"n={n}: batch throughput {ratio:.2f}x of baseline "
-                f"(floor {1.0 - TOLERANCE:.2f}x)")
+                f"(floor {1.0 - JOIN_TOLERANCE:.2f}x)")
 
     if compared == 0:
         print("perf_diff: no overlapping sizes between candidate and baseline",
               file=sys.stderr)
+        return 2, failures
+    if not failures:
+        print(f"perf_diff: {compared} size(s) within "
+              f"{JOIN_TOLERANCE:.0%} of baseline")
+    return (1 if failures else 0), failures
+
+
+def diff_load(candidate, baseline):
+    for knob in ("nodes", "queries", "seed"):
+        if candidate.get(knob) != baseline.get(knob):
+            print(f"perf_diff: load_sweep {knob} differs "
+                  f"({candidate.get(knob)} vs baseline {baseline.get(knob)}); "
+                  "rows not comparable, skipping gate")
+            return 0, []
+
+    def key(row):
+        return (row["offered"], row["loop"])
+
+    cand_rows = {key(row): row for row in candidate["results"]}
+    base_rows = {key(row): row for row in baseline["results"]}
+
+    failures = []
+    compared = 0
+    for row_key, base_row in sorted(base_rows.items()):
+        cand_row = cand_rows.get(row_key)
+        if cand_row is None:
+            continue  # smoke runs cover a subset of the offered levels
+        compared += 1
+        offered, loop = row_key
+        label = f"offered={offered} loop={'on' if loop else 'off'}"
+
+        goodput = cand_row["goodput"]
+        goodput_floor = base_row["goodput"] - GOODPUT_DROP
+        ok = goodput >= goodput_floor
+        print(f"{label}: goodput {goodput:.3f} vs baseline "
+              f"{base_row['goodput']:.3f} {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{label}: goodput {goodput:.3f} below floor {goodput_floor:.3f}")
+
+        for field in ("queue_mean_ms", "queue_p99_ms"):
+            cand = cand_row[field]
+            # Small absolute grace so near-zero idle rows cannot trip the
+            # relative gate on rounding.
+            ceiling = base_row[field] * (1.0 + QUEUE_TOLERANCE) + 0.1
+            if cand > ceiling:
+                failures.append(
+                    f"{label}: {field} {cand:.2f} ms above ceiling "
+                    f"{ceiling:.2f} ms (baseline {base_row[field]:.2f})")
+
+    if compared == 0:
+        print("perf_diff: no overlapping rows between candidate and baseline",
+              file=sys.stderr)
+        return 2, failures
+    if not failures:
+        print(f"perf_diff: {compared} row(s) within goodput -{GOODPUT_DROP} / "
+              f"queue +{QUEUE_TOLERANCE:.0%} of baseline")
+    return (1 if failures else 0), failures
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
         return 2
-    if failures:
-        for failure in failures:
-            print(f"perf_diff: FAIL {failure}", file=sys.stderr)
-        return 1
-    print(f"perf_diff: {compared} size(s) within {TOLERANCE:.0%} of baseline")
-    return 0
+    candidate = load(argv[1])
+    kind = candidate["bench"]
+    default_baseline = {
+        "join_sweep": "bench/trajectory/BENCH_join.json",
+        "load_sweep": "bench/trajectory/BENCH_load.json",
+    }[kind]
+    baseline_path = argv[2] if len(argv) == 3 else default_baseline
+    baseline = load(baseline_path)
+    if baseline["bench"] != kind:
+        print(f"perf_diff: baseline {baseline_path} is "
+              f"{baseline['bench']}, candidate is {kind}", file=sys.stderr)
+        return 2
+
+    status, failures = (diff_join if kind == "join_sweep" else diff_load)(
+        candidate, baseline)
+    for failure in failures:
+        print(f"perf_diff: FAIL {failure}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

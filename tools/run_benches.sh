@@ -38,6 +38,7 @@ churn_lifecycle
 scale_sweep
 fault_sweep
 join_sweep
+load_sweep
 micro_benchmarks
 "
 
@@ -63,6 +64,15 @@ if [ -z "${JOIN_NODES:-}" ] && [ -z "${FULL:-}" ]; then
   export JOIN_NODES
 fi
 
+# load_sweep likewise: the 1k-node three-level smoke grid unless the
+# caller scaled it. This matches the committed trajectory baseline, so
+# the perf_diff gate below engages.
+if [ -z "${LOAD_NODES:-}" ] && [ -z "${FULL:-}" ]; then
+  LOAD_NODES=1000
+  LOAD_SMOKE=1
+  export LOAD_NODES LOAD_SMOKE
+fi
+
 # Run from a scratch dir so the JSON emitters drop their files where we
 # can sweep them up, regardless of each bench's default output path.
 SCRATCH=$(mktemp -d)
@@ -82,6 +92,13 @@ done
 # >10% throughput regression (or an equivalence failure) fails the run.
 if [ -e "$OUT/BENCH_join.json" ] && [ -e bench/trajectory/BENCH_join.json ]; then
   python3 tools/perf_diff.py "$OUT/BENCH_join.json"
+fi
+
+# Gate traffic-plane goodput and queue delay the same way: these are
+# simulated quantities, so a drift from the committed baseline means the
+# model or the loop changed, not the machine.
+if [ -e "$OUT/BENCH_load.json" ] && [ -e bench/trajectory/BENCH_load.json ]; then
+  python3 tools/perf_diff.py "$OUT/BENCH_load.json"
 fi
 
 echo
